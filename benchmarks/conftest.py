@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one artifact of the paper's
+evaluation (a figure or a table), asserts the reproduced headline
+numbers, and times the regeneration with pytest-benchmark.  Run:
+
+    pytest benchmarks/ --benchmark-only
+
+The printed ``repro:`` lines are the reproduction record -- they are
+what EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+
+def record(label: str, **values) -> None:
+    """Print one reproduction record line (shows with pytest -s; the
+    values are also asserted by the surrounding test)."""
+    rendered = ", ".join(f"{k}={v}" for k, v in values.items())
+    print(f"repro: {label}: {rendered}")

@@ -1,0 +1,122 @@
+"""E8/E9 + design-choice ablations.
+
+* **E8 — mixture experiment**: randomizing between the two paper
+  families strictly beats both at `n = 4, delta = 4/3` (the point where
+  discrepancy D2 lives).
+* **E9 — single-threshold ablation**: at the paper optima, two-cut
+  interval rules do not improve on the optimal single threshold.
+* **Algorithmic ablations**: the Poisson-binomial collapse vs the 2^n
+  enumeration of Theorem 4.1, the symmetric O(n^2) evaluator vs the
+  general 4^n Theorem 5.1 path, and the exact Sturm optimiser vs the
+  scipy numeric optimiser.
+"""
+
+from fractions import Fraction
+
+import pytest
+from conftest import record
+
+from repro.core.interval_rules import best_two_cut_perturbation
+from repro.core.nonoblivious import (
+    symmetric_threshold_winning_probability,
+    threshold_winning_probability,
+)
+from repro.core.oblivious import (
+    oblivious_winning_probability,
+    oblivious_winning_probability_enumerated,
+)
+from repro.core.randomized import (
+    best_symmetric_mixture_exact,
+    symmetric_mixture_polynomial,
+)
+from repro.optimize.threshold_opt import optimal_symmetric_threshold
+
+
+def test_bench_e8_mixture_beats_both_families(benchmark):
+    delta = Fraction(4, 3)
+    beta = optimal_symmetric_threshold(4, delta).beta
+
+    def solve():
+        return best_symmetric_mixture_exact(4, delta, beta)
+
+    p_star, value = benchmark(solve)
+    poly = symmetric_mixture_polynomial(beta, 4, delta)
+    coin = poly(0)
+    threshold = poly(1)
+    assert 0 < p_star < 1
+    assert value > coin > threshold
+    record(
+        "E8 mixture n=4 delta=4/3",
+        p_star=f"{float(p_star):.6f}",
+        P_mixture=f"{float(value):.6f}",
+        P_coin=f"{float(coin):.6f}",
+        P_threshold=f"{float(threshold):.6f}",
+    )
+
+
+def test_bench_e9_single_threshold_ablation(benchmark):
+    beta = Fraction(62204, 100000)
+
+    def search():
+        return best_two_cut_perturbation(
+            3,
+            1,
+            beta,
+            offsets=[Fraction(k, 25) for k in range(-2, 10)],
+        )
+
+    best, single, cuts = benchmark.pedantic(search, rounds=1, iterations=1)
+    assert best == single, (
+        "a two-cut rule improved on the single threshold at the optimum"
+    )
+    record(
+        "E9 two-cut ablation n=3",
+        single=f"{float(single):.7f}",
+        best_two_cut=f"{float(best):.7f}",
+        improved="no",
+    )
+
+
+def test_bench_ablation_poisson_binomial_collapse(benchmark):
+    """Theorem 4.1: O(n^2) collapse vs literal 2^n enumeration (n=14)."""
+    alphas = [Fraction(k + 1, 16) for k in range(14)]
+    t = Fraction(7, 2)
+
+    fast = benchmark(lambda: oblivious_winning_probability(t, alphas))
+    slow = oblivious_winning_probability_enumerated(t, alphas)
+    assert fast == slow
+    record("ablation collapse n=14", value=f"{float(fast):.8f}")
+
+
+@pytest.mark.parametrize("n", [6, 8])
+def test_bench_ablation_symmetric_vs_general(benchmark, n):
+    """Theorem 5.1: symmetric O(n^2) evaluator vs the 4^n general path."""
+    beta = Fraction(3, 5)
+    delta = Fraction(n, 4)
+
+    fast = benchmark(
+        lambda: symmetric_threshold_winning_probability(beta, n, delta)
+    )
+    slow = threshold_winning_probability(delta, [beta] * n)
+    assert fast == slow
+
+
+def test_bench_ablation_exact_vs_scipy(benchmark):
+    """The exact Sturm optimiser vs multi-start Nelder-Mead: same
+    optimum, but the exact path also certifies it."""
+    from repro.optimize.numeric import maximize_thresholds_numeric
+
+    exact = optimal_symmetric_threshold(3, 1)
+
+    def numeric():
+        return maximize_thresholds_numeric(1, 3, starts=4, seed=0)
+
+    thresholds, value = benchmark.pedantic(numeric, rounds=1, iterations=1)
+    assert value == pytest.approx(float(exact.probability), abs=2e-4)
+    record(
+        "ablation exact-vs-scipy",
+        exact=f"{float(exact.probability):.7f}",
+        scipy=f"{value:.7f}",
+        exact_beta=f"{float(exact.beta):.7f}",
+        scipy_beta=f"{thresholds[0]:.5f}",
+    )

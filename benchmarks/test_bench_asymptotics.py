@@ -1,0 +1,40 @@
+"""E11 -- large-n asymptotics (extension).
+
+Exact optima out to n = 10 at fixed capacity: decay ratios of the
+winning probabilities and the persistence of the multiplicative
+knowledge premium.
+"""
+
+from fractions import Fraction
+
+from conftest import record
+
+from repro.experiments.asymptotics import asymptotics_table, decay_ratios
+
+NS = (2, 3, 4, 5, 6, 7, 8, 9, 10)
+
+
+def test_bench_asymptotics_table(benchmark):
+    table = benchmark.pedantic(
+        lambda: asymptotics_table(NS, delta=1), rounds=1, iterations=1
+    )
+    ratios = decay_ratios(table)
+    for row, ratio in zip(table[1:], ratios):
+        record(
+            f"asymptotics n={row.n}",
+            beta_star=f"{float(row.beta_star):.5f}",
+            p_threshold=f"{float(row.threshold_value):.3e}",
+            p_coin=f"{float(row.coin_value):.3e}",
+            decay_ratio=f"{float(ratio):.4f}",
+            advantage=f"{float(row.relative_advantage):.4f}",
+        )
+    # the decay accelerates monotonically ...
+    assert ratios == sorted(ratios, reverse=True)
+    # ... while the knowledge premium persists
+    assert all(
+        Fraction(105, 100) < row.relative_advantage < Fraction(3, 2)
+        for row in table
+    )
+    # beta* keeps falling toward the "spread the mass" regime
+    betas = [row.beta_star for row in table[1:]]
+    assert betas == sorted(betas, reverse=True)

@@ -1,0 +1,79 @@
+"""E3 -- Section 5.2.1: the worked case n = 3, delta = 1.
+
+Regenerates everything the paper derives for this case: the piecewise
+cubics, the optimality quadratic beta^2 - 2 beta + 6/7, the optimal
+threshold 1 - sqrt(1/7) = 0.622, the optimal probability 0.545, and
+the comparison against the oblivious optimum 5/12 (the
+Papadimitriou-Yannakakis conjecture settled by the paper).
+"""
+
+from fractions import Fraction
+
+from conftest import record
+
+from repro.core.oblivious import optimal_oblivious_winning_probability
+from repro.optimize.threshold_opt import optimal_symmetric_threshold
+from repro.symbolic.polynomial import Polynomial
+
+
+def test_bench_case_n3_delta1(benchmark):
+    opt = benchmark(
+        lambda: optimal_symmetric_threshold(3, 1, Fraction(1, 10**15))
+    )
+
+    # the two cubics of Section 5.2.1
+    low = opt.curve.piece_at(Fraction(1, 4)).polynomial
+    high = opt.curve.piece_at(Fraction(4, 5)).polynomial
+    assert low == Polynomial(
+        [Fraction(1, 6), 0, Fraction(3, 2), Fraction(-1, 2)]
+    )
+    assert high == Polynomial(
+        [Fraction(-11, 6), 9, Fraction(-21, 2), Fraction(7, 2)]
+    )
+
+    # the optimality quadratic (up to the positive factor 21/2)
+    assert opt.stationarity_polynomial == (
+        Polynomial([Fraction(6, 7), -2, 1]) * Fraction(21, 2)
+    )
+
+    # the paper's numbers
+    beta_star = float(opt.beta)
+    p_star = float(opt.probability)
+    assert abs(beta_star - (1 - (1 / 7) ** 0.5)) < 1e-14
+    assert round(p_star, 3) == 0.545
+
+    oblivious = optimal_oblivious_winning_probability(1, 3)
+    assert oblivious == Fraction(5, 12)
+    assert opt.probability > oblivious
+
+    record(
+        "case n=3 delta=1",
+        beta_star=f"{beta_star:.7f} (paper: 0.622)",
+        p_star=f"{p_star:.7f} (paper: 0.545)",
+        oblivious=f"{float(oblivious):.7f} (= 5/12)",
+    )
+
+
+def test_bench_case_n3_monte_carlo_confirmation(benchmark):
+    """Replay the optimal protocol through the simulator."""
+    from repro.model.algorithms import SingleThresholdRule
+    from repro.model.system import DistributedSystem
+    from repro.simulation.engine import MonteCarloEngine
+
+    opt = optimal_symmetric_threshold(3, 1)
+    system = DistributedSystem(
+        [SingleThresholdRule(opt.beta) for _ in range(3)], 1
+    )
+
+    def run():
+        return MonteCarloEngine(seed=31).estimate_winning_probability(
+            system, trials=200_000
+        )
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert summary.covers(float(opt.probability))
+    record(
+        "case n=3 Monte Carlo",
+        simulated=f"{summary.estimate:.5f}",
+        exact=f"{float(opt.probability):.5f}",
+    )

@@ -1,0 +1,82 @@
+"""E4 -- Section 5.2.2: the worked case n = 4, delta = 4/3.
+
+Regenerates the piecewise quartics, the cubic optimality condition
+-(26/3) b^3 + (98/3) b^2 - (368/9) b + 416/27 (the paper's scanned
+constant term carries a sign typo; see EXPERIMENTS.md), and the optimal
+threshold ~ 0.678.  Also records the documented discrepancy D2: the
+oblivious fair coin beats the best common threshold at this parameter
+point.
+"""
+
+from fractions import Fraction
+
+from conftest import record
+
+from repro.core.oblivious import optimal_oblivious_winning_probability
+from repro.optimize.threshold_opt import optimal_symmetric_threshold
+from repro.symbolic.polynomial import Polynomial
+
+DELTA = Fraction(4, 3)
+
+
+def test_bench_case_n4_delta43(benchmark):
+    opt = benchmark(
+        lambda: optimal_symmetric_threshold(4, DELTA, Fraction(1, 10**15))
+    )
+
+    # the paper's reported optimum
+    assert round(float(opt.beta), 3) == 0.678
+
+    # the cubic optimality condition on the optimal piece
+    assert opt.stationarity_polynomial == Polynomial(
+        [
+            Fraction(416, 27),
+            Fraction(-368, 9),
+            Fraction(98, 3),
+            Fraction(-26, 3),
+        ]
+    )
+    assert abs(opt.stationarity_polynomial(opt.beta)) < Fraction(1, 10**9)
+
+    # every piece is a quartic over the breakpoint partition
+    assert all(p.polynomial.degree <= 4 for p in opt.curve.pieces)
+    assert opt.curve.lower == 0 and opt.curve.upper == 1
+
+    oblivious = optimal_oblivious_winning_probability(DELTA, 4)
+    assert oblivious == Fraction(559, 1296)
+
+    record(
+        "case n=4 delta=4/3",
+        beta_star=f"{float(opt.beta):.7f} (paper: ~0.678)",
+        p_star=f"{float(opt.probability):.7f}",
+        oblivious=f"{float(oblivious):.7f} (= 559/1296)",
+        discrepancy_D2=f"oblivious - threshold = "
+        f"{float(oblivious - opt.probability):+.7f} (> 0)",
+    )
+    # discrepancy D2: the fair coin wins at this parameter point
+    assert oblivious > opt.probability
+
+
+def test_bench_case_n4_piece_count(benchmark):
+    """Benchmark just the exact piecewise construction (the expensive
+    symbolic step) and pin the breakpoint structure."""
+    from repro.core.nonoblivious import (
+        symmetric_threshold_breakpoints,
+        symmetric_threshold_winning_polynomial,
+    )
+
+    curve = benchmark(
+        lambda: symmetric_threshold_winning_polynomial(4, DELTA)
+    )
+    breakpoints = symmetric_threshold_breakpoints(4, DELTA)
+    assert curve.breakpoints == breakpoints
+    # delta/i for i = 2, 3, 4 -> 2/3, 4/9, 1/3; 1 - (k - delta)/i adds
+    # 1/9, 1/6, 2/3, ... : at least these must be present
+    for expected in (
+        Fraction(1, 3),
+        Fraction(4, 9),
+        Fraction(2, 3),
+        Fraction(1, 9),
+        Fraction(1, 6),
+    ):
+        assert expected in breakpoints

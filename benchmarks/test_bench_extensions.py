@@ -1,0 +1,128 @@
+"""Extension machinery benchmarks: variance reduction, adaptive
+estimation, input distributions, and the symbolic Theorem 4.1 object.
+
+These are not paper artifacts; they benchmark the parts of the library
+a downstream user leans on when scaling beyond the paper's instances,
+and they double as end-to-end checks of those parts.
+"""
+
+from fractions import Fraction
+
+import pytest
+from conftest import record
+
+from repro.core.nonoblivious import threshold_winning_probability
+
+THRESHOLDS = [Fraction(62, 100)] * 3
+EXACT = float(threshold_winning_probability(1, THRESHOLDS))
+
+
+def test_bench_variance_reduction_comparison(benchmark):
+    """Stratified + antithetic vs plain Monte Carlo at equal budget."""
+    from repro.model.algorithms import SingleThresholdRule
+    from repro.model.system import DistributedSystem
+    from repro.simulation.variance_reduction import (
+        antithetic_winning_probability,
+        plain_reference,
+        stratified_threshold_winning_probability,
+    )
+
+    system = DistributedSystem(
+        [SingleThresholdRule(a) for a in THRESHOLDS], 1
+    )
+
+    def run_all():
+        return (
+            plain_reference(THRESHOLDS, 1, trials=60_000, seed=3),
+            antithetic_winning_probability(system, trials=60_000, seed=3),
+            stratified_threshold_winning_probability(
+                THRESHOLDS, 1, trials=60_000, seed=3
+            ),
+        )
+
+    plain, anti, strat = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for est in (plain, anti, strat):
+        assert est.covers(EXACT)
+    assert anti.std_error < plain.std_error
+    assert strat.std_error < plain.std_error
+    record(
+        "variance reduction (60k trials)",
+        plain_se=f"{plain.std_error:.6f}",
+        antithetic_se=f"{anti.std_error:.6f}",
+        stratified_se=f"{strat.std_error:.6f}",
+    )
+
+
+def test_bench_adaptive_estimation(benchmark):
+    from repro.model.algorithms import SingleThresholdRule
+    from repro.model.system import DistributedSystem
+    from repro.simulation.adaptive import estimate_until_precise
+    from repro.simulation.engine import MonteCarloEngine
+
+    system = DistributedSystem(
+        [SingleThresholdRule(a) for a in THRESHOLDS], 1
+    )
+
+    def run():
+        return estimate_until_precise(
+            system,
+            half_width=0.005,
+            engine=MonteCarloEngine(seed=21),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.achieved
+    assert result.summary.covers(EXACT)
+    record(
+        "adaptive to ±0.005",
+        trials=result.total_trials,
+        stages=len(result.stages),
+        estimate=f"{result.summary.estimate:.5f}",
+    )
+
+
+@pytest.mark.parametrize(
+    "label, a, b", [("peaked", 5, 5), ("light", 1, 3), ("heavy", 3, 1)]
+)
+def test_bench_beta_input_sensitivity(benchmark, label, a, b):
+    """Winning probability of the paper's optimal protocol under
+    non-uniform inputs -- the Section 6 'realistic distributions'
+    extension, quantified."""
+    from repro.model.algorithms import SingleThresholdRule
+    from repro.model.inputs import BetaInputs
+    from repro.model.system import DistributedSystem
+    from repro.simulation.engine import MonteCarloEngine
+
+    system = DistributedSystem(
+        [SingleThresholdRule(a_) for a_ in THRESHOLDS], 1
+    )
+
+    def run():
+        return MonteCarloEngine(seed=30).estimate_winning_probability(
+            system, trials=100_000, inputs=BetaInputs(a, b)
+        )
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        f"beta({a},{b}) inputs [{label}]",
+        p_win=f"{summary.estimate:.5f}",
+        uniform_reference=f"{EXACT:.5f}",
+    )
+    if label == "light":
+        assert summary.estimate > EXACT
+    if label == "peaked":
+        assert summary.estimate < EXACT
+
+
+def test_bench_symbolic_theorem_4_1(benchmark):
+    """Construct the multilinear Theorem 4.1 polynomial for n = 10 and
+    verify the fair coin zeroes its gradient."""
+    from repro.core.symbolic_oblivious import (
+        oblivious_winning_polynomial,
+    )
+
+    poly = benchmark(lambda: oblivious_winning_polynomial(1, 10))
+    assert poly.is_multilinear()
+    half = [Fraction(1, 2)] * 10
+    for k in range(10):
+        assert poly.partial(k)(half) == 0

@@ -1,0 +1,65 @@
+"""E1 -- Figure 1: winning probability curves, fixed capacity delta = 1.
+
+Regenerates the three series (n = 3, 4, 5), asserts the curve shape the
+paper's figure shows (endpoints at the Irwin-Hall value, interior
+maximum above both endpoints, optima where Section 5.2 puts them), and
+benchmarks the exact curve construction.
+"""
+
+from fractions import Fraction
+
+from conftest import record
+
+from repro.experiments.figures import figure1
+from repro.probability.uniform_sums import irwin_hall_cdf
+
+
+def test_bench_figure1_series(benchmark):
+    series = benchmark(lambda: figure1(ns=(3, 4, 5), grid_size=101))
+
+    by_n = {s.n: s for s in series}
+    assert set(by_n) == {3, 4, 5}
+
+    for n, s in by_n.items():
+        # endpoints: everyone in one bin
+        endpoint = irwin_hall_cdf(1, n)
+        assert s.values[0] == endpoint
+        assert s.values[-1] == endpoint
+        # interior maximum strictly above the endpoints
+        assert s.maximum > endpoint
+        record(
+            f"figure1 n={n}",
+            beta_star=f"{float(s.argmax):.6f}",
+            p_star=f"{float(s.maximum):.6f}",
+        )
+
+    # paper anchor: n = 3 optimum at 1 - sqrt(1/7) with P ~ 0.545
+    assert abs(float(by_n[3].argmax) - 0.6220355) < 1e-6
+    assert abs(float(by_n[3].maximum) - 0.5446311) < 1e-6
+
+    # figure shape: at fixed capacity, more players lose more
+    assert by_n[3].maximum > by_n[4].maximum > by_n[5].maximum
+
+
+def test_bench_figure1_monte_carlo_overlay(benchmark):
+    """Validate three grid points per curve against the simulator."""
+    from repro.simulation.runner import sweep_thresholds
+
+    def overlay():
+        results = []
+        for n in (3, 4, 5):
+            results.append(
+                sweep_thresholds(
+                    n,
+                    1,
+                    grid=[Fraction(1, 4), Fraction(31, 50), Fraction(9, 10)],
+                    simulate=True,
+                    trials=40_000,
+                    seed=1000 + n,
+                )
+            )
+        return results
+
+    results = benchmark.pedantic(overlay, rounds=1, iterations=1)
+    for result in results:
+        assert result.all_consistent()

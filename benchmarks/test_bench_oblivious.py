@@ -1,0 +1,65 @@
+"""E5 -- Theorem 4.3: the uniformity table for oblivious algorithms.
+
+For n = 2 .. 8: verify the fair coin solves the optimality conditions
+(zero gradient), is the symmetric optimum, and tabulate its winning
+probability; also record discrepancy D1 (deterministic boundary splits
+beat the fair coin).
+"""
+
+from fractions import Fraction
+
+from conftest import record
+
+from repro.core.optimality import oblivious_gradient
+from repro.optimize.oblivious_opt import (
+    boundary_split_value,
+    solve_oblivious_optimum,
+)
+
+NS = (2, 3, 4, 5, 6, 7, 8)
+
+
+def test_bench_uniformity_table(benchmark):
+    def build():
+        return [solve_oblivious_optimum(1, n) for n in NS]
+
+    results = benchmark(build)
+    for result in results:
+        # Theorem 4.3: alpha* = 1/2 for every n (uniformity)
+        assert result.alpha == Fraction(1, 2)
+        # and it is a stationary point of the full asymmetric problem
+        grad = oblivious_gradient(1, [Fraction(1, 2)] * result.n)
+        assert all(g == 0 for g in grad)
+        record(
+            f"oblivious n={result.n}",
+            alpha_star="1/2",
+            p_star=f"{float(result.probability):.6f}",
+        )
+
+    # known anchors
+    assert results[0].probability == Fraction(3, 4)  # n=2
+    assert results[1].probability == Fraction(5, 12)  # n=3
+
+    # the value decays monotonically at fixed capacity
+    values = [r.probability for r in results]
+    assert values == sorted(values, reverse=True)
+
+
+def test_bench_boundary_discrepancy(benchmark):
+    """Discrepancy D1: the deterministic split (an oblivious boundary
+    profile) beats the fair coin for every n >= 2 at delta = 1."""
+
+    def build():
+        return {n: boundary_split_value(1, n) for n in NS}
+
+    splits = benchmark(build)
+    for n in NS:
+        fair = solve_oblivious_optimum(1, n).probability
+        assert splits[n] > fair
+        record(
+            f"split vs coin n={n}",
+            split=f"{float(splits[n]):.6f}",
+            fair_coin=f"{float(fair):.6f}",
+        )
+    assert splits[2] == 1
+    assert splits[3] == Fraction(1, 2)

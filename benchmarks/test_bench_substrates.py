@@ -1,0 +1,97 @@
+"""E7 -- substrate validation and throughput benchmarks.
+
+Proposition 2.2's volume formula and the Section 2.2 distribution
+lemmas against Monte Carlo, plus raw throughput of the exact evaluators
+and the simulation engine (the numbers that justify using the exact
+path for figures and the vectorised path for validation).
+"""
+
+from fractions import Fraction
+
+from conftest import record
+
+from repro.geometry.montecarlo import estimate_simplex_box_volume
+from repro.geometry.volume import intersection_volume
+from repro.probability.uniform_sums import irwin_hall_cdf, sum_uniform_cdf
+
+
+def test_bench_proposition_2_2_exact(benchmark):
+    """Exact volume in dimension 10 (1024 subsets)."""
+    sigma = [Fraction(3, 2)] * 10
+    pi = [Fraction(k + 1, k + 2) for k in range(10)]
+    volume = benchmark(lambda: intersection_volume(sigma, pi))
+    assert 0 < volume < 1
+    record("prop2.2 dim=10", volume=f"{float(volume):.8f}")
+
+
+def test_bench_proposition_2_2_vs_monte_carlo(benchmark):
+    sigma = [Fraction(3, 2), 1, 2, Fraction(1, 2)]
+    pi = [1, 1, 1, 1]
+    exact = float(intersection_volume(sigma, pi))
+
+    def estimate():
+        return estimate_simplex_box_volume(
+            sigma, pi, samples=200_000, seed=17
+        )
+
+    est = benchmark.pedantic(estimate, rounds=1, iterations=1)
+    assert est.covers(exact)
+    record(
+        "prop2.2 vs MC",
+        exact=f"{exact:.6f}",
+        estimate=f"{est.volume:.6f}",
+        half_width=f"{est.half_width:.6f}",
+    )
+
+
+def test_bench_irwin_hall_throughput(benchmark):
+    """Corollary 2.6 evaluation cost across m = 1 .. 30."""
+
+    def sweep():
+        return [
+            irwin_hall_cdf(Fraction(m, 2), m) for m in range(1, 31)
+        ]
+
+    values = benchmark(sweep)
+    # symmetry: F_m(m/2) = 1/2 exactly, for every m
+    assert all(v == Fraction(1, 2) for v in values)
+
+
+def test_bench_lemma_2_4_subset_enumeration(benchmark):
+    """Lemma 2.4 with distinct sides (exponential path), m = 12."""
+    uppers = [Fraction(k + 1, 12) for k in range(12)]
+    t = sum(uppers) / 2
+    value = benchmark(lambda: sum_uniform_cdf(t, uppers))
+    # symmetry of the sum distribution about its mean
+    assert value == Fraction(1, 2)
+
+
+def test_bench_simulation_throughput(benchmark):
+    """Vectorised Monte Carlo: 10^5 protocol executions."""
+    from repro.model.algorithms import SingleThresholdRule
+    from repro.model.system import DistributedSystem
+    from repro.simulation.engine import MonteCarloEngine
+
+    system = DistributedSystem(
+        [SingleThresholdRule(Fraction(62, 100)) for _ in range(3)], 1
+    )
+    engine = MonteCarloEngine(seed=23)
+
+    def run():
+        return engine.estimate_winning_probability(system, trials=100_000)
+
+    summary = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert summary.trials == 100_000
+    record("engine 1e5 trials", estimate=f"{summary.estimate:.5f}")
+
+
+def test_bench_exact_theorem_5_1_per_player(benchmark):
+    """Theorem 5.1 with distinct thresholds, n = 8 (the 4^n path)."""
+    from repro.core.nonoblivious import threshold_winning_probability
+
+    thresholds = [Fraction(k + 1, 10) for k in range(8)]
+    value = benchmark(
+        lambda: threshold_winning_probability(Fraction(2), thresholds)
+    )
+    assert 0 < value < 1
+    record("thm5.1 n=8 distinct", p=f"{float(value):.6f}")

@@ -1,0 +1,44 @@
+"""E6 -- the knowledge/uniformity trade-off table.
+
+Fair coin (no knowledge) vs optimal common threshold (own input) vs
+centralized feasibility (full information), for n = 2 .. 6 at
+delta = 1.  The information ordering must hold row by row, and the
+n = 3 row must show the paper's headline gap 0.545 vs 0.417.
+"""
+
+from fractions import Fraction
+
+from conftest import record
+
+from repro.experiments.tables import tradeoff_table
+
+
+def test_bench_tradeoff_table(benchmark):
+    def build():
+        return tradeoff_table(
+            ns=(2, 3, 4, 5, 6),
+            delta_of_n=lambda n: 1,
+            trials=60_000,
+            seed=7,
+        )
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    for row in rows:
+        assert row.ordered, f"information ordering violated at n={row.n}"
+        record(
+            f"tradeoff n={row.n}",
+            oblivious=f"{float(row.oblivious):.6f}",
+            threshold=f"{float(row.threshold):.6f}",
+            centralized=f"{row.centralized_estimate:.6f}",
+        )
+
+    by_n = {row.n: row for row in rows}
+    # the paper's n = 3 anchors
+    assert by_n[3].oblivious == Fraction(5, 12)
+    assert round(float(by_n[3].threshold), 3) == 0.545
+    # full information is worth a lot: at n = 3 the centralized bound
+    # is ~0.75, far above 0.545
+    assert by_n[3].centralized_estimate > 0.7
+
+    # n = 2 is degenerate: centralized always wins
+    assert by_n[2].centralized_estimate == 1.0

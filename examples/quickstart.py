@@ -1,0 +1,57 @@
+"""Quickstart: the paper's problem in ten lines, then the headline results.
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro import (
+    DistributedSystem,
+    MonteCarloEngine,
+    SingleThresholdRule,
+    exact_winning_probability,
+    optimal_oblivious_winning_probability,
+    optimal_symmetric_threshold,
+)
+
+
+def main() -> None:
+    # Three players, two bins of capacity 1, no communication.
+    # Each player drops its uniform input into bin 0 when it is small
+    # (below a threshold) and into bin 1 otherwise.
+    beta = Fraction(62, 100)
+    algorithms = [SingleThresholdRule(beta) for _ in range(3)]
+
+    # Exact winning probability (Theorem 5.1):
+    exact = exact_winning_probability(algorithms, capacity=1)
+    print(f"P(win) with threshold {beta}: {float(exact):.6f} (exact: {exact})")
+
+    # The same number from actually running the protocol 200k times:
+    engine = MonteCarloEngine(seed=0)
+    system = DistributedSystem(algorithms, capacity=1)
+    summary = engine.estimate_winning_probability(system, trials=200_000)
+    print(f"P(win) simulated:           {summary}")
+    assert summary.covers(float(exact))
+
+    # The optimal threshold (Section 5.2.1): beta* = 1 - sqrt(1/7)
+    optimum = optimal_symmetric_threshold(3, 1)
+    print(
+        f"optimal threshold beta* = {float(optimum.beta):.6f}, "
+        f"P* = {float(optimum.probability):.6f}"
+    )
+
+    # ... versus the best algorithm that never looks at its input
+    # (Theorem 4.3: the fair coin):
+    oblivious = optimal_oblivious_winning_probability(1, 3)
+    print(
+        f"optimal oblivious (fair coin) P* = {float(oblivious):.6f} "
+        f"(= {oblivious})"
+    )
+    print(
+        "value of looking at your own input: "
+        f"+{float(optimum.probability - oblivious):.6f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy shim: enables `python setup.py develop` / editable installs in
+offline environments that lack the `wheel` package (pip's modern editable
+path requires bdist_wheel).  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

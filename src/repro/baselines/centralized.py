@@ -1,0 +1,150 @@
+"""The full-information (centralized) upper bound.
+
+If every player saw every input (or a central coordinator decided for
+all), the system would win exactly when *some* bin assignment keeps
+both loads within capacity.  The probability of that event upper-bounds
+every distributed protocol under every communication pattern, so it
+quantifies the total value of information in the model.
+
+Feasibility for given inputs is a partition problem; for the paper's
+small ``n`` we decide it exactly by enumerating bin assignments (with a
+numpy-vectorised enumeration over trial batches for the Monte Carlo
+estimate).  A greedy first-fit-decreasing packer is also provided as
+the realistic "what a coordinator would actually run" protocol; for two
+bins and small ``n`` its win rate is close to, but not equal to, the
+feasibility bound, and the benchmark suite reports both.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.model.agents import DecisionAlgorithm
+from repro.simulation.statistics import BinomialSummary
+from repro.symbolic.rational import RationalLike, as_fraction
+
+__all__ = [
+    "OmniscientPacker",
+    "best_possible_win",
+    "centralized_winning_probability",
+    "greedy_assignment",
+]
+
+
+def best_possible_win(
+    inputs: Sequence[float], capacity: float
+) -> bool:
+    """Whether *any* assignment of inputs to the two bins avoids overflow.
+
+    Exact enumeration over ``2^n`` assignments, pruned: an assignment
+    exists iff some subset has sum in ``[total - capacity, capacity]``.
+    """
+    total = float(sum(inputs))
+    if total <= capacity:
+        return True
+    if total > 2 * capacity:
+        return False
+    xs = [float(x) for x in inputs]
+    lo, hi = total - capacity, capacity
+    sums = {0.0}
+    for x in xs:
+        sums |= {s + x for s in sums}
+    return any(lo <= s <= hi for s in sums)
+
+
+def greedy_assignment(inputs: Sequence[float]) -> Sequence[int]:
+    """First-fit-decreasing onto the lighter bin; returns the bit vector.
+
+    The classic 2-machine LPT heuristic: sort inputs descending, place
+    each on the currently lighter bin.  Order of the returned bits
+    matches the original input order.
+    """
+    order = sorted(range(len(inputs)), key=lambda i: -float(inputs[i]))
+    loads = [0.0, 0.0]
+    bits = [0] * len(inputs)
+    for i in order:
+        target = 0 if loads[0] <= loads[1] else 1
+        bits[i] = target
+        loads[target] += float(inputs[i])
+    return bits
+
+
+def centralized_winning_probability(
+    n: int,
+    capacity: RationalLike,
+    trials: int = 200_000,
+    seed: Optional[int] = 0,
+    z_score: float = 3.89,
+) -> BinomialSummary:
+    """Monte Carlo estimate of ``P(a feasible assignment exists)``.
+
+    Vectorised: all ``2^n`` subset sums are evaluated per batch with a
+    single matrix product against the subset indicator matrix.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n > 20:
+        raise ValueError(f"refusing 2^{n} subset enumeration")
+    cap = float(as_fraction(capacity))
+    rng = np.random.default_rng(seed)
+    masks = np.arange(1 << n, dtype=np.uint32)
+    indicator = (
+        (masks[:, None] >> np.arange(n, dtype=np.uint32)) & 1
+    ).astype(np.float64)  # (2^n, n)
+    wins = 0
+    remaining = trials
+    batch_size = max(1, 2_000_000 // (1 << n))
+    while remaining > 0:
+        batch = min(remaining, batch_size)
+        inputs = rng.random((batch, n))
+        subset_sums = inputs @ indicator.T  # (batch, 2^n)
+        totals = inputs.sum(axis=1, keepdims=True)
+        feasible = (subset_sums <= cap) & (totals - subset_sums <= cap)
+        wins += int(feasible.any(axis=1).sum())
+        remaining -= batch
+    return BinomialSummary(successes=wins, trials=trials, z_score=z_score)
+
+
+class OmniscientPacker(DecisionAlgorithm):
+    """A full-information decision rule: each player runs the same greedy
+    packer on the complete input vector and outputs its own bin.
+
+    Requires a communication pattern under which the player sees all
+    other inputs (:class:`repro.model.communication.FullInformation`);
+    with consistent tie-breaking all players compute the same packing,
+    so the joint output is exactly the greedy assignment.
+    """
+
+    is_oblivious = False
+    is_local = False
+
+    def __init__(self, own_index: int, n: int):
+        if not 0 <= own_index < n:
+            raise ValueError(
+                f"own_index {own_index} out of range for n={n}"
+            )
+        self._own_index = own_index
+        self._n = n
+
+    def decide(
+        self,
+        own_input: float,
+        observed: Mapping[int, float],
+        rng: np.random.Generator,
+    ) -> int:
+        missing = set(range(self._n)) - {self._own_index} - set(observed)
+        if missing:
+            raise ValueError(
+                f"OmniscientPacker needs full information; players "
+                f"{sorted(missing)} are not observed (use FullInformation)"
+            )
+        xs = [0.0] * self._n
+        xs[self._own_index] = own_input
+        for j, value in observed.items():
+            xs[j] = value
+        return greedy_assignment(xs)[self._own_index]
+
+    def __repr__(self) -> str:
+        return f"OmniscientPacker(player={self._own_index}, n={self._n})"

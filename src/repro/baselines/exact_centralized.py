@@ -1,0 +1,103 @@
+"""Exact centralized feasibility for small systems.
+
+The centralized bound of :mod:`repro.baselines.centralized` is
+estimated by Monte Carlo; for ``n <= 3`` the probability that *some*
+assignment avoids overflow has a closed form, derived here and used to
+sharpen the value-of-information tables.
+
+**n = 1**: feasible iff ``x <= delta``; probability ``min(delta, 1)``.
+
+**n = 2**: a partition either separates the items or joins them, and
+``x1 + x2 <= delta`` implies both fit individually; so feasibility is
+``x1 <= delta and x2 <= delta`` with probability ``min(delta, 1)^2``.
+
+**n = 3**: every 2-partition of three items is a singleton versus a
+pair, so the best packing isolates the *largest* item:
+
+``feasible  <=>  max x_i <= delta  and  (sum - max) <= delta``
+
+Conditioning on the maximum ``z`` (density ``3 z^2`` on [0, 1] --
+equivalently, integrating over which item is largest):
+
+``P = 3 * integral_0^{min(delta, 1)}  Area{0 <= x, y <= z, x + y <= delta} dz``
+
+and the inner area is exactly the simplex-box volume of
+Proposition 2.2 in dimension 2 -- the paper's own machinery closes its
+upper bound.  The integral is evaluated exactly with the piecewise
+polynomial substrate.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.geometry.volume import intersection_volume
+from repro.symbolic.piecewise import PiecewisePolynomial
+from repro.symbolic.polynomial import Polynomial
+from repro.symbolic.rational import RationalLike, as_fraction
+
+__all__ = ["centralized_feasibility_exact"]
+
+
+def _n3_probability(delta: Fraction) -> Fraction:
+    """The n = 3 closed form by exact integration over the maximum."""
+    upper = min(delta, Fraction(1))
+    if upper <= 0:
+        return Fraction(0)
+
+    # Area(z) = Vol( {x, y in [0, z], x + y <= delta} ), a piecewise
+    # polynomial in z with breakpoints where delta - 2z and delta - z
+    # change sign: z = delta / 2 and z = delta.
+    breakpoints = {Fraction(0), upper}
+    for candidate in (delta / 2, delta):
+        if 0 < candidate < upper:
+            breakpoints.add(candidate)
+
+    def area_polynomial(mid: Fraction) -> Polynomial:
+        # Prop 2.2 in dim 2 with sigma = (delta, delta), pi = (z, z):
+        # Vol = (delta^2/2) [ 1 - 2 [z/delta < 1] (1 - z/delta)^2
+        #                      + [2z/delta < 1] (1 - 2z/delta)^2 ]
+        z = Polynomial.x()
+        total = Polynomial.constant(delta**2 / 2)
+        if mid < delta:
+            total = total - (Polynomial.constant(delta) - z) ** 2
+        if 2 * mid < delta:
+            total = total + (
+                (Polynomial.constant(delta) - 2 * z) ** 2 / 2
+            )
+        return total
+
+    area = PiecewisePolynomial.from_sampler(
+        area_polynomial, sorted(breakpoints)
+    )
+    total = Fraction(0)
+    for piece in area.pieces:
+        total += piece.polynomial.integrate(piece.lower, piece.upper)
+    return 3 * total
+
+
+def centralized_feasibility_exact(
+    n: int, delta: RationalLike
+) -> Fraction:
+    """``P(some bin assignment avoids overflow)`` -- exact for ``n <= 3``.
+
+    Raises :class:`NotImplementedError` for larger systems (partitions
+    stop being singleton-versus-rest at ``n = 4``); use the Monte Carlo
+    estimator there.
+    """
+    d = as_fraction(delta)
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if d <= 0:
+        return Fraction(0)
+    clipped = min(d, Fraction(1))
+    if n == 1:
+        return clipped
+    if n == 2:
+        return clipped**2
+    if n == 3:
+        return _n3_probability(d)
+    raise NotImplementedError(
+        "closed form implemented for n <= 3; use "
+        "repro.baselines.centralized.centralized_winning_probability"
+    )

@@ -1,0 +1,37 @@
+"""The fair-coin baseline: the optimal oblivious protocol.
+
+Theorem 4.3 proves that among algorithms that never look at their
+inputs, assigning each bin probability 1/2 is optimal for **every**
+player count and capacity -- the paper's uniformity result.  This
+module packages that protocol for the comparison experiments.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from repro.core.oblivious import optimal_oblivious_winning_probability
+from repro.model.algorithms import ObliviousCoin
+from repro.model.system import DistributedSystem
+from repro.symbolic.rational import RationalLike, as_fraction
+
+__all__ = ["fair_coin_profile", "fair_coin_system", "fair_coin_value"]
+
+
+def fair_coin_profile(n: int) -> List[ObliviousCoin]:
+    """The optimal oblivious profile: ``n`` independent fair coins."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return [ObliviousCoin(Fraction(1, 2)) for _ in range(n)]
+
+
+def fair_coin_system(n: int, capacity: RationalLike) -> DistributedSystem:
+    """A ready-to-run system of ``n`` fair coins with the given capacity."""
+    return DistributedSystem(fair_coin_profile(n), as_fraction(capacity))
+
+
+def fair_coin_value(n: int, capacity: RationalLike) -> Fraction:
+    """The exact winning probability of the fair-coin protocol
+    (Theorem 4.3's closed form)."""
+    return optimal_oblivious_winning_probability(as_fraction(capacity), n)

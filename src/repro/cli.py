@@ -1,0 +1,238 @@
+"""Command-line interface: ``repro <command>``.
+
+Commands map one-to-one onto the paper's evaluation artefacts:
+
+* ``repro figure1`` / ``repro figure2`` -- the winning-probability
+  curves for ``n = 3, 4, 5`` (ASCII plot + per-curve optima).
+* ``repro case --n 3 --delta 1`` -- a Section 5.2 worked case.
+* ``repro uniformity`` -- the Theorem 4.3 table across player counts.
+* ``repro tradeoff`` -- oblivious vs threshold vs centralized.
+* ``repro validate`` -- Monte Carlo validation of the exact formulas.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+from typing import List, Optional
+
+from repro.experiments.figures import figure1, figure2, render_figure
+from repro.experiments.tables import (
+    case_study,
+    render_case_study,
+    render_tradeoff_table,
+    render_uniformity_table,
+    tradeoff_table,
+    uniformity_table,
+)
+from repro.simulation.runner import sweep_thresholds
+
+__all__ = ["main"]
+
+
+def _parse_fraction(text: str) -> Fraction:
+    try:
+        return Fraction(text)
+    except (ValueError, ZeroDivisionError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a rational number (try e.g. 1, 4/3, 0.75)"
+        ) from exc
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'Optimal, Distributed Decision-Making: "
+            "The Case of No Communication' (Georgiades, Mavronicolas & "
+            "Spirakis, FCT 1999)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig1 = sub.add_parser(
+        "figure1", help="winning probability curves, fixed delta"
+    )
+    fig1.add_argument(
+        "--delta", type=_parse_fraction, default=Fraction(1)
+    )
+    fig1.add_argument(
+        "--ns", type=int, nargs="+", default=[3, 4, 5]
+    )
+
+    fig2 = sub.add_parser(
+        "figure2", help="winning probability curves, scaled delta = n/3"
+    )
+    fig2.add_argument(
+        "--ns", type=int, nargs="+", default=[3, 4, 5]
+    )
+
+    case = sub.add_parser(
+        "case", help="a Section 5.2 worked optimisation"
+    )
+    case.add_argument("--n", type=int, required=True)
+    case.add_argument("--delta", type=_parse_fraction, required=True)
+
+    uni = sub.add_parser(
+        "uniformity", help="oblivious vs threshold optima across n"
+    )
+    uni.add_argument(
+        "--ns", type=int, nargs="+", default=[2, 3, 4, 5, 6, 7, 8]
+    )
+    uni.add_argument(
+        "--delta", type=_parse_fraction, default=Fraction(1)
+    )
+    uni.add_argument(
+        "--scaled",
+        action="store_true",
+        help="use delta = n/3 instead of a fixed delta",
+    )
+
+    trade = sub.add_parser(
+        "tradeoff", help="fair coin vs threshold vs centralized"
+    )
+    trade.add_argument(
+        "--ns", type=int, nargs="+", default=[2, 3, 4, 5, 6]
+    )
+    trade.add_argument(
+        "--delta", type=_parse_fraction, default=Fraction(1)
+    )
+    trade.add_argument("--trials", type=int, default=100_000)
+    trade.add_argument("--seed", type=int, default=0)
+
+    everything = sub.add_parser(
+        "all",
+        help="run every headline check and print the reproduction report",
+    )
+    everything.add_argument(
+        "--exact-only",
+        action="store_true",
+        help="skip the Monte Carlo checks (seconds instead of minutes)",
+    )
+    everything.add_argument("--trials", type=int, default=60_000)
+
+    mixture = sub.add_parser(
+        "mixture",
+        help="the oblivious/non-oblivious continuum (extension E8)",
+    )
+    mixture.add_argument("--n", type=int, required=True)
+    mixture.add_argument("--delta", type=_parse_fraction, required=True)
+
+    export = sub.add_parser(
+        "export",
+        help="write all experiment records as CSV + manifest.json",
+    )
+    export.add_argument("--out", default="results")
+    export.add_argument("--grid-size", type=int, default=101)
+
+    val = sub.add_parser(
+        "validate",
+        help="Monte Carlo validation of the exact threshold curve",
+    )
+    val.add_argument("--n", type=int, default=3)
+    val.add_argument("--delta", type=_parse_fraction, default=Fraction(1))
+    val.add_argument("--grid-size", type=int, default=11)
+    val.add_argument("--trials", type=int, default=100_000)
+    val.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro`` command; returns the exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "figure1":
+        series = figure1(ns=args.ns, delta=args.delta)
+        print(
+            render_figure(
+                series,
+                title=f"Figure 1: P(beta), delta = {args.delta}",
+            )
+        )
+    elif args.command == "figure2":
+        series = figure2(ns=args.ns)
+        print(render_figure(series, title="Figure 2: P(beta), delta = n/3"))
+    elif args.command == "case":
+        print(render_case_study(case_study(args.n, args.delta)))
+    elif args.command == "uniformity":
+        delta_of_n = (
+            (lambda n: Fraction(n, 3)) if args.scaled
+            else (lambda n: args.delta)
+        )
+        print(
+            render_uniformity_table(
+                uniformity_table(ns=args.ns, delta_of_n=delta_of_n)
+            )
+        )
+    elif args.command == "tradeoff":
+        rows = tradeoff_table(
+            ns=args.ns,
+            delta_of_n=lambda n: args.delta,
+            trials=args.trials,
+            seed=args.seed,
+        )
+        print(render_tradeoff_table(rows))
+    elif args.command == "all":
+        from repro.experiments.summary import reproduce_all
+
+        report = reproduce_all(
+            monte_carlo_trials=None if args.exact_only else args.trials
+        )
+        print(report.render())
+        if not report.passed:
+            return 1
+    elif args.command == "mixture":
+        from repro.core.randomized import (
+            best_symmetric_mixture_exact,
+            symmetric_mixture_polynomial,
+        )
+        from repro.optimize.threshold_opt import (
+            optimal_symmetric_threshold,
+        )
+
+        beta = optimal_symmetric_threshold(args.n, args.delta).beta
+        p_star, value = best_symmetric_mixture_exact(
+            args.n, args.delta, beta
+        )
+        poly = symmetric_mixture_polynomial(beta, args.n, args.delta)
+        print(f"n = {args.n}, delta = {args.delta}, beta* fixed at "
+              f"{float(beta):.6f}")
+        print(f"P(coin,  p=0) = {float(poly(0)):.6f}")
+        print(f"P(thresh,p=1) = {float(poly(1)):.6f}")
+        print(f"P(best mixture) = {float(value):.6f} at p* = "
+              f"{float(p_star):.6f}")
+        if 0 < p_star < 1:
+            print("interior mixture beats BOTH pure families")
+    elif args.command == "export":
+        from repro.experiments.export import export_all
+
+        manifest = export_all(args.out, grid_size=args.grid_size)
+        print(f"wrote {', '.join(manifest['files'].values())} and "
+              f"manifest.json to {args.out}/")
+    elif args.command == "validate":
+        result = sweep_thresholds(
+            args.n,
+            args.delta,
+            grid_size=args.grid_size,
+            simulate=True,
+            trials=args.trials,
+            seed=args.seed,
+        )
+        for point in result.points:
+            status = "ok" if point.consistent else "MISMATCH"
+            print(
+                f"beta={float(point.parameter):.3f}  "
+                f"exact={float(point.exact):.6f}  "
+                f"simulated={point.simulated:.6f}  [{status}]"
+            )
+        if not result.all_consistent():
+            print("VALIDATION FAILED", file=sys.stderr)
+            return 1
+        print(f"all {len(result.points)} grid points consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Core analytics: the paper's main results.
+
+* :mod:`repro.core.phi` -- the kernel ``phi_t(k)`` weighting output
+  vectors by their number of ones (Theorem 4.1 / Lemma 4.4).
+* :mod:`repro.core.oblivious` -- Theorem 4.1: the winning probability of
+  any oblivious algorithm, both the literal ``2^n`` enumeration and the
+  Poisson-binomial collapse, and the optimal value of Theorem 4.3.
+* :mod:`repro.core.nonoblivious` -- Theorem 5.1: the winning probability
+  of single-threshold algorithms, including the exact piecewise
+  polynomial in the common threshold ``beta`` used in Section 5.2.
+* :mod:`repro.core.optimality` -- the optimality conditions of
+  Corollary 4.2 and Theorem 5.2 (gradients, stationarity polynomials).
+* :mod:`repro.core.winning` -- a uniform front-end that dispatches any
+  supported algorithm object to its exact formula, with Monte Carlo as
+  the universal fallback.
+"""
+
+from repro.core.nonoblivious import (
+    symmetric_threshold_breakpoints,
+    symmetric_threshold_winning_polynomial,
+    symmetric_threshold_winning_probability,
+    threshold_winning_probability,
+)
+from repro.core.oblivious import (
+    oblivious_winning_probability,
+    oblivious_winning_probability_enumerated,
+    optimal_oblivious_winning_probability,
+    symmetric_oblivious_winning_probability,
+)
+from repro.core.interval_rules import (
+    interval_rule_winning_probability,
+    single_threshold_as_interval_rule,
+)
+from repro.core.optimality import (
+    oblivious_gradient,
+    symmetric_threshold_stationarity,
+    threshold_gradient,
+)
+from repro.core.phi import phi, phi_table
+from repro.core.randomized import (
+    RandomizedThresholdRule,
+    best_symmetric_mixture,
+    best_symmetric_mixture_exact,
+    randomized_threshold_winning_probability,
+    symmetric_mixture_polynomial,
+    symmetric_mixture_winning_probability,
+)
+from repro.core.winning import exact_winning_probability
+
+__all__ = [
+    "RandomizedThresholdRule",
+    "best_symmetric_mixture",
+    "best_symmetric_mixture_exact",
+    "exact_winning_probability",
+    "interval_rule_winning_probability",
+    "oblivious_gradient",
+    "randomized_threshold_winning_probability",
+    "single_threshold_as_interval_rule",
+    "symmetric_mixture_polynomial",
+    "symmetric_mixture_winning_probability",
+    "oblivious_winning_probability",
+    "oblivious_winning_probability_enumerated",
+    "optimal_oblivious_winning_probability",
+    "phi",
+    "phi_table",
+    "symmetric_oblivious_winning_probability",
+    "symmetric_threshold_breakpoints",
+    "symmetric_threshold_stationarity",
+    "symmetric_threshold_winning_polynomial",
+    "symmetric_threshold_winning_probability",
+    "threshold_winning_probability",
+]

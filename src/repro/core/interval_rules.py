@@ -1,0 +1,181 @@
+"""Exact winning probabilities for general interval (step-function) rules.
+
+The paper's framework allows each player to use *any* computable
+function of its own input (Section 1), but only analyses the
+single-threshold family.  This module extends the exact analysis to
+the full class of deterministic step functions
+(:class:`repro.model.algorithms.IntervalRule`): each player partitions
+``[0, 1]`` into finitely many segments and assigns a bin to each.
+
+**Derivation.**  Condition on the output vector ``b``.  Player *i*'s
+event ``y_i = b_i`` is ``x_i in S_i(b_i)`` where ``S_i(b)`` is the
+union of the rule's segments labelled ``b``.  The two bins involve
+disjoint players, so the conditional factorises per bin, and each bin
+factor expands over choices of one segment per player:
+
+``P(sum_{i in G} x_i <= delta  and  x_i in S_i(b_i) for i in G)
+  = sum over (seg_i in S_i(b_i))_{i in G}
+      P(sum x_i <= delta and x_i in seg_i for all i)``
+
+with the inner term given in closed form by
+:func:`repro.probability.uniform_sums.joint_sum_below_and_inside_boxes`
+(a shifted Lemma 2.4).  The cost is exponential in the player count
+and segment counts -- fine for the paper's small systems, and every
+exact value is cross-validated by Monte Carlo in the tests.
+
+The headline use is the **single-threshold optimality ablation**: at
+the paper's optima, no multi-segment rule in a perturbation family
+improves on the optimal single threshold (benchmarked in
+``benchmarks/test_bench_ablations.py``).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import List, Sequence, Tuple
+
+from repro.model.algorithms import IntervalRule, SingleThresholdRule
+from repro.probability.uniform_sums import joint_sum_below_and_inside_boxes
+from repro.symbolic.rational import RationalLike, as_fraction
+
+__all__ = [
+    "interval_rule_winning_probability",
+    "rule_segments",
+    "single_threshold_as_interval_rule",
+]
+
+
+def single_threshold_as_interval_rule(
+    threshold: RationalLike,
+) -> IntervalRule:
+    """Embed a single threshold into the interval-rule class.
+
+    Degenerate thresholds (0 or 1) have no interior cut; they become
+    the constant rules.
+    """
+    a = as_fraction(threshold)
+    if a == 0:
+        return IntervalRule([], [1])
+    if a == 1:
+        return IntervalRule([], [0])
+    return IntervalRule([a], [0, 1])
+
+
+def rule_segments(
+    rule: IntervalRule, bit: int
+) -> List[Tuple[Fraction, Fraction]]:
+    """The segments of ``[0, 1]`` on which *rule* outputs *bit*.
+
+    Zero-width segments are dropped (they have probability zero).
+    Adjacent same-bit segments are merged, which keeps the enumeration
+    in :func:`interval_rule_winning_probability` minimal.
+    """
+    if bit not in (0, 1):
+        raise ValueError(f"bit must be 0 or 1, got {bit}")
+    edges = (Fraction(0),) + tuple(rule.cuts) + (Fraction(1),)
+    segments: List[Tuple[Fraction, Fraction]] = []
+    for j, out in enumerate(rule.outputs):
+        if out != bit:
+            continue
+        lo, hi = edges[j], edges[j + 1]
+        if lo == hi:
+            continue
+        if segments and segments[-1][1] == lo:
+            segments[-1] = (segments[-1][0], hi)
+        else:
+            segments.append((lo, hi))
+    return segments
+
+
+def _group_factor(
+    delta: Fraction,
+    segment_sets: Sequence[List[Tuple[Fraction, Fraction]]],
+) -> Fraction:
+    """``P(sum of the group's inputs <= delta and each input in its set)``.
+
+    Expands over one-segment-per-player choices.  An empty *group*
+    contributes 1; a player with an empty segment set kills the term.
+    """
+    if not segment_sets:
+        return Fraction(1)
+    if any(not segments for segments in segment_sets):
+        return Fraction(0)
+    total = Fraction(0)
+    for choice in product(*segment_sets):
+        total += joint_sum_below_and_inside_boxes(delta, choice)
+    return total
+
+
+def interval_rule_winning_probability(
+    delta: RationalLike, rules: Sequence[IntervalRule]
+) -> Fraction:
+    """Exact winning probability of a profile of interval rules.
+
+    Generalises Theorem 5.1: with single-threshold rules (embedded via
+    :func:`single_threshold_as_interval_rule`) it reproduces
+    ``threshold_winning_probability`` exactly, which the test-suite
+    asserts.
+    """
+    if not rules:
+        raise ValueError("need at least one player")
+    d = as_fraction(delta)
+    if d <= 0:
+        return Fraction(0)
+    n = len(rules)
+    # Precompute each player's segments per output bit.
+    per_player = [
+        (rule_segments(rule, 0), rule_segments(rule, 1)) for rule in rules
+    ]
+    total = Fraction(0)
+    for bits in product((0, 1), repeat=n):
+        zero_sets = [
+            per_player[i][0] for i in range(n) if bits[i] == 0
+        ]
+        one_sets = [per_player[i][1] for i in range(n) if bits[i] == 1]
+        low = _group_factor(d, zero_sets)
+        if low == 0:
+            continue
+        high = _group_factor(d, one_sets)
+        total += low * high
+    return total
+
+
+def best_two_cut_perturbation(
+    n: int,
+    delta: RationalLike,
+    base_threshold: RationalLike,
+    offsets: Sequence[RationalLike],
+) -> Tuple[Fraction, Fraction, Tuple[Fraction, Fraction]]:
+    """Search a family of symmetric two-cut rules around a threshold.
+
+    Rules have the form ``0 on [0, c1], 1 on (c1, c2], 0 on (c2, 1]``
+    (a "send the very large inputs back to bin 0" refinement) with
+    ``c1 = base + o1`` and ``c2 = base + o2`` drawn from the offset
+    grid, plus the pure single threshold itself.  Returns
+    ``(best_value, single_threshold_value, best_cuts)``; the ablation
+    bench asserts the single threshold is not improved upon at the
+    paper's optimum.
+    """
+    base = as_fraction(base_threshold)
+    d = as_fraction(delta)
+    single = interval_rule_winning_probability(
+        d, [single_threshold_as_interval_rule(base)] * n
+    )
+    best_value = single
+    best_cuts = (base, Fraction(1))
+    offset_values = [as_fraction(o) for o in offsets]
+    for o1 in offset_values:
+        c1 = base + o1
+        if not 0 < c1 < 1:
+            continue
+        for o2 in offset_values:
+            c2 = base + o2
+            if not c1 < c2 < 1:
+                continue
+            rule = IntervalRule([c1, c2], [0, 1, 0])
+            value = interval_rule_winning_probability(d, [rule] * n)
+            if value > best_value:
+                best_value = value
+                best_cuts = (c1, c2)
+    return best_value, single, best_cuts

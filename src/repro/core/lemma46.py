@@ -1,0 +1,112 @@
+"""Computational replay of Lemma 4.6 (the heart of Theorem 4.3).
+
+Lemma 4.6 argues that a symmetric stationary point of the oblivious
+problem must have ``alpha = 1/2``.  The proof pivots on a polynomial
+in the variable ``rho = alpha / (alpha - 1)``:
+
+``Q(rho) = sum_{r=0}^{n-1} C(n-1, r) (phi_t(r+1) - phi_t(r)) rho^r``
+
+(the symmetric stationarity condition after dividing by
+``(1 - alpha)^(n-1)``).  Lemma 4.4's symmetry makes the coefficient of
+``rho^r`` the negative of the coefficient of ``rho^(n-1-r)`` --
+``Q`` is *antisymmetric* under ``rho -> 1/rho`` (up to the factor
+``rho^(n-1)``) -- so ``rho = 1`` is always a root, and the sign
+argument of the lemma shows no other positive ``rho`` works when the
+forward differences are positive below ``n/2``.
+
+This module constructs ``Q`` exactly and exposes the three checkable
+facts; the test-suite replays them for a sweep of ``(n, t)``:
+
+1. the coefficient antisymmetry (Lemma 4.4 in coefficient form);
+2. ``Q(1) = 0`` (so ``alpha = 1/2`` is stationary -- ``rho = 1``
+   corresponds to ``alpha/(alpha-1) = -1``?  No: the paper's sign
+   convention makes ``alpha = 1/2`` map to ``rho = -1``; see
+   :func:`rho_of_alpha` -- the antisymmetric structure makes ``Q``
+   vanish at the symmetric point either way, which is what the
+   functions here let the tests verify concretely);
+3. positivity of the forward differences in the relevant range.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from repro.core.phi import phi_table
+from repro.symbolic.polynomial import Polynomial
+from repro.symbolic.rational import RationalLike, as_fraction, binomial
+
+__all__ = [
+    "lemma46_polynomial",
+    "rho_of_alpha",
+    "stationarity_in_alpha",
+]
+
+
+def rho_of_alpha(alpha: RationalLike) -> Fraction:
+    """The paper's change of variable ``rho = alpha / (alpha - 1)``.
+
+    Maps ``alpha = 1/2`` to ``rho = -1``; ``alpha in (0, 1)`` to
+    ``rho < 0``.  Undefined at ``alpha = 1``.
+    """
+    a = as_fraction(alpha)
+    if a == 1:
+        raise ZeroDivisionError("rho is undefined at alpha = 1")
+    return a / (a - 1)
+
+
+def lemma46_polynomial(t: RationalLike, n: int) -> Polynomial:
+    """The polynomial ``Q(rho)`` of Lemma 4.6 (exact coefficients).
+
+    ``Q(rho) = sum_r C(n-1, r) (phi_t(r+1) - phi_t(r)) rho^r``
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    phis = phi_table(t, n)
+    coefficients = [
+        binomial(n - 1, r) * (phis[r + 1] - phis[r]) for r in range(n)
+    ]
+    return Polynomial(coefficients)
+
+
+def stationarity_in_alpha(t: RationalLike, n: int) -> Polynomial:
+    """The symmetric stationarity condition as a polynomial in ``alpha``.
+
+    ``S(alpha) = sum_r C(n-1, r) (phi(r+1) - phi(r))
+                 alpha^(n-1-r) (1-alpha)^r``
+
+    (obtained from the gradient formula
+    ``dP/dalpha_k = E[phi(K')] - E[phi(K'+1)]`` with ``K'`` binomial on
+    the other ``n - 1`` players; zeroing it is Corollary 4.2 under
+    symmetry).  ``S(1/2) = 0`` follows from Lemma 4.4, and Theorem 4.3
+    says 1/2 is the *only* root in ``(0, 1)`` -- both verified exactly
+    by the tests via Sturm root counting.
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    phis = phi_table(t, n)
+    alpha = Polynomial.x()
+    one_minus = Polynomial.linear(1, -1)
+    total = Polynomial.zero()
+    for r in range(n):
+        diff = phis[r] - phis[r + 1]
+        if diff == 0:
+            continue
+        total = total + (
+            binomial(n - 1, r) * diff * alpha ** (n - 1 - r) * one_minus**r
+        )
+    return total
+
+
+def antisymmetry_defect(t: RationalLike, n: int) -> List[Fraction]:
+    """The sums ``c_r + c_(n-1-r)`` of Q's coefficients.
+
+    Lemma 4.4 predicts every entry is zero; the tests assert exactly
+    that.  Returned as a list (length ``ceil(n/2)``) so a failure
+    pinpoints the offending degree.
+    """
+    q = lemma46_polynomial(t, n)
+    return [
+        q.coefficient(r) + q.coefficient(n - 1 - r)
+        for r in range((n + 1) // 2)
+    ]

@@ -1,0 +1,228 @@
+"""Theorem 5.1: winning probabilities of single-threshold algorithms.
+
+A non-oblivious single-threshold algorithm assigns player ``i`` the
+threshold ``a_i``; the player outputs ``y_i = 0`` when ``x_i <= a_i``
+and ``1`` otherwise.  Theorem 5.1 gives, for bin capacity ``delta``:
+
+``P_A(delta) = sum_{b in {0,1}^n}  L_b(delta) * H_b(delta)``
+
+where (with Z the zero-players and O the one-players of ``b``)
+
+* ``L_b = P(sum_{i in Z} x_i <= delta  and  x_i <= a_i  for i in Z)``
+* ``H_b = P(sum_{i in O} x_i <= delta  and  x_i >= a_i  for i in O)``
+
+both given in closed inclusion-exclusion form by the joint probability
+functions of :mod:`repro.probability.uniform_sums`.
+
+For the *symmetric* case ``a_i = beta`` for all players (Theorem 5.2
+shows the optimum is symmetric), the sum collapses over ``k = |b|``:
+
+``P(beta) = sum_k C(n, k) A_k(beta) B_k(beta)``
+
+``A_k(beta) = (1/(n-k)!) sum_{i : delta - i beta > 0}
+              (-1)^i C(n-k, i) (delta - i beta)^(n-k)``
+
+``B_k(beta) = (1 - beta)^k - (1/k!) sum_{i : k - delta - i(1-beta) > 0}
+              (-1)^i C(k, i) (k - delta - i(1 - beta))^k``
+
+On each interval between *breakpoints* (the points where one of the
+strict conditions flips), ``P(beta)`` is a polynomial with rational
+coefficients; :func:`symmetric_threshold_winning_polynomial` constructs
+that exact piecewise polynomial, which Section 5.2 then maximises.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import List, Sequence
+
+from repro.probability.uniform_sums import (
+    joint_sum_below_and_inside_high,
+    joint_sum_below_and_inside_low,
+)
+from repro.symbolic.piecewise import PiecewisePolynomial
+from repro.symbolic.polynomial import Polynomial
+from repro.symbolic.rational import (
+    RationalLike,
+    as_fraction,
+    binomial,
+    factorial,
+)
+
+__all__ = [
+    "symmetric_threshold_breakpoints",
+    "symmetric_threshold_winning_polynomial",
+    "symmetric_threshold_winning_probability",
+    "threshold_winning_probability",
+]
+
+
+def threshold_winning_probability(
+    delta: RationalLike, thresholds: Sequence[RationalLike]
+) -> Fraction:
+    """Theorem 5.1 with per-player thresholds (exact, ``O(4^n)``).
+
+    *delta* is the bin capacity; ``thresholds[i]`` is player *i*'s
+    cut-off in ``[0, 1]``.  The sum enumerates all ``2^n`` output
+    vectors and evaluates both joint factors by subset
+    inclusion-exclusion.
+    """
+    a = [as_fraction(v) for v in thresholds]
+    if not a:
+        raise ValueError("need at least one player")
+    for i, v in enumerate(a):
+        if not 0 <= v <= 1:
+            raise ValueError(f"thresholds[{i}] must be in [0, 1], got {v}")
+    d = as_fraction(delta)
+    if d <= 0:
+        return Fraction(0)
+    n = len(a)
+    total = Fraction(0)
+    for bits in product((0, 1), repeat=n):
+        zeros = [a[i] for i in range(n) if bits[i] == 0]
+        ones = [a[i] for i in range(n) if bits[i] == 1]
+        low = joint_sum_below_and_inside_low(d, zeros)
+        if low == 0:
+            continue
+        high = joint_sum_below_and_inside_high(d, ones)
+        total += low * high
+    return total
+
+
+def _a_factor(beta: Fraction, n: int, k: int, delta: Fraction) -> Fraction:
+    """``A_k(beta)`` -- the bin-0 joint probability with ``n - k`` zeros."""
+    m = n - k
+    if m == 0:
+        return Fraction(1)
+    total = Fraction(0)
+    for i in range(m + 1):
+        if delta - i * beta > 0:
+            total += (-1) ** i * binomial(m, i) * (delta - i * beta) ** m
+    return total / factorial(m)
+
+
+def _b_factor(beta: Fraction, k: int, delta: Fraction) -> Fraction:
+    """``B_k(beta)`` -- the bin-1 joint probability with ``k`` ones."""
+    if k == 0:
+        return Fraction(1)
+    total = Fraction(0)
+    for i in range(k + 1):
+        if k - delta - i * (1 - beta) > 0:
+            total += (
+                (-1) ** i
+                * binomial(k, i)
+                * (k - delta - i * (1 - beta)) ** k
+            )
+    return (1 - beta) ** k - total / factorial(k)
+
+
+def symmetric_threshold_winning_probability(
+    beta: RationalLike, n: int, delta: RationalLike
+) -> Fraction:
+    """Theorem 5.1 specialised to a common threshold ``beta`` (exact, O(n^2)).
+
+    ``P(beta) = sum_k C(n, k) A_k(beta) B_k(beta)``
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    b = as_fraction(beta)
+    if not 0 <= b <= 1:
+        raise ValueError(f"beta must be in [0, 1], got {b}")
+    d = as_fraction(delta)
+    if d <= 0:
+        return Fraction(0)
+    total = Fraction(0)
+    for k in range(n + 1):
+        total += (
+            binomial(n, k) * _a_factor(b, n, k, d) * _b_factor(b, k, d)
+        )
+    return total
+
+
+def symmetric_threshold_breakpoints(
+    n: int, delta: RationalLike
+) -> List[Fraction]:
+    """All points in ``[0, 1]`` where a strict condition of Theorem 5.1 flips.
+
+    * from ``A_k``: ``delta - i*beta = 0``  =>  ``beta = delta / i``
+      for ``i = 1 .. n``;
+    * from ``B_k``: ``k - delta - i*(1 - beta) = 0``  =>
+      ``beta = 1 - (k - delta) / i`` for ``k = 1 .. n``, ``i = 1 .. k``.
+
+    The returned list is sorted, starts with 0 and ends with 1.
+    Between consecutive breakpoints the winning probability is a single
+    polynomial in ``beta``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    d = as_fraction(delta)
+    if d <= 0:
+        raise ValueError(f"delta must be positive, got {d}")
+    points = {Fraction(0), Fraction(1)}
+    for i in range(1, n + 1):
+        candidate = d / i
+        if 0 < candidate < 1:
+            points.add(candidate)
+    for k in range(1, n + 1):
+        for i in range(1, k + 1):
+            candidate = 1 - (k - d) / i
+            if 0 < candidate < 1:
+                points.add(candidate)
+    return sorted(points)
+
+
+def symmetric_threshold_winning_polynomial(
+    n: int, delta: RationalLike
+) -> PiecewisePolynomial:
+    """The exact piecewise polynomial ``beta -> P(beta)`` on ``[0, 1]``.
+
+    On each breakpoint interval the active condition pattern is fixed,
+    so each ``A_k`` and ``B_k`` is a genuine polynomial in ``beta``;
+    the construction evaluates the conditions at the interval midpoint
+    and assembles the polynomial with exact arithmetic.  This is the
+    object Section 5.2 differentiates and maximises.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    d = as_fraction(delta)
+    if d <= 0:
+        raise ValueError(f"delta must be positive, got {d}")
+
+    def build(mid: Fraction) -> Polynomial:
+        total = Polynomial.zero()
+        for k in range(n + 1):
+            m = n - k
+            # A_k as a polynomial in beta around `mid`.
+            if m == 0:
+                a_poly = Polynomial.one()
+            else:
+                acc = Polynomial.zero()
+                for i in range(m + 1):
+                    if d - i * mid > 0:
+                        acc = acc + (
+                            (-1) ** i
+                            * binomial(m, i)
+                            * Polynomial.linear(d, -i) ** m
+                        )
+                a_poly = acc / factorial(m)
+            # B_k as a polynomial in beta around `mid`.
+            if k == 0:
+                b_poly = Polynomial.one()
+            else:
+                acc = Polynomial.zero()
+                for i in range(k + 1):
+                    if k - d - i * (1 - mid) > 0:
+                        acc = acc + (
+                            (-1) ** i
+                            * binomial(k, i)
+                            * Polynomial.linear(k - d - i, i) ** k
+                        )
+                b_poly = (
+                    Polynomial.linear(1, -1) ** k - acc / factorial(k)
+                )
+            total = total + binomial(n, k) * a_poly * b_poly
+        return total
+
+    breakpoints = symmetric_threshold_breakpoints(n, d)
+    return PiecewisePolynomial.from_sampler(build, breakpoints)

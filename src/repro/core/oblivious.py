@@ -1,0 +1,135 @@
+"""Theorem 4.1 and Theorem 4.3: oblivious winning probabilities.
+
+An oblivious algorithm is a probability vector ``alpha`` with
+``alpha_i = P(y_i = 0)`` -- players never look at their inputs.
+Theorem 4.1 expresses the winning probability as
+
+``P_A(t) = sum_{b in {0,1}^n} phi_t(|b|) * prod_i P(y_i = b_i)``
+
+Because ``phi_t`` depends on ``b`` only through ``|b|``, the ``2^n``
+sum collapses to an expectation of ``phi_t`` under the
+Poisson-binomial distribution of the number of ones -- an ``O(n^2)``
+computation.  Both forms are implemented; the test-suite checks they
+agree, and the enumerated form is the one that matches the paper's
+statement symbol-for-symbol.
+
+Theorem 4.3: the optimum is the uniform fair coin ``alpha_i = 1/2``,
+for **every** n and t -- the paper's headline "oblivious algorithms are
+uniform" result.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import List, Sequence
+
+from repro.core.phi import phi_table
+from repro.symbolic.rational import RationalLike, as_fraction, binomial
+
+__all__ = [
+    "number_of_ones_distribution",
+    "oblivious_winning_probability",
+    "oblivious_winning_probability_enumerated",
+    "optimal_oblivious_winning_probability",
+    "symmetric_oblivious_winning_probability",
+]
+
+
+def _validated_probabilities(alphas: Sequence[RationalLike]) -> List[Fraction]:
+    out = [as_fraction(a) for a in alphas]
+    if not out:
+        raise ValueError("need at least one player")
+    for i, a in enumerate(out):
+        if not 0 <= a <= 1:
+            raise ValueError(f"alphas[{i}] must be a probability, got {a}")
+    return out
+
+
+def number_of_ones_distribution(
+    alphas: Sequence[RationalLike],
+) -> List[Fraction]:
+    """Poisson-binomial pmf of ``|b|`` when ``P(b_i = 0) = alphas[i]``.
+
+    Returns ``[P(|b| = 0), ..., P(|b| = n)]`` computed by the standard
+    O(n^2) convolution recurrence, exactly.
+    """
+    alpha = _validated_probabilities(alphas)
+    pmf = [Fraction(1)]
+    for a in alpha:
+        p_one = 1 - a  # player contributes a one with probability 1 - alpha_i
+        nxt = [Fraction(0)] * (len(pmf) + 1)
+        for k, mass in enumerate(pmf):
+            if mass == 0:
+                continue
+            nxt[k] += mass * a
+            nxt[k + 1] += mass * p_one
+        pmf = nxt
+    return pmf
+
+
+def oblivious_winning_probability(
+    t: RationalLike, alphas: Sequence[RationalLike]
+) -> Fraction:
+    """Theorem 4.1 via the Poisson-binomial collapse (exact, O(n^2)).
+
+    ``P_A(t) = sum_k phi_t(k) * P(|b| = k)``
+    """
+    alpha = _validated_probabilities(alphas)
+    n = len(alpha)
+    phis = phi_table(t, n)
+    pmf = number_of_ones_distribution(alpha)
+    return sum((phis[k] * pmf[k] for k in range(n + 1)), Fraction(0))
+
+
+def oblivious_winning_probability_enumerated(
+    t: RationalLike, alphas: Sequence[RationalLike]
+) -> Fraction:
+    """Theorem 4.1 exactly as stated: the full sum over ``{0, 1}^n``.
+
+    Exponential in *n*; retained as the literal transcription of the
+    paper for cross-validation of the fast path.
+    """
+    alpha = _validated_probabilities(alphas)
+    n = len(alpha)
+    phis = phi_table(t, n)
+    total = Fraction(0)
+    for bits in product((0, 1), repeat=n):
+        weight = Fraction(1)
+        for a, b in zip(alpha, bits):
+            weight *= (1 - a) if b else a
+            if weight == 0:
+                break
+        if weight == 0:
+            continue
+        total += phis[sum(bits)] * weight
+    return total
+
+
+def symmetric_oblivious_winning_probability(
+    t: RationalLike, n: int, alpha: RationalLike
+) -> Fraction:
+    """Winning probability when every player uses the same ``alpha``.
+
+    ``P(t) = sum_k C(n, k) alpha^(n-k) (1-alpha)^k phi_t(k)``
+    """
+    a = as_fraction(alpha)
+    if not 0 <= a <= 1:
+        raise ValueError(f"alpha must be a probability, got {a}")
+    phis = phi_table(t, n)
+    total = Fraction(0)
+    for k in range(n + 1):
+        total += binomial(n, k) * a ** (n - k) * (1 - a) ** k * phis[k]
+    return total
+
+
+def optimal_oblivious_winning_probability(t: RationalLike, n: int) -> Fraction:
+    """Theorem 4.3: the optimal oblivious value, at ``alpha = 1/2``.
+
+    ``P*(t) = 2^-n sum_b phi_t(|b|) = 2^-n sum_k C(n, k) phi_t(k)``
+    """
+    phis = phi_table(t, n)
+    total = sum(
+        (binomial(n, k) * phis[k] for k in range(n + 1)), Fraction(0)
+    )
+    return total / 2**n

@@ -1,0 +1,136 @@
+"""Optimality conditions: Corollary 4.2 and Theorem 5.2.
+
+At an optimum of the winning probability, every partial derivative with
+respect to the algorithm's parameters vanishes.  This module builds
+those gradients exactly.
+
+**Oblivious (Corollary 4.2).**  Writing ``K_{-k}`` for the number of
+ones among the players other than ``k``,
+
+``P = alpha_k * E[phi_t(K_{-k})] + (1 - alpha_k) * E[phi_t(K_{-k} + 1)]``
+
+so
+
+``dP/dalpha_k = E[phi_t(K_{-k})] - E[phi_t(K_{-k} + 1)]``
+
+-- exactly the paper's condition that the two halves of the
+inclusion-exclusion sum balance.  The expectation is over the
+Poisson-binomial law of the other players, so each component costs
+``O(n^2)`` exact operations.
+
+**Non-oblivious symmetric (Theorem 5.2).**  The optimal algorithm is
+symmetric; the stationarity condition in the common threshold ``beta``
+is the vanishing of the derivative of the piecewise polynomial of
+Theorem 5.1, built exactly in
+:func:`repro.core.nonoblivious.symmetric_threshold_winning_polynomial`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence
+
+from repro.core.nonoblivious import (
+    symmetric_threshold_winning_polynomial,
+    threshold_winning_probability,
+)
+from repro.core.oblivious import number_of_ones_distribution
+from repro.core.phi import phi_table
+from repro.symbolic.piecewise import PiecewisePolynomial
+from repro.symbolic.rational import RationalLike, as_fraction
+
+__all__ = [
+    "oblivious_gradient",
+    "oblivious_partial",
+    "symmetric_threshold_stationarity",
+    "threshold_gradient",
+]
+
+
+def oblivious_partial(
+    t: RationalLike, alphas: Sequence[RationalLike], k: int
+) -> Fraction:
+    """Exact ``dP/dalpha_k`` for an oblivious algorithm (Corollary 4.2).
+
+    Vanishes at every interior stationary point; Theorem 4.3 proves the
+    only such point with all coordinates in ``(0, 1)`` is ``alpha = 1/2``.
+    """
+    alpha = [as_fraction(a) for a in alphas]
+    n = len(alpha)
+    if not 0 <= k < n:
+        raise ValueError(f"player index {k} out of range for n={n}")
+    others = alpha[:k] + alpha[k + 1 :]
+    phis = phi_table(t, n)
+    if others:
+        pmf = number_of_ones_distribution(others)
+    else:
+        pmf = [Fraction(1)]
+    expect_same = sum(
+        (pmf[j] * phis[j] for j in range(len(pmf))), Fraction(0)
+    )
+    expect_plus = sum(
+        (pmf[j] * phis[j + 1] for j in range(len(pmf))), Fraction(0)
+    )
+    return expect_same - expect_plus
+
+
+def oblivious_gradient(
+    t: RationalLike, alphas: Sequence[RationalLike]
+) -> List[Fraction]:
+    """The full gradient ``[dP/dalpha_1, ..., dP/dalpha_n]`` (exact)."""
+    return [
+        oblivious_partial(t, alphas, k) for k in range(len(list(alphas)))
+    ]
+
+
+def threshold_gradient(
+    delta: RationalLike,
+    thresholds: Sequence[RationalLike],
+    step: RationalLike = Fraction(1, 10**6),
+) -> List[Fraction]:
+    """Central-difference gradient of Theorem 5.1 in the thresholds.
+
+    The evaluations themselves are exact rationals, so the only error is
+    the ``O(step^2)`` truncation of the central difference -- and the
+    winning probability is piecewise polynomial, so away from
+    breakpoints the difference quotient of a cubic at step ``1e-6`` is
+    accurate to ~1e-12.  Used by the numeric optimiser and by tests that
+    confirm the symmetric stationarity condition.
+    """
+    a = [as_fraction(v) for v in thresholds]
+    h = as_fraction(step)
+    if h <= 0:
+        raise ValueError(f"step must be positive, got {h}")
+    d = as_fraction(delta)
+    grad = []
+    for i in range(len(a)):
+        up = list(a)
+        down = list(a)
+        up[i] = min(up[i] + h, Fraction(1))
+        down[i] = max(down[i] - h, Fraction(0))
+        width = up[i] - down[i]
+        if width == 0:
+            grad.append(Fraction(0))
+            continue
+        grad.append(
+            (
+                threshold_winning_probability(d, up)
+                - threshold_winning_probability(d, down)
+            )
+            / width
+        )
+    return grad
+
+
+def symmetric_threshold_stationarity(
+    n: int, delta: RationalLike
+) -> PiecewisePolynomial:
+    """Theorem 5.2 as an exact object: ``beta -> dP/dbeta`` piecewise.
+
+    The optimal symmetric threshold zeroes this function (or sits at a
+    breakpoint/endpoint).  For ``n = 3, delta = 1`` its relevant piece is
+    ``(7/2) * (beta^2 - 2 beta + 6/7) * 3`` -- the paper's quadratic
+    ``beta^2 - 2 beta + 6/7 = 0`` up to a positive factor, with root
+    ``beta* = 1 - sqrt(1/7)``.
+    """
+    return symmetric_threshold_winning_polynomial(n, delta).derivative()

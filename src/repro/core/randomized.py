@@ -1,0 +1,293 @@
+"""Randomized threshold algorithms: the oblivious/non-oblivious continuum.
+
+The paper treats oblivious coins (Section 4) and deterministic single
+thresholds (Section 5) as separate families.  This module analyses the
+natural family *containing both*: with probability ``p`` the player
+applies a threshold rule on its input, otherwise it flips an oblivious
+coin.  ``p = 0`` recovers Section 4, ``p = 1`` recovers Section 5.
+
+The exact winning probability follows by conditioning on each player's
+*mode* (threshold / forced-0 / forced-1): a forced-0 player behaves
+like the threshold rule with cut-off 1 and a forced-1 player like
+cut-off 0 (full U[0, 1] input in the respective bin), so each mode
+assignment is a Theorem 5.1 instance.  The expansion has ``3^n``
+branches, collapsed to ``O(n)`` distinct branch shapes in the
+symmetric case.
+
+This family powers extension experiment **E8** (see EXPERIMENTS.md):
+at ``n = 4, delta = 4/3`` -- where the coin beats every deterministic
+threshold (discrepancy D2) -- does an interior mixture ``0 < p < 1``
+beat both?
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.nonoblivious import threshold_winning_probability
+from repro.model.agents import DecisionAlgorithm
+from repro.symbolic.rational import RationalLike, as_fraction, binomial
+
+__all__ = [
+    "RandomizedThresholdRule",
+    "best_symmetric_mixture",
+    "randomized_threshold_winning_probability",
+    "symmetric_mixture_winning_probability",
+]
+
+
+class RandomizedThresholdRule(DecisionAlgorithm):
+    """With probability *p* apply ``threshold``; otherwise flip a coin
+    that chooses bin 0 with probability *alpha*."""
+
+    is_oblivious = False  # reads the input on the threshold branch
+    is_local = True
+
+    def __init__(
+        self,
+        p: RationalLike,
+        threshold: RationalLike,
+        alpha: RationalLike = Fraction(1, 2),
+    ):
+        self._p = as_fraction(p)
+        self._threshold = as_fraction(threshold)
+        self._alpha = as_fraction(alpha)
+        if not 0 <= self._p <= 1:
+            raise ValueError(f"p must be a probability, got {self._p}")
+        if not 0 <= self._threshold <= 1:
+            raise ValueError(
+                f"threshold must be in [0, 1], got {self._threshold}"
+            )
+        if not 0 <= self._alpha <= 1:
+            raise ValueError(
+                f"alpha must be a probability, got {self._alpha}"
+            )
+
+    @property
+    def p(self) -> Fraction:
+        return self._p
+
+    @property
+    def threshold(self) -> Fraction:
+        return self._threshold
+
+    @property
+    def alpha(self) -> Fraction:
+        return self._alpha
+
+    def decide(
+        self,
+        own_input: float,
+        observed: Mapping[int, float],
+        rng: np.random.Generator,
+    ) -> int:
+        if rng.random() < float(self._p):
+            return 0 if own_input <= float(self._threshold) else 1
+        return 0 if rng.random() < float(self._alpha) else 1
+
+    def decide_batch(
+        self, own_inputs: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        use_threshold = rng.random(own_inputs.shape[0]) < float(self._p)
+        coin = rng.random(own_inputs.shape[0]) >= float(self._alpha)
+        thresholded = own_inputs > float(self._threshold)
+        return np.where(use_threshold, thresholded, coin).astype(np.int8)
+
+    def probability_of_zero(self, own_input: float) -> float:
+        threshold_branch = 1.0 if own_input <= float(self._threshold) else 0.0
+        return float(self._p) * threshold_branch + (
+            1.0 - float(self._p)
+        ) * float(self._alpha)
+
+    def __repr__(self) -> str:
+        return (
+            f"RandomizedThresholdRule(p={self._p}, "
+            f"threshold={self._threshold}, alpha={self._alpha})"
+        )
+
+
+def randomized_threshold_winning_probability(
+    delta: RationalLike, rules: Sequence[RandomizedThresholdRule]
+) -> Fraction:
+    """Exact winning probability of a randomized-threshold profile.
+
+    Expands over the ``3^n`` mode assignments; each branch is an exact
+    Theorem 5.1 evaluation.  Exponential -- intended for the paper's
+    small ``n``.
+    """
+    if not rules:
+        raise ValueError("need at least one player")
+    d = as_fraction(delta)
+    if d <= 0:
+        return Fraction(0)
+    branches = []
+    for rule in rules:
+        branches.append(
+            (
+                (rule.p, rule.threshold),  # threshold mode
+                ((1 - rule.p) * rule.alpha, Fraction(1)),  # forced 0
+                ((1 - rule.p) * (1 - rule.alpha), Fraction(0)),  # forced 1
+            )
+        )
+    total = Fraction(0)
+    for assignment in product(*branches):
+        weight = Fraction(1)
+        thresholds = []
+        for probability, cutoff in assignment:
+            weight *= probability
+            if weight == 0:
+                break
+            thresholds.append(cutoff)
+        if weight == 0:
+            continue
+        total += weight * threshold_winning_probability(d, thresholds)
+    return total
+
+
+def symmetric_mixture_winning_probability(
+    p: RationalLike,
+    beta: RationalLike,
+    n: int,
+    delta: RationalLike,
+    alpha: RationalLike = Fraction(1, 2),
+) -> Fraction:
+    """The symmetric mixture: every player uses the same ``(p, beta, alpha)``.
+
+    Collapses the ``3^n`` expansion to multinomial shape counts: only
+    the numbers of threshold / forced-0 / forced-1 players matter.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    pp = as_fraction(p)
+    bb = as_fraction(beta)
+    aa = as_fraction(alpha)
+    d = as_fraction(delta)
+    if not 0 <= pp <= 1:
+        raise ValueError(f"p must be a probability, got {pp}")
+    w0 = (1 - pp) * aa
+    w1 = (1 - pp) * (1 - aa)
+    total = Fraction(0)
+    for k_threshold in range(n + 1):
+        for k_zero in range(n - k_threshold + 1):
+            k_one = n - k_threshold - k_zero
+            weight = (
+                binomial(n, k_threshold)
+                * binomial(n - k_threshold, k_zero)
+                * pp**k_threshold
+                * w0**k_zero
+                * w1**k_one
+            )
+            if weight == 0:
+                continue
+            thresholds = (
+                [bb] * k_threshold
+                + [Fraction(1)] * k_zero
+                + [Fraction(0)] * k_one
+            )
+            total += weight * threshold_winning_probability(d, thresholds)
+    return total
+
+
+def symmetric_mixture_polynomial(
+    beta: RationalLike,
+    n: int,
+    delta: RationalLike,
+    alpha: RationalLike = Fraction(1, 2),
+):
+    """The winning probability as an exact polynomial in ``p``.
+
+    For fixed ``(beta, alpha)`` the mixture probability enters only
+    through the Bernstein weights ``p^k (1 - p)^(n - k)``, so
+
+    ``P(p) = sum_k C(n, k) p^k (1-p)^(n-k) *
+             sum_j C(n-k, j) alpha^j (1-alpha)^(n-k-j) V(k, j)``
+
+    where ``V(k, j)`` is the Theorem 5.1 value with ``k`` threshold
+    players, ``j`` forced-0 and the rest forced-1.  Degree ``n`` in
+    ``p``; maximised exactly by Sturm root isolation in
+    :func:`best_symmetric_mixture_exact`.
+    """
+    from repro.symbolic.polynomial import Polynomial
+
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    bb = as_fraction(beta)
+    aa = as_fraction(alpha)
+    d = as_fraction(delta)
+    p_var = Polynomial.x()
+    one_minus_p = Polynomial.linear(1, -1)
+    total = Polynomial.zero()
+    for k in range(n + 1):
+        inner = Fraction(0)
+        for j in range(n - k + 1):
+            weight = (
+                binomial(n - k, j)
+                * aa**j
+                * (1 - aa) ** (n - k - j)
+            )
+            if weight == 0:
+                continue
+            thresholds = (
+                [bb] * k + [Fraction(1)] * j + [Fraction(0)] * (n - k - j)
+            )
+            inner += weight * threshold_winning_probability(d, thresholds)
+        total = total + (
+            binomial(n, k) * inner * p_var**k * one_minus_p ** (n - k)
+        )
+    return total
+
+
+def best_symmetric_mixture_exact(
+    n: int,
+    delta: RationalLike,
+    beta: RationalLike,
+    alpha: RationalLike = Fraction(1, 2),
+    tolerance: RationalLike = Fraction(1, 10**12),
+) -> Tuple[Fraction, Fraction]:
+    """Exact maximiser of the mixture polynomial over ``p in [0, 1]``.
+
+    Returns ``(p*, P*)``.  The comparison ``P* > max(P(0), P(1))``
+    certifies (exactly) when mixing strictly beats both pure families.
+    """
+    from repro.symbolic.roots import real_roots
+
+    profile = symmetric_mixture_polynomial(beta, n, delta, alpha)
+    candidates = [Fraction(0), Fraction(1)]
+    derivative = profile.derivative()
+    if not derivative.is_zero() and not derivative.is_constant():
+        candidates.extend(real_roots(derivative, 0, 1, tolerance))
+    elif derivative.is_constant() and not derivative.is_zero():
+        pass  # monotone: endpoints suffice
+    best_p = max(candidates, key=profile)
+    return best_p, profile(best_p)
+
+
+def best_symmetric_mixture(
+    n: int,
+    delta: RationalLike,
+    beta: RationalLike,
+    grid_size: int = 21,
+    alpha: RationalLike = Fraction(1, 2),
+) -> Tuple[Fraction, Fraction]:
+    """Grid-search the mixing probability ``p``; returns ``(p*, P*)``.
+
+    The endpoints reproduce the two paper families exactly (``p = 0``
+    the coin, ``p = 1`` the threshold), so the search certifies whether
+    an interior mixture beats both.
+    """
+    if grid_size < 2:
+        raise ValueError(f"grid_size must be >= 2, got {grid_size}")
+    d = as_fraction(delta)
+    best: Tuple[Fraction, Fraction] = (Fraction(0), Fraction(-1))
+    for i in range(grid_size):
+        p = Fraction(i, grid_size - 1)
+        value = symmetric_mixture_winning_probability(
+            p, beta, n, d, alpha
+        )
+        if value > best[1]:
+            best = (p, value)
+    return best

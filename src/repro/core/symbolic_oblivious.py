@@ -1,0 +1,83 @@
+"""Theorem 4.1 as a symbolic object: the multilinear polynomial in alpha.
+
+The oblivious winning probability is
+
+``P(alpha) = sum_{b in {0,1}^n} phi_t(|b|) prod_i alpha_i^(b_i)``
+
+-- a *multilinear* polynomial in the probability vector.  Building it
+symbolically (rather than merely evaluating it) lets the reproduction
+check the paper's structural lemmas as polynomial identities:
+
+* **Corollary 4.2**: the optimality system is the vanishing gradient;
+  each partial derivative is itself multilinear and is produced here
+  exactly.
+* **Lemma 4.5's exchange symmetry**: ``P`` is invariant under swapping
+  any two variables, hence ``dP/dalpha_j - dP/dalpha_k`` vanishes on
+  the diagonal ``alpha_j = alpha_k`` -- verified by exact substitution.
+* **Theorem 4.3's stationarity**: the gradient is the zero vector at
+  ``alpha = (1/2 .. 1/2)`` as a polynomial evaluation.
+
+The construction is exponential in ``n`` (it enumerates ``{0,1}^n``),
+matching the theorem statement; use the collapsed evaluators in
+:mod:`repro.core.oblivious` for numbers.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import List
+
+from repro.core.phi import phi_table
+from repro.symbolic.multivariate import MultiPoly
+from repro.symbolic.rational import RationalLike
+
+__all__ = [
+    "oblivious_winning_polynomial",
+    "optimality_system",
+    "exchange_difference",
+]
+
+
+def oblivious_winning_polynomial(t: RationalLike, n: int) -> MultiPoly:
+    """The Theorem 4.1 polynomial ``P(alpha_1 .. alpha_n)``.
+
+    The convention matches :mod:`repro.core.oblivious`:
+    ``alpha_i = P(y_i = 0)``, so bit ``b_i = 1`` contributes the factor
+    ``(1 - alpha_i)`` and bit 0 the factor ``alpha_i``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    phis = phi_table(t, n)
+    total = MultiPoly.zero(n)
+    for bits in product((0, 1), repeat=n):
+        weight = MultiPoly.constant(n, phis[sum(bits)])
+        for i, b in enumerate(bits):
+            var = MultiPoly.variable(n, i)
+            factor = (1 - var) if b else var
+            weight = weight * factor
+        total = total + weight
+    return total
+
+
+def optimality_system(t: RationalLike, n: int) -> List[MultiPoly]:
+    """Corollary 4.2: the gradient polynomials, one per player.
+
+    An optimal interior algorithm zeroes every entry simultaneously.
+    """
+    poly = oblivious_winning_polynomial(t, n)
+    return [poly.partial(k) for k in range(n)]
+
+
+def exchange_difference(t: RationalLike, n: int, j: int, k: int) -> MultiPoly:
+    """``dP/dalpha_j - dP/dalpha_k`` -- the Lemma 4.5 object.
+
+    The lemma's argument is that this difference vanishes whenever
+    ``alpha_j = alpha_k`` (so stationary points can be taken
+    symmetric).  The test-suite verifies the vanishing by exact
+    substitution of a fresh variable for both coordinates.
+    """
+    if j == k:
+        raise ValueError("need two distinct players")
+    poly = oblivious_winning_polynomial(t, n)
+    return poly.partial(j) - poly.partial(k)

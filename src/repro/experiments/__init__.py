@@ -1,0 +1,52 @@
+"""Regeneration of every figure and table in the paper's evaluation.
+
+* :mod:`repro.experiments.figures` -- Figures 1 and 2 (winning
+  probability curves for ``n = 3, 4, 5``), as data series plus ASCII
+  plots.
+* :mod:`repro.experiments.tables` -- the worked cases of Section 5.2
+  (``n=3, delta=1`` and ``n=4, delta=4/3``), the Theorem 4.3 uniformity
+  table, and the oblivious-vs-non-oblivious trade-off table.
+* :mod:`repro.experiments.report` -- plain-text rendering used by the
+  CLI, the examples and the benchmark harness.
+
+Every experiment function returns plain data (dataclasses of exact
+fractions); rendering is separate, so the benchmark harness can assert
+on numbers rather than strings.
+"""
+
+from repro.experiments.figures import FigureSeries, figure1, figure2, render_figure
+from repro.experiments.asymptotics import asymptotics_table, decay_ratios
+from repro.experiments.export import export_all
+from repro.experiments.report import format_table, render_ascii_plot
+from repro.experiments.sensitivity import (
+    find_improvement_crossover,
+    improvement,
+    sensitivity_curve,
+)
+from repro.experiments.summary import reproduce_all
+from repro.experiments.tables import (
+    CaseStudy,
+    case_study,
+    tradeoff_table,
+    uniformity_table,
+)
+
+__all__ = [
+    "CaseStudy",
+    "FigureSeries",
+    "asymptotics_table",
+    "case_study",
+    "decay_ratios",
+    "export_all",
+    "find_improvement_crossover",
+    "improvement",
+    "reproduce_all",
+    "sensitivity_curve",
+    "figure1",
+    "figure2",
+    "format_table",
+    "render_ascii_plot",
+    "render_figure",
+    "tradeoff_table",
+    "uniformity_table",
+]

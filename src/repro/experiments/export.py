@@ -1,0 +1,132 @@
+"""Machine-readable export of every experiment record.
+
+``repro export --out results/`` writes the full reproduction record as
+CSV (one file per experiment) plus a ``manifest.json`` with the paper
+anchors, so downstream analyses don't have to re-run the exact
+pipeline or scrape stdout.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from fractions import Fraction
+from pathlib import Path
+from typing import Dict, Sequence
+
+from repro.experiments.figures import FigureSeries, figure1, figure2
+from repro.experiments.tables import (
+    CaseStudy,
+    case_study,
+    uniformity_table,
+)
+
+__all__ = ["export_all", "write_figure_csv", "write_uniformity_csv"]
+
+
+def _as_float(value) -> float:
+    return float(value)
+
+
+def write_figure_csv(
+    path: Path, series: Sequence[FigureSeries]
+) -> None:
+    """One row per (curve, beta) sample: n, delta, beta, probability."""
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["n", "delta", "beta", "winning_probability"])
+        for s in series:
+            for beta, value in zip(s.betas, s.values):
+                writer.writerow(
+                    [s.n, _as_float(s.delta), _as_float(beta), _as_float(value)]
+                )
+
+
+def write_uniformity_csv(
+    path: Path, studies: Sequence[CaseStudy]
+) -> None:
+    """One row per n: the oblivious and threshold optima."""
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "n",
+                "delta",
+                "alpha_star",
+                "p_oblivious",
+                "beta_star",
+                "p_threshold",
+                "improvement",
+            ]
+        )
+        for s in studies:
+            writer.writerow(
+                [
+                    s.n,
+                    _as_float(s.delta),
+                    0.5,
+                    _as_float(s.oblivious_value),
+                    _as_float(s.optimum.beta),
+                    _as_float(s.optimum.probability),
+                    _as_float(s.improvement),
+                ]
+            )
+
+
+def _manifest(case3: CaseStudy, case4: CaseStudy) -> Dict:
+    return {
+        "paper": {
+            "title": (
+                "Optimal, Distributed Decision-Making: "
+                "The Case of No Communication"
+            ),
+            "authors": "Georgiades, Mavronicolas, Spirakis",
+            "venue": "FCT 1999 (LNCS 1684)",
+        },
+        "anchors": {
+            "n3_delta1": {
+                "beta_star": _as_float(case3.optimum.beta),
+                "beta_star_paper": 0.622,
+                "p_star": _as_float(case3.optimum.probability),
+                "p_star_paper": 0.545,
+                "oblivious": _as_float(case3.oblivious_value),
+            },
+            "n4_delta_4_3": {
+                "beta_star": _as_float(case4.optimum.beta),
+                "beta_star_paper": 0.678,
+                "p_star": _as_float(case4.optimum.probability),
+                "oblivious": _as_float(case4.oblivious_value),
+                "discrepancy_D2_oblivious_beats_threshold": bool(
+                    case4.oblivious_value > case4.optimum.probability
+                ),
+            },
+        },
+        "files": {
+            "figure1": "figure1.csv",
+            "figure2": "figure2.csv",
+            "uniformity": "uniformity.csv",
+        },
+    }
+
+
+def export_all(
+    out_dir,
+    ns: Sequence[int] = (3, 4, 5),
+    grid_size: int = 101,
+    uniformity_ns: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
+) -> Dict:
+    """Write every artifact under *out_dir*; returns the manifest dict."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    write_figure_csv(out / "figure1.csv", figure1(ns=ns, grid_size=grid_size))
+    write_figure_csv(out / "figure2.csv", figure2(ns=ns, grid_size=grid_size))
+    write_uniformity_csv(
+        out / "uniformity.csv",
+        uniformity_table(ns=uniformity_ns, delta_of_n=lambda n: 1),
+    )
+    manifest = _manifest(
+        case_study(3, 1), case_study(4, Fraction(4, 3))
+    )
+    with (out / "manifest.json").open("w") as handle:
+        json.dump(manifest, handle, indent=2)
+    return manifest

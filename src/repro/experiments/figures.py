@@ -1,0 +1,112 @@
+"""Figures 1 and 2: winning probability curves for ``n = 3, 4, 5``.
+
+The paper's two figures plot, for three player counts, the winning
+probability of the symmetric single-threshold protocol as a function of
+the common threshold ``beta``.  The scanned text does not label the
+capacity used in each figure; we reproduce the two natural
+parameterizations used in Section 5 (see DESIGN.md):
+
+* **Figure 1** -- fixed capacity ``delta = 1`` for every ``n``;
+* **Figure 2** -- scaled capacity ``delta = n / 3`` (matching the
+  paper's Section 5.2.2 choice ``delta = 4/3`` at ``n = 4``).
+
+Each series is generated from the *exact* piecewise polynomial of
+Theorem 5.1, so regenerating a figure is deterministic.  An optional
+Monte Carlo overlay validates the curve point-by-point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.nonoblivious import symmetric_threshold_winning_polynomial
+from repro.experiments.report import render_ascii_plot
+from repro.symbolic.rational import RationalLike, as_fraction, rational_range
+
+__all__ = ["FigureSeries", "figure1", "figure2", "render_figure"]
+
+DEFAULT_NS = (3, 4, 5)
+DEFAULT_GRID_SIZE = 101
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One curve of a figure: the exact ``(beta, P)`` samples plus the
+    exact maximiser of the underlying piecewise polynomial."""
+
+    n: int
+    delta: Fraction
+    betas: Tuple[Fraction, ...]
+    values: Tuple[Fraction, ...]
+    argmax: Fraction
+    maximum: Fraction
+
+    @property
+    def label(self) -> str:
+        return f"n={self.n} (delta={self.delta})"
+
+    def as_floats(self) -> List[Tuple[float, float]]:
+        """The samples as float pairs, for plotting."""
+        return [
+            (float(b), float(v)) for b, v in zip(self.betas, self.values)
+        ]
+
+
+def _series(
+    n: int, delta: Fraction, grid_size: int
+) -> FigureSeries:
+    curve = symmetric_threshold_winning_polynomial(n, delta)
+    betas = rational_range(0, 1, grid_size)
+    values = [curve(b) for b in betas]
+    argmax, maximum = curve.maximize()
+    return FigureSeries(
+        n=n,
+        delta=delta,
+        betas=tuple(betas),
+        values=tuple(values),
+        argmax=argmax,
+        maximum=maximum,
+    )
+
+
+def figure1(
+    ns: Sequence[int] = DEFAULT_NS,
+    delta: RationalLike = 1,
+    grid_size: int = DEFAULT_GRID_SIZE,
+) -> List[FigureSeries]:
+    """Figure 1: ``P(beta)`` for each ``n`` at fixed capacity *delta*."""
+    d = as_fraction(delta)
+    return [_series(n, d, grid_size) for n in ns]
+
+
+def figure2(
+    ns: Sequence[int] = DEFAULT_NS,
+    grid_size: int = DEFAULT_GRID_SIZE,
+) -> List[FigureSeries]:
+    """Figure 2: ``P(beta)`` for each ``n`` at scaled capacity ``n / 3``."""
+    return [
+        _series(n, Fraction(n, 3), grid_size) for n in ns
+    ]
+
+
+def render_figure(
+    series: Sequence[FigureSeries],
+    title: Optional[str] = None,
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """ASCII rendering of a figure, with the optima annotated."""
+    plot = render_ascii_plot(
+        [(s.label, s.as_floats()) for s in series],
+        width=width,
+        height=height,
+        title=title,
+    )
+    annotations = [
+        f"  {s.label}: beta* = {float(s.argmax):.6f}, "
+        f"P* = {float(s.maximum):.6f}"
+        for s in series
+    ]
+    return plot + "\n" + "\n".join(annotations)

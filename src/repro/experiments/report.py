@@ -1,0 +1,98 @@
+"""Plain-text rendering of experiment results.
+
+Everything the CLI, examples and benchmark harness print goes through
+these two helpers, so output formatting is consistent and the data
+layer stays free of strings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["format_table", "render_ascii_plot"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a simple aligned text table.
+
+    Cells are stringified with ``str``; callers format floats
+    themselves so precision stays a caller decision.
+    """
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        cells.append([str(c) for c in row])
+    widths = [
+        max(len(cells[r][c]) for r in range(len(cells)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    border = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(border)
+    for row_cells in cells[1:]:
+        lines.append(
+            " | ".join(c.ljust(w) for c, w in zip(row_cells, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_ascii_plot(
+    series: Sequence[Tuple[str, Sequence[Tuple[float, float]]]],
+    width: int = 72,
+    height: int = 20,
+    title: Optional[str] = None,
+) -> str:
+    """Render labelled (x, y) series as an ASCII scatter/line chart.
+
+    Good enough to eyeball the shape of the paper's figures in a
+    terminal; the underlying data is what the benchmarks assert on.
+    Each series gets a distinct marker; later series overwrite earlier
+    ones on collisions.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    markers = "*o+x#@%&"
+    points = [
+        (x, y) for _, pts in series for x, y in pts
+    ]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (_, pts) in enumerate(series):
+        marker = markers[idx % len(markers)]
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y in [{y_lo:.4f}, {y_hi:.4f}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" x in [{x_lo:.4f}, {x_hi:.4f}]")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]} {label}"
+        for i, (label, _) in enumerate(series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)

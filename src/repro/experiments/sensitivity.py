@@ -1,0 +1,118 @@
+"""Sensitivity of the optima to the capacity ``delta``.
+
+The paper evaluates two isolated points (``delta = 1`` at ``n = 3``,
+``delta = 4/3`` at ``n = 4``).  This experiment maps the whole
+landscape:
+
+* ``beta*(delta)`` and ``P*(delta)`` for the threshold family (exact,
+  one piecewise-polynomial maximisation per grid point);
+* the coin value ``P_coin(delta)`` (exact closed form);
+* the **improvement curve** ``P*_threshold - P_coin`` and its zero
+  crossings -- the capacities where knowledge stops paying
+  (discrepancy D2 is the statement that ``delta = 4/3`` sits past the
+  first crossing for ``n = 4``).
+
+Crossings are located by bisection on exact evaluations, so the
+reported capacities are rational enclosures of the true crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+from repro.core.oblivious import optimal_oblivious_winning_probability
+from repro.optimize.threshold_opt import optimal_symmetric_threshold
+from repro.symbolic.rational import RationalLike, as_fraction
+
+__all__ = [
+    "SensitivityPoint",
+    "find_improvement_crossover",
+    "improvement",
+    "sensitivity_curve",
+]
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """The exact optima at one ``(n, delta)``."""
+
+    n: int
+    delta: Fraction
+    beta_star: Fraction
+    threshold_value: Fraction
+    coin_value: Fraction
+
+    @property
+    def improvement(self) -> Fraction:
+        return self.threshold_value - self.coin_value
+
+
+def improvement(n: int, delta: RationalLike) -> Fraction:
+    """``P*_threshold(delta) - P_coin(delta)`` for ``n`` players (exact)."""
+    d = as_fraction(delta)
+    threshold = optimal_symmetric_threshold(n, d).probability
+    coin = optimal_oblivious_winning_probability(d, n)
+    return threshold - coin
+
+
+def sensitivity_curve(
+    n: int, deltas: Sequence[RationalLike]
+) -> List[SensitivityPoint]:
+    """Evaluate the exact optima over a capacity grid."""
+    points = []
+    for delta in deltas:
+        d = as_fraction(delta)
+        opt = optimal_symmetric_threshold(n, d)
+        coin = optimal_oblivious_winning_probability(d, n)
+        points.append(
+            SensitivityPoint(
+                n=n,
+                delta=d,
+                beta_star=opt.beta,
+                threshold_value=opt.probability,
+                coin_value=coin,
+            )
+        )
+    return points
+
+
+def find_improvement_crossover(
+    n: int,
+    lower: RationalLike,
+    upper: RationalLike,
+    tolerance: RationalLike = Fraction(1, 10**6),
+) -> Optional[Fraction]:
+    """Bisect for a capacity where the improvement changes sign.
+
+    Returns a rational enclosure midpoint of width *tolerance*, or
+    ``None`` when the improvement has the same sign at both ends (no
+    crossing bracketed).  The improvement is continuous in ``delta``
+    (both optima are), so a sign change guarantees a crossover inside.
+    """
+    lo = as_fraction(lower)
+    hi = as_fraction(upper)
+    tol = as_fraction(tolerance)
+    if lo >= hi:
+        raise ValueError(f"need lower < upper, got [{lo}, {hi}]")
+    if tol <= 0:
+        raise ValueError("tolerance must be positive")
+    f_lo = improvement(n, lo)
+    f_hi = improvement(n, hi)
+    if f_lo == 0:
+        return lo
+    if f_hi == 0:
+        return hi
+    if (f_lo > 0) == (f_hi > 0):
+        return None
+    while hi - lo > tol:
+        mid = (lo + hi) / 2
+        f_mid = improvement(n, mid)
+        if f_mid == 0:
+            return mid
+        if (f_mid > 0) == (f_lo > 0):
+            lo, f_lo = mid, f_mid
+        else:
+            hi, f_hi = mid, f_mid
+    return (lo + hi) / 2

@@ -1,0 +1,213 @@
+"""The paper's tables: worked cases, uniformity, and the trade-off.
+
+Three experiment families:
+
+* :func:`case_study` -- Section 5.2's worked optimisations for any
+  ``(n, delta)``: the exact piecewise polynomial, the optimal
+  threshold and probability, the stationarity polynomial on the
+  optimal piece, and the oblivious comparison.  The two instances the
+  paper works out are ``case_study(3, 1)`` and ``case_study(4, "4/3")``.
+* :func:`uniformity_table` -- Theorem 4.3 across player counts: the
+  optimal oblivious algorithm stays ``alpha = 1/2`` (uniform) while
+  the optimal threshold moves with ``n`` (non-uniform).
+* :func:`tradeoff_table` -- the knowledge-versus-uniformity headline:
+  winning probabilities of the fair coin, the optimal threshold, and
+  the centralized upper bound, side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, List, Optional, Sequence
+
+from repro.baselines.centralized import centralized_winning_probability
+from repro.core.oblivious import optimal_oblivious_winning_probability
+from repro.experiments.report import format_table
+from repro.optimize.threshold_opt import ThresholdOptimum, optimal_symmetric_threshold
+from repro.symbolic.polynomial import Polynomial
+from repro.symbolic.rational import RationalLike, as_fraction
+
+__all__ = [
+    "CaseStudy",
+    "TradeoffRow",
+    "case_study",
+    "render_case_study",
+    "render_tradeoff_table",
+    "render_uniformity_table",
+    "tradeoff_table",
+    "uniformity_table",
+]
+
+
+@dataclass(frozen=True)
+class CaseStudy:
+    """A fully worked Section 5.2-style optimisation for one ``(n, delta)``."""
+
+    optimum: ThresholdOptimum
+    oblivious_value: Fraction
+
+    @property
+    def n(self) -> int:
+        return self.optimum.n
+
+    @property
+    def delta(self) -> Fraction:
+        return self.optimum.delta
+
+    @property
+    def improvement(self) -> Fraction:
+        """How much looking at the input buys over the fair coin."""
+        return self.optimum.probability - self.oblivious_value
+
+    @property
+    def stationarity_polynomial(self) -> Polynomial:
+        return self.optimum.stationarity_polynomial
+
+
+def case_study(n: int, delta: RationalLike) -> CaseStudy:
+    """Run the full Section 5.2 pipeline for ``(n, delta)``."""
+    d = as_fraction(delta)
+    optimum = optimal_symmetric_threshold(n, d)
+    oblivious = optimal_oblivious_winning_probability(d, n)
+    return CaseStudy(optimum=optimum, oblivious_value=oblivious)
+
+
+def render_case_study(study: CaseStudy) -> str:
+    """Multi-line report matching the quantities Section 5.2 derives."""
+    opt = study.optimum
+    lines = [
+        f"Case n={study.n}, delta={study.delta}",
+        "",
+        "Winning probability P(beta), exact piecewise polynomial:",
+        opt.curve.pretty("beta"),
+        "",
+        f"Optimal piece: [{opt.piece.lower}, {opt.piece.upper}]",
+        f"Stationarity polynomial (dP/dbeta on that piece): "
+        f"{study.stationarity_polynomial.pretty('beta')}",
+        f"beta* = {float(opt.beta):.9f}",
+        f"P*(non-oblivious) = {float(opt.probability):.9f}",
+        f"P*(oblivious, alpha=1/2) = {float(study.oblivious_value):.9f}",
+        f"improvement = {float(study.improvement):.9f}",
+    ]
+    return "\n".join(lines)
+
+
+def uniformity_table(
+    ns: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
+    delta_of_n: Callable[[int], RationalLike] = lambda n: 1,
+) -> List[CaseStudy]:
+    """Theorem 4.3 vs Section 5.2 across player counts.
+
+    For each ``n`` the oblivious optimum is at ``alpha = 1/2`` (uniform)
+    while ``beta*`` drifts with ``n`` -- the paper's trade-off between
+    knowledge and uniformity, in one table.
+    """
+    return [case_study(n, delta_of_n(n)) for n in ns]
+
+
+def render_uniformity_table(studies: Sequence[CaseStudy]) -> str:
+    """Text table of oblivious vs threshold optima across player counts."""
+    rows = []
+    for s in studies:
+        rows.append(
+            [
+                s.n,
+                s.delta,
+                "1/2",
+                f"{float(s.oblivious_value):.6f}",
+                f"{float(s.optimum.beta):.6f}",
+                f"{float(s.optimum.probability):.6f}",
+                f"{float(s.improvement):+.6f}",
+            ]
+        )
+    return format_table(
+        [
+            "n",
+            "delta",
+            "alpha* (oblivious)",
+            "P* oblivious",
+            "beta* (threshold)",
+            "P* threshold",
+            "improvement",
+        ],
+        rows,
+        title="Uniform oblivious optimum vs non-uniform threshold optimum",
+    )
+
+
+@dataclass(frozen=True)
+class TradeoffRow:
+    """One row of the trade-off table."""
+
+    n: int
+    delta: Fraction
+    oblivious: Fraction
+    threshold: Fraction
+    centralized_estimate: float
+    centralized_interval: tuple
+
+    @property
+    def ordered(self) -> bool:
+        """The sanity ordering: oblivious <= threshold <= centralized
+        (centralized compared against its interval's upper edge)."""
+        return (
+            self.oblivious <= self.threshold
+            and float(self.threshold) <= self.centralized_interval[1]
+        )
+
+
+def tradeoff_table(
+    ns: Sequence[int] = (2, 3, 4, 5, 6),
+    delta_of_n: Callable[[int], RationalLike] = lambda n: 1,
+    trials: int = 100_000,
+    seed: Optional[int] = 0,
+) -> List[TradeoffRow]:
+    """Fair coin vs optimal threshold vs centralized upper bound."""
+    rows = []
+    for n in ns:
+        d = as_fraction(delta_of_n(n))
+        oblivious = optimal_oblivious_winning_probability(d, n)
+        threshold = optimal_symmetric_threshold(n, d).probability
+        central = centralized_winning_probability(
+            n, d, trials=trials, seed=seed
+        )
+        rows.append(
+            TradeoffRow(
+                n=n,
+                delta=d,
+                oblivious=oblivious,
+                threshold=threshold,
+                centralized_estimate=central.estimate,
+                centralized_interval=central.interval,
+            )
+        )
+    return rows
+
+
+def render_tradeoff_table(rows: Sequence[TradeoffRow]) -> str:
+    """Text table of the value-of-information comparison."""
+    table_rows = []
+    for r in rows:
+        table_rows.append(
+            [
+                r.n,
+                r.delta,
+                f"{float(r.oblivious):.6f}",
+                f"{float(r.threshold):.6f}",
+                f"{r.centralized_estimate:.6f}",
+                "yes" if r.ordered else "NO",
+            ]
+        )
+    return format_table(
+        [
+            "n",
+            "delta",
+            "P* oblivious",
+            "P* threshold",
+            "P centralized (MC)",
+            "ordered",
+        ],
+        table_rows,
+        title="Value of information: no knowledge vs own input vs full information",
+    )

@@ -1,0 +1,39 @@
+"""Geometry substrate: the polytopes of Section 2.1.
+
+The paper's probabilistic core reduces winning probabilities to volume
+ratios of one family of polytopes: the intersection of an orthogonal
+simplex with an axis-aligned box (``SigmaPi`` in the paper's notation).
+This subpackage provides:
+
+* :mod:`repro.geometry.polytope` -- generic H-representation polytopes
+  with exact rational data (membership tests, boundedness checks).
+* :mod:`repro.geometry.simplex` -- the orthogonal simplex
+  ``Sigma^(m)(sigma)`` of Lemma 2.1(1).
+* :mod:`repro.geometry.box` -- the orthogonal parallelepiped
+  ``Pi^(m)(pi)`` of Lemma 2.1(2).
+* :mod:`repro.geometry.volume` -- the exact inclusion-exclusion volume
+  of the intersection (Proposition 2.2 and Lemma 2.3).
+* :mod:`repro.geometry.montecarlo` -- Monte Carlo volume estimation used
+  to validate the exact formulas.
+"""
+
+from repro.geometry.box import Box
+from repro.geometry.montecarlo import estimate_volume
+from repro.geometry.polytope import HalfSpace, Polytope
+from repro.geometry.simplex import OrthogonalSimplex
+from repro.geometry.volume import (
+    SimplexBoxIntersection,
+    corner_simplex_volume,
+    intersection_volume,
+)
+
+__all__ = [
+    "Box",
+    "HalfSpace",
+    "OrthogonalSimplex",
+    "Polytope",
+    "SimplexBoxIntersection",
+    "corner_simplex_volume",
+    "estimate_volume",
+    "intersection_volume",
+]

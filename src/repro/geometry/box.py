@@ -1,0 +1,144 @@
+"""The orthogonal parallelepiped ``Pi^(m)(pi)`` of the paper (Section 2.1).
+
+``Pi^(m)(pi) = [0, pi_1] x ... x [0, pi_m]`` with volume
+``prod_l pi_l`` (Lemma 2.1(2)).  A slightly more general axis-aligned
+box (arbitrary lower corners) is provided as well, because Lemma 2.7
+works with inputs conditioned to ``[pi_i, 1]``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+from repro.geometry.polytope import Polytope
+from repro.symbolic.rational import RationalLike, as_fraction
+
+__all__ = ["Box"]
+
+
+class Box:
+    """An axis-aligned box ``[lo_1, hi_1] x ... x [lo_m, hi_m]``.
+
+    The paper's ``Pi^(m)(pi)`` is :meth:`Box.from_sides` (all lower
+    corners zero).  Degenerate boxes (some ``lo == hi``) are rejected
+    because the paper requires strictly positive sides.
+    """
+
+    def __init__(
+        self,
+        lowers: Sequence[RationalLike],
+        uppers: Sequence[RationalLike],
+    ):
+        lo = [as_fraction(v) for v in lowers]
+        hi = [as_fraction(v) for v in uppers]
+        if len(lo) != len(hi):
+            raise ValueError(
+                f"corner dimension mismatch: {len(lo)} lowers, {len(hi)} uppers"
+            )
+        if not lo:
+            raise ValueError("a box needs at least one dimension")
+        for i, (a, b) in enumerate(zip(lo, hi)):
+            if a >= b:
+                raise ValueError(
+                    f"axis {i}: need lower < upper, got [{a}, {b}]"
+                )
+        self._lowers: Tuple[Fraction, ...] = tuple(lo)
+        self._uppers: Tuple[Fraction, ...] = tuple(hi)
+
+    @classmethod
+    def from_sides(cls, sides: Sequence[RationalLike]) -> "Box":
+        """The paper's ``Pi^(m)(pi)``: ``[0, pi_1] x ... x [0, pi_m]``."""
+        pi = [as_fraction(s) for s in sides]
+        return cls([Fraction(0)] * len(pi), pi)
+
+    @classmethod
+    def unit(cls, dimension: int) -> "Box":
+        """The unit cube ``[0, 1]^m`` -- the input space of the model."""
+        return cls.from_sides([Fraction(1)] * dimension)
+
+    @property
+    def lowers(self) -> Tuple[Fraction, ...]:
+        return self._lowers
+
+    @property
+    def uppers(self) -> Tuple[Fraction, ...]:
+        return self._uppers
+
+    @property
+    def dimension(self) -> int:
+        return len(self._lowers)
+
+    @property
+    def sides(self) -> Tuple[Fraction, ...]:
+        """Side lengths ``hi_l - lo_l``."""
+        return tuple(b - a for a, b in zip(self._lowers, self._uppers))
+
+    def volume(self) -> Fraction:
+        """Lemma 2.1(2): the product of the side lengths."""
+        product = Fraction(1)
+        for s in self.sides:
+            product *= s
+        return product
+
+    def contains(self, point: Sequence[RationalLike]) -> bool:
+        """Exact membership test."""
+        if len(point) != self.dimension:
+            raise ValueError(
+                f"point dimension {len(point)} != box dimension {self.dimension}"
+            )
+        for coord, lo, hi in zip(point, self._lowers, self._uppers):
+            c = as_fraction(coord)
+            if not lo <= c <= hi:
+                return False
+        return True
+
+    def vertices(self) -> List[Tuple[Fraction, ...]]:
+        """All ``2^m`` corners (small m only; guarded against blow-up)."""
+        m = self.dimension
+        if m > 20:
+            raise ValueError(f"refusing to enumerate 2^{m} vertices")
+        verts = []
+        for mask in range(1 << m):
+            verts.append(
+                tuple(
+                    self._uppers[i] if (mask >> i) & 1 else self._lowers[i]
+                    for i in range(m)
+                )
+            )
+        return verts
+
+    def as_polytope(self) -> Polytope:
+        """H-representation with one lower and one upper bound per axis."""
+        poly = Polytope(self.dimension)
+        for axis in range(self.dimension):
+            poly.add_lower_bound(axis, self._lowers[axis])
+            poly.add_upper_bound(axis, self._uppers[axis])
+        return poly
+
+    def sample_float(self, rng, count: int):
+        """Draw *count* uniform float samples from the box.
+
+        *rng* is a :class:`numpy.random.Generator`; returns an
+        ``(count, m)`` array.  Lives here (not in the simulation layer)
+        so geometry validation does not depend on the model stack.
+        """
+        import numpy as np
+
+        lows = np.array([float(v) for v in self._lowers])
+        highs = np.array([float(v) for v in self._uppers])
+        return rng.uniform(lows, highs, size=(count, self.dimension))
+
+    def __repr__(self) -> str:
+        ranges = ", ".join(
+            f"[{a}, {b}]" for a, b in zip(self._lowers, self._uppers)
+        )
+        return f"Box({ranges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Box):
+            return NotImplemented
+        return self._lowers == other._lowers and self._uppers == other._uppers
+
+    def __hash__(self) -> int:
+        return hash((self._lowers, self._uppers))

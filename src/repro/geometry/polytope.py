@@ -1,0 +1,189 @@
+"""Generic polytopes in halfspace (H-) representation with exact data.
+
+A *polyhedron* is the solution set of finitely many linear inequalities
+``a . x <= b``; a bounded polyhedron is a *polytope* (paper, Section
+2.1).  The concrete polytopes used by the paper are special (orthogonal
+simplices, boxes and their intersections, which have their own modules),
+but a generic representation is still valuable: it gives a single
+membership test that the Monte Carlo validator and the property-based
+test-suite can trust, independent of the specialised volume formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.symbolic.rational import RationalLike, as_fraction
+
+__all__ = ["HalfSpace", "Polytope"]
+
+
+@dataclass(frozen=True)
+class HalfSpace:
+    """The closed halfspace ``sum_i normal[i] * x[i] <= offset``."""
+
+    normal: Tuple[Fraction, ...]
+    offset: Fraction
+
+    @classmethod
+    def of(
+        cls, normal: Sequence[RationalLike], offset: RationalLike
+    ) -> "HalfSpace":
+        """Construct with coercion of all entries to exact rationals."""
+        return cls(tuple(as_fraction(c) for c in normal), as_fraction(offset))
+
+    @property
+    def dimension(self) -> int:
+        return len(self.normal)
+
+    def contains(self, point: Sequence[RationalLike]) -> bool:
+        """Exact membership test for *point*."""
+        if len(point) != len(self.normal):
+            raise ValueError(
+                f"dimension mismatch: halfspace is {len(self.normal)}-d, "
+                f"point is {len(point)}-d"
+            )
+        total = Fraction(0)
+        for coeff, coord in zip(self.normal, point):
+            total += coeff * as_fraction(coord)
+        return total <= self.offset
+
+    def contains_float(self, point: Sequence[float]) -> bool:
+        """Float membership test (fast path for Monte Carlo sampling)."""
+        total = 0.0
+        for coeff, coord in zip(self.normal, point):
+            total += float(coeff) * coord
+        return total <= float(self.offset)
+
+    def slack(self, point: Sequence[RationalLike]) -> Fraction:
+        """``offset - normal . point`` (>= 0 inside, < 0 outside)."""
+        total = Fraction(0)
+        for coeff, coord in zip(self.normal, point):
+            total += coeff * as_fraction(coord)
+        return self.offset - total
+
+    def __str__(self) -> str:
+        terms = " + ".join(f"{c}*x{i}" for i, c in enumerate(self.normal) if c != 0)
+        return f"{terms or '0'} <= {self.offset}"
+
+
+class Polytope:
+    """A finite intersection of closed halfspaces in fixed dimension.
+
+    The class does not attempt general vertex enumeration or volume
+    computation -- the paper only ever needs those for the structured
+    polytopes of :mod:`repro.geometry.volume`.  What it does provide:
+
+    * exact and float membership tests,
+    * intersection with more halfspaces or another polytope,
+    * an axis-aligned bounding box when one is derivable from explicit
+      coordinate bounds among the constraints (enough for the Monte
+      Carlo validator, which always starts from a box-constrained set).
+    """
+
+    def __init__(self, dimension: int, halfspaces: Iterable[HalfSpace] = ()):
+        if dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {dimension}")
+        self._dimension = dimension
+        self._halfspaces: List[HalfSpace] = []
+        for hs in halfspaces:
+            self.add(hs)
+
+    @property
+    def dimension(self) -> int:
+        return self._dimension
+
+    @property
+    def halfspaces(self) -> Tuple[HalfSpace, ...]:
+        return tuple(self._halfspaces)
+
+    def add(self, halfspace: HalfSpace) -> None:
+        """Add one constraint (validated against the polytope dimension)."""
+        if halfspace.dimension != self._dimension:
+            raise ValueError(
+                f"halfspace dimension {halfspace.dimension} != "
+                f"polytope dimension {self._dimension}"
+            )
+        self._halfspaces.append(halfspace)
+
+    def add_inequality(
+        self, normal: Sequence[RationalLike], offset: RationalLike
+    ) -> None:
+        """Convenience: add ``normal . x <= offset``."""
+        self.add(HalfSpace.of(normal, offset))
+
+    def add_lower_bound(self, axis: int, bound: RationalLike) -> None:
+        """Add ``x[axis] >= bound`` (stored as ``-x[axis] <= -bound``)."""
+        normal = [Fraction(0)] * self._dimension
+        normal[axis] = Fraction(-1)
+        self.add(HalfSpace(tuple(normal), -as_fraction(bound)))
+
+    def add_upper_bound(self, axis: int, bound: RationalLike) -> None:
+        """Add ``x[axis] <= bound``."""
+        normal = [Fraction(0)] * self._dimension
+        normal[axis] = Fraction(1)
+        self.add(HalfSpace(tuple(normal), as_fraction(bound)))
+
+    def contains(self, point: Sequence[RationalLike]) -> bool:
+        """Exact membership: inside every halfspace."""
+        pt = [as_fraction(c) for c in point]
+        return all(hs.contains(pt) for hs in self._halfspaces)
+
+    def contains_float(self, point: Sequence[float]) -> bool:
+        """Float membership test for sampling loops."""
+        return all(hs.contains_float(point) for hs in self._halfspaces)
+
+    def intersect(self, other: "Polytope") -> "Polytope":
+        """The intersection of two polytopes (same dimension)."""
+        if other.dimension != self._dimension:
+            raise ValueError(
+                f"cannot intersect {self._dimension}-d with {other.dimension}-d"
+            )
+        return Polytope(
+            self._dimension, list(self._halfspaces) + list(other._halfspaces)
+        )
+
+    def coordinate_bounds(self) -> List[Tuple[Fraction, Fraction]]:
+        """Per-axis ``(lower, upper)`` bounds derivable from single-variable
+        constraints.
+
+        Raises :class:`ValueError` if some axis has no explicit upper or
+        lower bound among the halfspaces -- in that case the polytope
+        may be unbounded and Monte Carlo sampling has no box to draw
+        from.  (Constraints mentioning several variables are ignored
+        here; they can only shrink the set further, which is fine for a
+        bounding box.)
+        """
+        lows: List[Fraction] = [None] * self._dimension  # type: ignore[list-item]
+        highs: List[Fraction] = [None] * self._dimension  # type: ignore[list-item]
+        for hs in self._halfspaces:
+            support = [i for i, c in enumerate(hs.normal) if c != 0]
+            if len(support) != 1:
+                continue
+            axis = support[0]
+            coeff = hs.normal[axis]
+            bound = hs.offset / coeff
+            if coeff > 0:
+                if highs[axis] is None or bound < highs[axis]:
+                    highs[axis] = bound
+            else:
+                if lows[axis] is None or bound > lows[axis]:
+                    lows[axis] = bound
+        missing = [
+            i
+            for i in range(self._dimension)
+            if lows[i] is None or highs[i] is None
+        ]
+        if missing:
+            raise ValueError(
+                f"axes {missing} lack explicit bounds; bounding box unknown"
+            )
+        return list(zip(lows, highs))
+
+    def __repr__(self) -> str:
+        return (
+            f"Polytope(dim={self._dimension}, "
+            f"constraints={len(self._halfspaces)})"
+        )

@@ -1,0 +1,115 @@
+"""The orthogonal simplex ``Sigma^(m)(sigma)`` of the paper (Section 2.1).
+
+``Sigma^(m)(sigma) = { x in R^m_+ : sum_l x_l / sigma_l <= 1 }`` -- the
+corner simplex in the positive orthant whose orthogonal sides have
+lengths ``sigma_1 ... sigma_m``.  Lemma 2.1(1) gives its volume as
+``(1/m!) * prod sigma_l``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+from repro.geometry.polytope import HalfSpace, Polytope
+from repro.symbolic.rational import RationalLike, as_fraction, factorial
+
+__all__ = ["OrthogonalSimplex"]
+
+
+class OrthogonalSimplex:
+    """The simplex ``{ x >= 0 : sum x_l / sigma_l <= 1 }``.
+
+    All side lengths must be strictly positive, matching the paper's
+    hypothesis ``0 < sigma_l < infinity``.
+    """
+
+    def __init__(self, sides: Sequence[RationalLike]):
+        sigma = [as_fraction(s) for s in sides]
+        if len(sigma) < 1:
+            raise ValueError("a simplex needs at least one side")
+        for i, s in enumerate(sigma):
+            if s <= 0:
+                raise ValueError(f"side {i} must be positive, got {s}")
+        self._sides: Tuple[Fraction, ...] = tuple(sigma)
+
+    @classmethod
+    def regular(cls, dimension: int, side: RationalLike = 1) -> "OrthogonalSimplex":
+        """The simplex with all sides equal (e.g. ``sum x_l <= t`` scaled)."""
+        return cls([as_fraction(side)] * dimension)
+
+    @property
+    def sides(self) -> Tuple[Fraction, ...]:
+        return self._sides
+
+    @property
+    def dimension(self) -> int:
+        return len(self._sides)
+
+    def volume(self) -> Fraction:
+        """Lemma 2.1(1): ``(1/m!) * prod_l sigma_l``."""
+        product = Fraction(1)
+        for s in self._sides:
+            product *= s
+        return product / factorial(self.dimension)
+
+    def contains(self, point: Sequence[RationalLike]) -> bool:
+        """Exact membership: non-negative coordinates with weighted sum <= 1."""
+        if len(point) != self.dimension:
+            raise ValueError(
+                f"point dimension {len(point)} != simplex dimension {self.dimension}"
+            )
+        total = Fraction(0)
+        for coord, side in zip(point, self._sides):
+            c = as_fraction(coord)
+            if c < 0:
+                return False
+            total += c / side
+        return total <= 1
+
+    def vertices(self) -> List[Tuple[Fraction, ...]]:
+        """The ``m + 1`` vertices: the origin and one apex per axis."""
+        m = self.dimension
+        origin = tuple(Fraction(0) for _ in range(m))
+        verts = [origin]
+        for axis, side in enumerate(self._sides):
+            v = [Fraction(0)] * m
+            v[axis] = side
+            verts.append(tuple(v))
+        return verts
+
+    def as_polytope(self) -> Polytope:
+        """H-representation: ``x_l >= 0`` for all l plus the diagonal face."""
+        m = self.dimension
+        poly = Polytope(m)
+        for axis in range(m):
+            poly.add_lower_bound(axis, 0)
+            # Explicit per-axis upper bound x_l <= sigma_l; implied by the
+            # diagonal face but required for coordinate_bounds().
+            poly.add_upper_bound(axis, self._sides[axis])
+        poly.add(
+            HalfSpace(tuple(Fraction(1) / s for s in self._sides), Fraction(1))
+        )
+        return poly
+
+    def scaled(self, ratio: RationalLike) -> "OrthogonalSimplex":
+        """Similar simplex with every side multiplied by *ratio* (> 0).
+
+        Used by Lemma 2.3: the corner cut off above ``x_l = pi_l`` is
+        similar to the original with ratio ``1 - sum pi_l / sigma_l``.
+        """
+        r = as_fraction(ratio)
+        if r <= 0:
+            raise ValueError(f"similarity ratio must be positive, got {r}")
+        return OrthogonalSimplex([s * r for s in self._sides])
+
+    def __repr__(self) -> str:
+        return f"OrthogonalSimplex(sides={[str(s) for s in self._sides]})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OrthogonalSimplex):
+            return NotImplemented
+        return self._sides == other._sides
+
+    def __hash__(self) -> int:
+        return hash(self._sides)

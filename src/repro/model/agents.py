@@ -1,0 +1,106 @@
+"""Players and the decision-algorithm interface (Section 3.1).
+
+Each player ``P_i`` receives a private input ``x_i ~ U[0, 1]`` and must
+output a bit choosing one of two bins.  A *decision algorithm* maps the
+inputs the player "sees" (its own, plus any revealed by the
+communication pattern) to that bit -- deterministically or with
+randomisation.
+
+The interface is deliberately narrow:
+
+* :meth:`DecisionAlgorithm.decide` -- one decision, given the player's
+  own input and a mapping of observed inputs.  Randomized algorithms
+  draw from the supplied generator, which keeps every simulation
+  reproducible from a single seed.
+* :meth:`DecisionAlgorithm.decide_batch` -- a vectorised fast path used
+  by the Monte Carlo engine for the no-communication case (where the
+  decision depends only on the player's own input).  The default
+  implementation loops over :meth:`decide`; concrete no-communication
+  algorithms override it with numpy vector code.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["DecisionAlgorithm", "Player"]
+
+
+class DecisionAlgorithm(ABC):
+    """A (local) decision-making algorithm for one player."""
+
+    #: Whether the decision ignores the player's own input
+    #: (Section 3.2's *oblivious* class).
+    is_oblivious: bool = False
+
+    #: Whether the decision uses only the player's own input -- true for
+    #: every algorithm in the no-communication case, including oblivious
+    #: ones.  Algorithms that read observed inputs set this to False.
+    is_local: bool = True
+
+    @abstractmethod
+    def decide(
+        self,
+        own_input: float,
+        observed: Mapping[int, float],
+        rng: np.random.Generator,
+    ) -> int:
+        """Return the output bit (0 or 1).
+
+        *observed* maps player indices to the inputs this player sees
+        under the active communication pattern; it never includes the
+        player's own index (that is *own_input*).  In the
+        no-communication case *observed* is empty.
+        """
+
+    def decide_batch(
+        self, own_inputs: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorised decisions for many independent trials.
+
+        Valid only when :attr:`is_local` is true.  The default is a
+        Python loop over :meth:`decide`; override for speed.
+        """
+        if not self.is_local:
+            raise ValueError(
+                f"{type(self).__name__} reads other players' inputs; "
+                "batch mode supports only local (no-communication) rules"
+            )
+        return np.array(
+            [self.decide(float(x), {}, rng) for x in own_inputs],
+            dtype=np.int8,
+        )
+
+    def probability_of_zero(self, own_input: float) -> float:
+        """``P(y = 0)`` given the player's input (for local algorithms).
+
+        Deterministic algorithms return 0.0 or 1.0.  Exposed so exact
+        evaluators and tests can interrogate a rule without sampling.
+        Subclasses should override; the default samples, which is only
+        acceptable for tests.
+        """
+        rng = np.random.default_rng(0)
+        draws = [self.decide(own_input, {}, rng) for _ in range(1024)]
+        return 1.0 - float(np.mean(draws))
+
+
+@dataclass(frozen=True)
+class Player:
+    """One of the ``n`` distributed entities: an index plus its algorithm."""
+
+    index: int
+    algorithm: DecisionAlgorithm
+    name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"player index must be >= 0, got {self.index}")
+        if not self.name:
+            object.__setattr__(self, "name", f"P{self.index + 1}")
+
+    def __str__(self) -> str:
+        return f"{self.name}<{type(self.algorithm).__name__}>"

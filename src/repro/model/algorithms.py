@@ -1,0 +1,224 @@
+"""Concrete decision algorithms (Sections 3.2, 4 and 5).
+
+Four families:
+
+* :class:`ObliviousCoin` -- the oblivious class: output 0 with a fixed
+  probability ``alpha``, never reading the input.  Theorem 4.3 proves
+  ``alpha = 1/2`` optimal for every ``n``.
+* :class:`SingleThresholdRule` -- the paper's non-oblivious class:
+  output 0 iff the input is at most a threshold ``a``.  Section 5
+  derives the optimal (non-uniform) thresholds.
+* :class:`IntervalRule` -- a step function with arbitrarily many
+  cut-points, generalising the single threshold; included because the
+  framework explicitly allows "any (computable) function of the inputs
+  it sees", and used in tests/ablations to confirm single thresholds
+  are not beaten by multi-interval rules at the paper's optima.
+* :class:`CallableRule` -- escape hatch wrapping any
+  ``float -> {0, 1}`` function.
+
+All of these are *local* (no-communication) rules and provide
+vectorised batch paths for the Monte Carlo engine.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.model.agents import DecisionAlgorithm
+from repro.symbolic.rational import RationalLike, as_fraction
+
+__all__ = [
+    "CallableRule",
+    "IntervalRule",
+    "ObliviousCoin",
+    "SingleThresholdRule",
+]
+
+
+class ObliviousCoin(DecisionAlgorithm):
+    """Output 0 with probability ``alpha``, ignoring the input."""
+
+    is_oblivious = True
+    is_local = True
+
+    def __init__(self, alpha: RationalLike):
+        a = as_fraction(alpha)
+        if not 0 <= a <= 1:
+            raise ValueError(f"alpha must be a probability, got {a}")
+        self._alpha = a
+
+    @property
+    def alpha(self) -> Fraction:
+        """``P(y = 0)`` -- the paper's probability-vector entry."""
+        return self._alpha
+
+    def decide(
+        self,
+        own_input: float,
+        observed: Mapping[int, float],
+        rng: np.random.Generator,
+    ) -> int:
+        return 0 if rng.random() < float(self._alpha) else 1
+
+    def decide_batch(
+        self, own_inputs: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        draws = rng.random(own_inputs.shape[0])
+        return (draws >= float(self._alpha)).astype(np.int8)
+
+    def probability_of_zero(self, own_input: float) -> float:
+        return float(self._alpha)
+
+    def __repr__(self) -> str:
+        return f"ObliviousCoin(alpha={self._alpha})"
+
+
+class SingleThresholdRule(DecisionAlgorithm):
+    """Output 0 iff ``x <= threshold`` (the paper's single-threshold class)."""
+
+    is_oblivious = False
+    is_local = True
+
+    def __init__(self, threshold: RationalLike):
+        a = as_fraction(threshold)
+        if not 0 <= a <= 1:
+            raise ValueError(f"threshold must be in [0, 1], got {a}")
+        self._threshold = a
+
+    @property
+    def threshold(self) -> Fraction:
+        return self._threshold
+
+    def decide(
+        self,
+        own_input: float,
+        observed: Mapping[int, float],
+        rng: np.random.Generator,
+    ) -> int:
+        return 0 if own_input <= float(self._threshold) else 1
+
+    def decide_batch(
+        self, own_inputs: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        return (own_inputs > float(self._threshold)).astype(np.int8)
+
+    def probability_of_zero(self, own_input: float) -> float:
+        return 1.0 if own_input <= float(self._threshold) else 0.0
+
+    def __repr__(self) -> str:
+        return f"SingleThresholdRule(threshold={self._threshold})"
+
+
+class IntervalRule(DecisionAlgorithm):
+    """A step function: output determined by which cut-interval holds ``x``.
+
+    ``cuts = [c_1 < ... < c_m]`` split ``[0, 1]`` into ``m + 1``
+    intervals; ``outputs[j]`` is the bit emitted on interval ``j``
+    (closed on the right, matching the single-threshold convention
+    ``x <= a -> 0``).  ``IntervalRule([a], [0, 1])`` is exactly
+    :class:`SingleThresholdRule`.
+    """
+
+    is_oblivious = False
+    is_local = True
+
+    def __init__(
+        self, cuts: Sequence[RationalLike], outputs: Sequence[int]
+    ):
+        cut_points = [as_fraction(c) for c in cuts]
+        if len(outputs) != len(cut_points) + 1:
+            raise ValueError(
+                f"need len(outputs) == len(cuts) + 1, got "
+                f"{len(outputs)} and {len(cut_points)}"
+            )
+        if any(b not in (0, 1) for b in outputs):
+            raise ValueError(f"outputs must be bits, got {list(outputs)}")
+        for prev, nxt in zip(cut_points, cut_points[1:]):
+            if prev >= nxt:
+                raise ValueError(f"cuts must be strictly increasing: {cuts}")
+        for c in cut_points:
+            if not 0 <= c <= 1:
+                raise ValueError(f"cuts must lie in [0, 1], got {c}")
+        self._cuts = tuple(cut_points)
+        self._outputs = tuple(int(b) for b in outputs)
+
+    @property
+    def cuts(self):
+        return self._cuts
+
+    @property
+    def outputs(self):
+        return self._outputs
+
+    def decide(
+        self,
+        own_input: float,
+        observed: Mapping[int, float],
+        rng: np.random.Generator,
+    ) -> int:
+        for cut, bit in zip(self._cuts, self._outputs):
+            if own_input <= float(cut):
+                return bit
+        return self._outputs[-1]
+
+    def decide_batch(
+        self, own_inputs: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        edges = np.array([float(c) for c in self._cuts])
+        # side="left": x exactly equal to a cut falls in the interval
+        # *ending* at that cut, matching the closed-right convention.
+        idx = np.searchsorted(edges, own_inputs, side="left")
+        table = np.array(self._outputs, dtype=np.int8)
+        return table[idx]
+
+    def probability_of_zero(self, own_input: float) -> float:
+        return 1.0 - float(self.decide(own_input, {}, np.random.default_rng(0)))
+
+    def measure_of_zero(self) -> Fraction:
+        """Lebesgue measure of ``{x : rule(x) = 0}`` -- handy in analysis."""
+        edges = (Fraction(0),) + self._cuts + (Fraction(1),)
+        total = Fraction(0)
+        for j, bit in enumerate(self._outputs):
+            if bit == 0:
+                total += edges[j + 1] - edges[j]
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"IntervalRule(cuts={[str(c) for c in self._cuts]}, "
+            f"outputs={list(self._outputs)})"
+        )
+
+
+class CallableRule(DecisionAlgorithm):
+    """Wrap an arbitrary deterministic ``float -> {0, 1}`` function."""
+
+    is_oblivious = False
+    is_local = True
+
+    def __init__(self, fn: Callable[[float], int], name: str = "callable"):
+        self._fn = fn
+        self._name = name
+
+    def decide(
+        self,
+        own_input: float,
+        observed: Mapping[int, float],
+        rng: np.random.Generator,
+    ) -> int:
+        bit = self._fn(own_input)
+        if bit not in (0, 1):
+            raise ValueError(
+                f"{self._name} returned {bit!r}; decision rules must "
+                "return 0 or 1"
+            )
+        return int(bit)
+
+    def probability_of_zero(self, own_input: float) -> float:
+        return 1.0 - float(self._fn(own_input))
+
+    def __repr__(self) -> str:
+        return f"CallableRule({self._name})"

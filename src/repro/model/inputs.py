@@ -1,0 +1,202 @@
+"""Input distributions beyond the uniform (Section 6 outlook).
+
+The paper assumes ``x_i ~ U[0, 1]`` and names "more realistic
+assumptions on the distribution of inputs" as an extension direction.
+This module supplies the distribution abstraction the simulation layer
+samples from, plus the two cases with exact theory:
+
+* :class:`UniformInputs` -- the paper's model (exact theory: all of
+  ``repro.core``).
+* :class:`ScaledUniformInputs` -- ``x_i ~ U[0, c]``: reduces exactly
+  to the paper's model, since scaling inputs by ``c`` is the same as
+  scaling the capacity to ``delta / c`` and the thresholds to
+  ``a_i / c`` (the reduction is implemented and tested, not just
+  stated).
+* :class:`BetaInputs` -- Beta-distributed inputs on ``[0, 1]``
+  (simulation only); the standard smooth departure from uniformity.
+* :class:`MixtureInputs` -- with probability ``q`` draw from one
+  distribution, else another (models e.g. a heavy-job minority).
+
+All distributions are iid across players, matching the paper's
+exchangeable setup.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from fractions import Fraction
+from typing import Tuple
+
+import numpy as np
+
+from repro.symbolic.rational import RationalLike, as_fraction
+
+__all__ = [
+    "BetaInputs",
+    "InputDistribution",
+    "MixtureInputs",
+    "ScaledUniformInputs",
+    "UniformInputs",
+]
+
+
+class InputDistribution(ABC):
+    """An iid per-player input distribution on a bounded interval."""
+
+    @abstractmethod
+    def sample(
+        self, rng: np.random.Generator, trials: int, n: int
+    ) -> np.ndarray:
+        """Draw a ``(trials, n)`` matrix of inputs."""
+
+    @property
+    @abstractmethod
+    def support(self) -> Tuple[float, float]:
+        """The interval carrying the distribution's mass."""
+
+    def has_exact_theory(self) -> bool:
+        """Whether the exact formulas of ``repro.core`` apply (possibly
+        after a reduction)."""
+        return False
+
+
+class UniformInputs(InputDistribution):
+    """The paper's model: ``x_i ~ U[0, 1]``."""
+
+    def sample(self, rng, trials, n):
+        return rng.random((trials, n))
+
+    @property
+    def support(self):
+        return (0.0, 1.0)
+
+    def has_exact_theory(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "UniformInputs()"
+
+
+class ScaledUniformInputs(InputDistribution):
+    """``x_i ~ U[0, scale]`` -- exactly reducible to the paper's model."""
+
+    def __init__(self, scale: RationalLike):
+        self._scale = as_fraction(scale)
+        if self._scale <= 0:
+            raise ValueError(f"scale must be positive, got {self._scale}")
+
+    @property
+    def scale(self) -> Fraction:
+        return self._scale
+
+    def sample(self, rng, trials, n):
+        return rng.random((trials, n)) * float(self._scale)
+
+    @property
+    def support(self):
+        return (0.0, float(self._scale))
+
+    def has_exact_theory(self) -> bool:
+        return True
+
+    def reduce_threshold_problem(
+        self,
+        delta: RationalLike,
+        thresholds,
+    ) -> Tuple[Fraction, list]:
+        """Map ``(delta, thresholds)`` under ``U[0, scale]`` inputs to the
+        equivalent unit-uniform problem ``(delta', thresholds')``.
+
+        ``x_i ~ U[0, c]`` wins against capacity ``delta`` with
+        thresholds ``a_i`` iff ``x_i / c ~ U[0, 1]`` wins against
+        ``delta / c`` with thresholds ``a_i / c``.  Thresholds must lie
+        in ``[0, scale]``.
+        """
+        d = as_fraction(delta)
+        reduced = []
+        for i, a in enumerate(thresholds):
+            aa = as_fraction(a)
+            if not 0 <= aa <= self._scale:
+                raise ValueError(
+                    f"thresholds[{i}] = {aa} outside [0, {self._scale}]"
+                )
+            reduced.append(aa / self._scale)
+        return d / self._scale, reduced
+
+    def exact_threshold_winning_probability(
+        self, delta: RationalLike, thresholds
+    ) -> Fraction:
+        """Exact Theorem 5.1 value under scaled-uniform inputs."""
+        from repro.core.nonoblivious import threshold_winning_probability
+
+        reduced_delta, reduced = self.reduce_threshold_problem(
+            delta, thresholds
+        )
+        return threshold_winning_probability(reduced_delta, reduced)
+
+    def __repr__(self) -> str:
+        return f"ScaledUniformInputs(scale={self._scale})"
+
+
+class BetaInputs(InputDistribution):
+    """``x_i ~ Beta(a, b)`` on ``[0, 1]`` (simulation only)."""
+
+    def __init__(self, a: float, b: float):
+        if a <= 0 or b <= 0:
+            raise ValueError(
+                f"Beta parameters must be positive, got ({a}, {b})"
+            )
+        self._a = float(a)
+        self._b = float(b)
+
+    @property
+    def parameters(self) -> Tuple[float, float]:
+        return (self._a, self._b)
+
+    @property
+    def mean(self) -> float:
+        return self._a / (self._a + self._b)
+
+    def sample(self, rng, trials, n):
+        return rng.beta(self._a, self._b, size=(trials, n))
+
+    @property
+    def support(self):
+        return (0.0, 1.0)
+
+    def __repr__(self) -> str:
+        return f"BetaInputs(a={self._a}, b={self._b})"
+
+
+class MixtureInputs(InputDistribution):
+    """With probability ``weight`` draw from *first*, else *second*."""
+
+    def __init__(
+        self,
+        weight: float,
+        first: InputDistribution,
+        second: InputDistribution,
+    ):
+        if not 0 <= weight <= 1:
+            raise ValueError(f"weight must be in [0, 1], got {weight}")
+        self._weight = float(weight)
+        self._first = first
+        self._second = second
+
+    def sample(self, rng, trials, n):
+        pick_first = rng.random((trials, n)) < self._weight
+        a = self._first.sample(rng, trials, n)
+        b = self._second.sample(rng, trials, n)
+        return np.where(pick_first, a, b)
+
+    @property
+    def support(self):
+        lo1, hi1 = self._first.support
+        lo2, hi2 = self._second.support
+        return (min(lo1, lo2), max(hi1, hi2))
+
+    def __repr__(self) -> str:
+        return (
+            f"MixtureInputs({self._weight}, {self._first!r}, "
+            f"{self._second!r})"
+        )

@@ -1,0 +1,53 @@
+"""Optimisers for the two algorithm families.
+
+* :mod:`repro.optimize.oblivious_opt` -- verify and solve the oblivious
+  optimality conditions (Corollary 4.2 / Theorem 4.3): the optimum is
+  the uniform fair coin ``alpha = 1/2``.
+* :mod:`repro.optimize.threshold_opt` -- exact maximisation of the
+  symmetric threshold winning probability (Section 5.2): stationary
+  points of the piecewise polynomial, compared against breakpoints and
+  endpoints.
+* :mod:`repro.optimize.numeric` -- scipy-based numeric maximisation
+  over unconstrained per-player parameter vectors, used to confirm the
+  exact optima are global and that asymmetric profiles do not improve
+  on symmetric ones.
+"""
+
+from repro.optimize.oblivious_opt import (
+    ObliviousOptimum,
+    boundary_split_value,
+    solve_oblivious_optimum,
+    verify_fair_coin_stationary,
+)
+from repro.optimize.threshold_opt import (
+    ThresholdOptimum,
+    optimal_symmetric_threshold,
+)
+from repro.optimize.certify import (
+    OptimalityCertificate,
+    certify_threshold_optimum,
+)
+from repro.optimize.asymmetric import (
+    best_two_group_profile,
+    coordinate_ascent_thresholds,
+    two_group_winning_probability,
+)
+from repro.optimize.numeric import (
+    maximize_oblivious_numeric,
+    maximize_thresholds_numeric,
+)
+
+__all__ = [
+    "ObliviousOptimum",
+    "OptimalityCertificate",
+    "ThresholdOptimum",
+    "certify_threshold_optimum",
+    "best_two_group_profile",
+    "boundary_split_value",
+    "coordinate_ascent_thresholds",
+    "maximize_oblivious_numeric",
+    "maximize_thresholds_numeric",
+    "optimal_symmetric_threshold",
+    "solve_oblivious_optimum",
+    "verify_fair_coin_stationary",
+]

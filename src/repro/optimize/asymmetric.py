@@ -1,0 +1,130 @@
+"""Asymmetric threshold profiles: does breaking symmetry ever help?
+
+Theorem 5.2 analyses symmetric optima.  This module studies the
+natural asymmetric relaxations exactly (Theorem 5.1 handles arbitrary
+per-player thresholds), with two tools:
+
+* **two-group profiles** -- ``k`` players use ``beta1``, the other
+  ``n - k`` use ``beta2``.  The winning probability is an exact
+  bivariate function evaluated on grids, and
+  :func:`best_two_group_profile` searches it;
+* **coordinate ascent** -- exact hill-climbing one threshold at a
+  time, each line search solved by grid + refinement on the exact
+  objective.
+
+The attacks produce a split verdict (discrepancy D4 in
+EXPERIMENTS.md): at ``n = 3, delta = 1`` the symmetric optimum is
+globally optimal within the threshold class, but at the paper's second
+case ``n = 4, delta = 4/3`` the *deterministic split* profile
+``(1, 1, 0, 0)`` -- a perfectly legal threshold vector whose degenerate
+thresholds hard-wire two players per bin -- achieves ``49/81 ~ 0.605``,
+far above the symmetric optimum 0.4285.  First-order symmetry
+arguments (Theorem 5.2) do not see such boundary profiles.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+from repro.core.nonoblivious import threshold_winning_probability
+from repro.symbolic.rational import RationalLike, as_fraction
+
+__all__ = [
+    "best_two_group_profile",
+    "coordinate_ascent_thresholds",
+    "two_group_winning_probability",
+]
+
+
+def two_group_winning_probability(
+    delta: RationalLike,
+    n: int,
+    k: int,
+    beta1: RationalLike,
+    beta2: RationalLike,
+) -> Fraction:
+    """Exact winning probability of the ``(k, n-k)`` two-group profile."""
+    if not 0 <= k <= n:
+        raise ValueError(f"k must be in [0, {n}], got {k}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    profile = [as_fraction(beta1)] * k + [as_fraction(beta2)] * (n - k)
+    return threshold_winning_probability(as_fraction(delta), profile)
+
+
+def best_two_group_profile(
+    delta: RationalLike,
+    n: int,
+    grid_size: int = 21,
+) -> Tuple[Fraction, int, Fraction, Fraction]:
+    """Grid-search all two-group profiles; returns
+    ``(best_value, k, beta1, beta2)``.
+
+    The search space includes every symmetric profile (``beta1 ==
+    beta2``), so the result is always at least the symmetric grid
+    optimum.
+    """
+    if grid_size < 2:
+        raise ValueError(f"grid_size must be >= 2, got {grid_size}")
+    d = as_fraction(delta)
+    best = (Fraction(-1), 0, Fraction(0), Fraction(0))
+    grid = [Fraction(i, grid_size - 1) for i in range(grid_size)]
+    for k in range(n + 1):
+        for beta1 in grid:
+            if k == 0 and beta1 != grid[0]:
+                break  # beta1 unused when the first group is empty
+            for beta2 in grid:
+                if k == n and beta2 != grid[0]:
+                    break  # beta2 unused when the second group is empty
+                value = two_group_winning_probability(
+                    d, n, k, beta1, beta2
+                )
+                if value > best[0]:
+                    best = (value, k, beta1, beta2)
+    return best
+
+
+def coordinate_ascent_thresholds(
+    delta: RationalLike,
+    start: Sequence[RationalLike],
+    rounds: int = 3,
+    grid_size: int = 41,
+    refine_steps: int = 3,
+) -> Tuple[List[Fraction], Fraction]:
+    """Exact coordinate ascent over per-player thresholds.
+
+    Each line search evaluates the exact objective on a grid and then
+    refines around the best grid point (*refine_steps* zoom-ins of 4x).
+    Monotone by construction: the returned value is >= the starting
+    value.  Returns ``(thresholds, value)``.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    if grid_size < 3:
+        raise ValueError(f"grid_size must be >= 3, got {grid_size}")
+    d = as_fraction(delta)
+    current = [as_fraction(v) for v in start]
+    if not current:
+        raise ValueError("need at least one player")
+    value = threshold_winning_probability(d, current)
+    for _ in range(rounds):
+        for i in range(len(current)):
+            lo, hi = Fraction(0), Fraction(1)
+            best_x, best_v = current[i], value
+            for _ in range(refine_steps + 1):
+                step = (hi - lo) / (grid_size - 1)
+                for j in range(grid_size):
+                    x = lo + step * j
+                    candidate = list(current)
+                    candidate[i] = x
+                    v = threshold_winning_probability(d, candidate)
+                    if v > best_v:
+                        best_x, best_v = x, v
+                # zoom around the best point
+                span = (hi - lo) / 4
+                lo = max(Fraction(0), best_x - span)
+                hi = min(Fraction(1), best_x + span)
+            current[i] = best_x
+            value = best_v
+    return current, value

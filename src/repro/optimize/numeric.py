@@ -1,0 +1,117 @@
+"""Numeric maximisation over per-player parameter vectors.
+
+The exact optimisers handle the symmetric problems the paper solves.
+These scipy-based routines attack the *unrestricted* problems -- one
+parameter per player -- and serve two purposes:
+
+* confirm that asymmetric profiles do not beat the symmetric optimum
+  (the paper's Lemma 4.5 proves this for the oblivious case; for
+  thresholds the symmetric optimum is what Theorem 5.2 analyses);
+* provide a sanity check that the exact optima are global, not just
+  stationary.
+
+Multi-start Nelder-Mead is used: the objectives are piecewise
+polynomial (continuous, not smooth at breakpoints), which rules out
+naive gradient methods at kinks.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.nonoblivious import threshold_winning_probability
+from repro.core.oblivious import oblivious_winning_probability
+from repro.symbolic.rational import RationalLike, as_fraction
+
+__all__ = ["maximize_oblivious_numeric", "maximize_thresholds_numeric"]
+
+
+def _clip_unit(vector: np.ndarray) -> np.ndarray:
+    return np.clip(vector, 0.0, 1.0)
+
+
+def _multistart_nelder_mead(
+    objective,
+    n: int,
+    starts: int,
+    seed: Optional[int],
+) -> Tuple[np.ndarray, float]:
+    from scipy.optimize import minimize
+
+    rng = np.random.default_rng(seed)
+    best_x: Optional[np.ndarray] = None
+    best_v = -np.inf
+    initial_points = [np.full(n, 0.5)]
+    initial_points.extend(rng.random((starts - 1, n)))
+    for x0 in initial_points:
+        result = minimize(
+            lambda v: -objective(_clip_unit(v)),
+            x0,
+            method="Nelder-Mead",
+            options={"xatol": 1e-10, "fatol": 1e-12, "maxiter": 4000},
+        )
+        value = -result.fun
+        if value > best_v:
+            best_v = value
+            best_x = _clip_unit(result.x)
+    assert best_x is not None
+    return best_x, best_v
+
+
+def maximize_oblivious_numeric(
+    t: RationalLike,
+    n: int,
+    starts: int = 8,
+    seed: Optional[int] = 0,
+) -> Tuple[List[float], float]:
+    """Numerically maximise Theorem 4.1 over ``alpha in [0, 1]^n``.
+
+    Returns ``(alpha_vector, probability)``.  Note the optimum over the
+    full cube is generally a *boundary* profile (partly deterministic
+    players), which strictly beats the fair coin of Theorem 4.3 -- see
+    the scope caveat in :mod:`repro.optimize.oblivious_opt`.  The
+    test-suite asserts the numeric optimum is at least the fair-coin
+    value and matches the deterministic split where that is optimal.
+    """
+    tt = as_fraction(t)
+
+    def objective(alpha: np.ndarray) -> float:
+        return float(
+            oblivious_winning_probability(
+                tt, [Fraction(a).limit_denominator(10**9) for a in alpha]
+            )
+        )
+
+    best_x, best_v = _multistart_nelder_mead(objective, n, starts, seed)
+    return list(map(float, best_x)), best_v
+
+
+def maximize_thresholds_numeric(
+    delta: RationalLike,
+    n: int,
+    starts: int = 8,
+    seed: Optional[int] = 0,
+) -> Tuple[List[float], float]:
+    """Numerically maximise Theorem 5.1 over thresholds in ``[0, 1]^n``.
+
+    Returns ``(threshold_vector, probability)``.  At ``n = 3,
+    delta = 1`` the result matches the symmetric exact optimum; note
+    that for ``n >= 4`` at scaled capacities the global optimum is the
+    asymmetric deterministic split (discrepancy D4), which multi-start
+    Nelder-Mead may or may not find depending on the starts.
+    """
+    d = as_fraction(delta)
+
+    def objective(thresholds: np.ndarray) -> float:
+        return float(
+            threshold_winning_probability(
+                d,
+                [Fraction(a).limit_denominator(10**9) for a in thresholds],
+            )
+        )
+
+    best_x, best_v = _multistart_nelder_mead(objective, n, starts, seed)
+    return list(map(float, best_x)), best_v

@@ -1,0 +1,186 @@
+"""Solving the oblivious optimality conditions (Theorem 4.3).
+
+The paper proves in three steps that the optimal oblivious algorithm is
+the uniform fair coin:
+
+1. the gradient of Theorem 4.1 must vanish (Corollary 4.2);
+2. any stationary point has all coordinates equal (Lemma 4.5);
+3. the common value must be 1/2 (Lemma 4.6, via the antisymmetric
+   degree-(n-1) polynomial in ``alpha / (alpha - 1)``).
+
+This module verifies the chain computationally for concrete ``(n, t)``:
+:func:`verify_fair_coin_stationary` checks step 1 at ``alpha = 1/2``
+exactly, and :func:`solve_oblivious_optimum` performs the symmetric
+reduction of step 3 -- it builds the exact one-dimensional profile
+``alpha -> P(alpha, ..., alpha)`` as a polynomial, maximises it, and
+confirms the optimum sits at 1/2 with the value of Theorem 4.3.
+
+**Scope caveat (documented deviation from the paper).**  The
+vanishing-gradient argument characterises *interior* stationary points
+only.  On the boundary of ``[0, 1]^n``, partly *deterministic*
+profiles can exceed the fair coin -- e.g. for ``n = 3, t = 1`` the
+split ``alpha = (1, 0, 1/2)`` wins with probability 1/2 > 5/12.
+Theorem 4.3 is therefore reproduced here as the optimum over
+*symmetric* (exchangeable) oblivious algorithms, where it is correct;
+the boundary phenomenon is quantified in EXPERIMENTS.md and exercised
+by the test-suite and by :func:`boundary_split_value`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List
+
+from repro.core.oblivious import (
+    optimal_oblivious_winning_probability,
+    symmetric_oblivious_winning_probability,
+)
+from repro.core.optimality import oblivious_gradient
+from repro.core.phi import phi_table
+from repro.symbolic.polynomial import Polynomial
+from repro.symbolic.rational import RationalLike, as_fraction, binomial
+from repro.symbolic.roots import real_roots
+
+__all__ = [
+    "ObliviousOptimum",
+    "solve_oblivious_optimum",
+    "symmetric_oblivious_polynomial",
+    "verify_fair_coin_stationary",
+]
+
+
+@dataclass(frozen=True)
+class ObliviousOptimum:
+    """The solved symmetric oblivious problem for one ``(n, t)``."""
+
+    n: int
+    t: Fraction
+    alpha: Fraction
+    probability: Fraction
+    profile: Polynomial
+    stationary_points: List[Fraction]
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n}, t={self.t}: alpha*={self.alpha}, "
+            f"P*={float(self.probability):.6f}"
+        )
+
+
+def symmetric_oblivious_polynomial(t: RationalLike, n: int) -> Polynomial:
+    """The exact polynomial ``alpha -> P(alpha, ..., alpha)``.
+
+    ``P(alpha) = sum_k C(n, k) phi_t(k) alpha^(n-k) (1 - alpha)^k``
+    -- a genuine polynomial (no breakpoints: obliviousness removes the
+    input-conditioning that creates pieces in the threshold case).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    phis = phi_table(t, n)
+    alpha = Polynomial.x()
+    one_minus = Polynomial.linear(1, -1)
+    total = Polynomial.zero()
+    for k in range(n + 1):
+        total = total + (
+            binomial(n, k) * phis[k] * alpha ** (n - k) * one_minus**k
+        )
+    return total
+
+
+def verify_fair_coin_stationary(
+    t: RationalLike, n: int
+) -> List[Fraction]:
+    """Exact gradient of Theorem 4.1 at ``alpha = (1/2, ..., 1/2)``.
+
+    Returns the gradient vector; Theorem 4.3 says it is identically
+    zero, which the test-suite asserts for a sweep of ``(n, t)``.
+    """
+    half = [Fraction(1, 2)] * n
+    return oblivious_gradient(t, half)
+
+
+def solve_oblivious_optimum(
+    t: RationalLike,
+    n: int,
+    tolerance: RationalLike = Fraction(1, 10**12),
+) -> ObliviousOptimum:
+    """Maximise the symmetric oblivious profile exactly.
+
+    Degenerate capacities are handled explicitly: for ``t >= n`` the
+    winning probability is 1 for every ``alpha`` (no overflow is
+    possible) and the optimum is reported at the paper's canonical
+    ``alpha = 1/2``; similarly ``t <= 0`` gives probability 0.
+    Otherwise the profile polynomial is non-constant and its interior
+    stationary points are isolated exactly.
+    """
+    tt = as_fraction(t)
+    profile = symmetric_oblivious_polynomial(tt, n)
+    derivative = profile.derivative()
+    if derivative.is_zero():
+        # Constant profile (t >= n or t <= 0): every alpha is optimal.
+        stationary: List[Fraction] = []
+        best_alpha = Fraction(1, 2)
+    else:
+        stationary = real_roots(derivative, 0, 1, tolerance)
+        candidates = [Fraction(0), Fraction(1)] + stationary
+        best_alpha = max(candidates, key=profile)
+    probability = profile(best_alpha)
+    # Cross-check against the closed form of Theorem 4.3 when the
+    # optimum is the fair coin.
+    if best_alpha == Fraction(1, 2):
+        closed_form = optimal_oblivious_winning_probability(tt, n)
+        if closed_form != probability:
+            raise AssertionError(
+                f"internal inconsistency: profile(1/2)={probability} but "
+                f"Theorem 4.3 gives {closed_form}"
+            )
+    return ObliviousOptimum(
+        n=n,
+        t=tt,
+        alpha=best_alpha,
+        probability=probability,
+        profile=profile,
+        stationary_points=stationary,
+    )
+
+
+def boundary_split_value(t: RationalLike, n: int) -> Fraction:
+    """Winning probability of the deterministic *split* oblivious profile.
+
+    ``ceil(n/2)`` players are hard-wired to bin 0 and the rest to bin 1
+    (still oblivious: no player reads its input).  This boundary
+    profile exceeds the fair coin whenever splitting beats averaging --
+    for ``n = 3, t = 1`` it achieves 1/2 against Theorem 4.3's 5/12.
+    Exposed so the experiments can quantify the paper's Theorem 4.3
+    scope caveat (see module docstring).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    zeros = (n + 1) // 2
+    profile = [Fraction(1)] * zeros + [Fraction(0)] * (n - zeros)
+    from repro.core.oblivious import oblivious_winning_probability
+
+    return oblivious_winning_probability(as_fraction(t), profile)
+
+
+def improvement_over_oblivious(
+    n: int, delta: RationalLike
+) -> Fraction:
+    """``P*_threshold - P*_oblivious`` -- the paper's knowledge premium.
+
+    The paper asserts this is positive ("non-oblivious algorithms
+    achieve larger winning probabilities than their oblivious
+    counterparts").  That holds for ``n = 3, delta = 1``
+    (0.5446 vs 0.4167) but **fails** for the paper's second case
+    ``n = 4, delta = 4/3``: the fair coin achieves 559/1296 ~ 0.4313
+    while the best common threshold reaches only ~ 0.4285 -- randomised
+    bin choices beat every deterministic single threshold there.  Both
+    facts are validated exactly and by Monte Carlo; see EXPERIMENTS.md.
+    """
+    from repro.optimize.threshold_opt import optimal_symmetric_threshold
+
+    d = as_fraction(delta)
+    threshold_best = optimal_symmetric_threshold(n, d).probability
+    oblivious_best = optimal_oblivious_winning_probability(d, n)
+    return threshold_best - oblivious_best

@@ -1,0 +1,89 @@
+"""Generic inclusion-exclusion sums with the paper's strict-condition rule.
+
+Every formula in the paper has the shape
+
+``sum_{I subseteq S, condition(I)} (-1)^|I| * term(I)``
+
+where ``condition`` is a strict inequality (subsets violating it
+contribute nothing because the corresponding polytope corner is empty,
+Lemma 2.3).  This module implements that shape once, plus the symmetric
+specialisation where ``term`` depends only on ``|I|`` and the subset sum
+collapses to a binomial-weighted sum -- the form used throughout
+Sections 4 and 5 for identical thresholds.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from typing import Callable, Iterable, Sequence, Tuple
+
+from repro.symbolic.rational import binomial
+
+__all__ = [
+    "alternating_subset_sum",
+    "alternating_symmetric_sum",
+    "subsets_satisfying",
+]
+
+
+def alternating_subset_sum(
+    elements: Sequence,
+    term: Callable[[Tuple, int], Fraction],
+    condition: Callable[[Tuple, int], bool] = lambda subset, size: True,
+) -> Fraction:
+    """Compute ``sum over subsets I with condition(I): (-1)^|I| term(I)``.
+
+    *term* and *condition* receive the subset (as a tuple of elements)
+    and its size.  Subsets are enumerated by size so callers paying
+    attention to the paper's derivations can map layers one-to-one.
+
+    This is exponential in ``len(elements)`` by nature; the paper's
+    instances have ``len(elements) <= n`` (the player count), which is
+    small.
+    """
+    total = Fraction(0)
+    sign = 1
+    for size in range(len(elements) + 1):
+        for subset in combinations(elements, size):
+            if condition(subset, size):
+                total += sign * term(subset, size)
+        sign = -sign
+    return total
+
+
+def alternating_symmetric_sum(
+    count: int,
+    term: Callable[[int], Fraction],
+    condition: Callable[[int], bool] = lambda size: True,
+) -> Fraction:
+    """The symmetric collapse: ``sum_i (-1)^i C(count, i) term(i)`` over
+    sizes *i* satisfying *condition*.
+
+    Equivalent to :func:`alternating_subset_sum` over *count* identical
+    elements, but in O(count) instead of O(2^count).  This is the form
+    of Corollary 2.6 and of every symmetric-threshold formula.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    total = Fraction(0)
+    for i in range(count + 1):
+        if condition(i):
+            total += (-1) ** i * binomial(count, i) * term(i)
+    return total
+
+
+def subsets_satisfying(
+    elements: Sequence,
+    condition: Callable[[Tuple, int], bool],
+) -> Iterable[Tuple]:
+    """Yield the subsets (as tuples) that satisfy *condition*, by size.
+
+    Exposed for tests and for the exact (non-symmetric) Theorem 5.1
+    evaluation, where per-player thresholds differ and the condition
+    pattern itself is informative.
+    """
+    for size in range(len(elements) + 1):
+        for subset in combinations(elements, size):
+            if condition(subset, size):
+                yield subset

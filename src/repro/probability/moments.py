@@ -1,0 +1,227 @@
+"""Exact moments for the model's random quantities.
+
+Complements the CDF/PDF lemmas of Section 2.2 with exact moment
+computations used by the analysis extensions and the test-suite:
+
+* raw and central moments of a single uniform and of sums of
+  independent uniforms (via moment accumulation, not sampling);
+* moments of the Irwin-Hall distribution;
+* expected bin loads and the expected *overflow* of a threshold
+  protocol (how much mass exceeds the capacity, not just whether);
+* Chebyshev and Hoeffding bounds on the overflow probability, for
+  comparison against the exact winning probabilities (the comparison
+  quantifies how loose generic tail bounds are on this problem --
+  one of the motivations for the paper's exact approach).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import exp
+from typing import List, Sequence
+
+from repro.symbolic.rational import RationalLike, as_fraction, binomial
+
+__all__ = [
+    "chebyshev_overflow_bound",
+    "expected_overflow_single_bin",
+    "hoeffding_overflow_bound",
+    "irwin_hall_moment",
+    "sum_uniform_central_moment",
+    "sum_uniform_moment",
+    "uniform_moment",
+]
+
+
+def uniform_moment(
+    k: int, lower: RationalLike = 0, upper: RationalLike = 1
+) -> Fraction:
+    """The *k*-th raw moment of ``U[lower, upper]``.
+
+    ``E[X^k] = (upper^(k+1) - lower^(k+1)) / ((k+1)(upper - lower))``
+    """
+    if k < 0:
+        raise ValueError(f"moment order must be >= 0, got {k}")
+    lo = as_fraction(lower)
+    hi = as_fraction(upper)
+    if lo >= hi:
+        raise ValueError(f"need lower < upper, got [{lo}, {hi}]")
+    return (hi ** (k + 1) - lo ** (k + 1)) / ((k + 1) * (hi - lo))
+
+
+def sum_uniform_moment(
+    k: int, intervals: Sequence
+) -> Fraction:
+    """The *k*-th raw moment of a sum of independent uniforms.
+
+    *intervals* is a sequence of ``(lower, upper)`` pairs.  Computed by
+    accumulating the moment vector through the binomial convolution
+
+    ``E[(S + X)^j] = sum_i C(j, i) E[S^i] E[X^(j-i)]``
+
+    -- exact and polynomial-time (no subset enumeration needed for
+    moments, unlike the CDF).
+    """
+    if k < 0:
+        raise ValueError(f"moment order must be >= 0, got {k}")
+    moments: List[Fraction] = [Fraction(1)] + [Fraction(0)] * k
+    first = True
+    for lo, hi in intervals:
+        x_moments = [uniform_moment(j, lo, hi) for j in range(k + 1)]
+        if first:
+            moments = x_moments[: k + 1]
+            first = False
+            continue
+        new = [Fraction(0)] * (k + 1)
+        for j in range(k + 1):
+            total = Fraction(0)
+            for i in range(j + 1):
+                total += binomial(j, i) * moments[i] * x_moments[j - i]
+            new[j] = total
+        moments = new
+    if first:
+        # empty sum: the constant 0
+        return Fraction(1) if k == 0 else Fraction(0)
+    return moments[k]
+
+
+def sum_uniform_central_moment(
+    k: int, intervals: Sequence
+) -> Fraction:
+    """The *k*-th central moment ``E[(S - E[S])^k]`` (exact)."""
+    if k < 0:
+        raise ValueError(f"moment order must be >= 0, got {k}")
+    mean = sum_uniform_moment(1, intervals) if intervals else Fraction(0)
+    total = Fraction(0)
+    for i in range(k + 1):
+        total += (
+            binomial(k, i)
+            * sum_uniform_moment(i, intervals)
+            * (-mean) ** (k - i)
+        )
+    return total
+
+
+def irwin_hall_moment(k: int, m: int) -> Fraction:
+    """The *k*-th raw moment of the sum of ``m`` iid U[0, 1] variables."""
+    if m < 0:
+        raise ValueError(f"m must be >= 0, got {m}")
+    return sum_uniform_moment(k, [(0, 1)] * m)
+
+
+def expected_overflow_single_bin(
+    delta: RationalLike, intervals: Sequence
+) -> Fraction:
+    """``E[max(S - delta, 0)]`` for a sum of independent uniforms.
+
+    The expected amount by which one bin's load exceeds the capacity.
+    Computed exactly by integrating the survival function:
+
+    ``E[(S - delta)^+] = integral_delta^max (1 - F(t)) dt``
+
+    where ``F`` is piecewise polynomial (Lemma 2.4), integrated piece
+    by piece between its knots.
+    """
+    from repro.probability.uniform_sums import sum_uniform_cdf
+    from repro.symbolic.piecewise import PiecewisePolynomial
+    from repro.symbolic.polynomial import Polynomial
+
+    d = as_fraction(delta)
+    pairs = [(as_fraction(lo), as_fraction(hi)) for lo, hi in intervals]
+    if not pairs:
+        return Fraction(0)
+    floor = sum((lo for lo, _ in pairs), Fraction(0))
+    ceil = sum((hi for _, hi in pairs), Fraction(0))
+    if d >= ceil:
+        return Fraction(0)
+    start = max(d, floor)
+
+    # Knots of the piecewise-polynomial CDF: shifted subset sums.  For
+    # the small m of this package, interpolate each inter-knot piece
+    # from samples instead of re-deriving the symbolic form: the CDF
+    # restricted to a knot interval is a degree-m polynomial, so m+1
+    # exact samples determine it exactly (Lagrange).
+    from itertools import combinations
+
+    widths = [hi - lo for lo, hi in pairs]
+    offset = floor
+    knots = {floor, ceil}
+    for size in range(len(widths) + 1):
+        for subset in combinations(widths, size):
+            knot = offset + sum(subset, Fraction(0))
+            if start <= knot <= ceil:
+                knots.add(knot)
+    knots.add(start)
+    ordered = sorted(k for k in knots if start <= k <= ceil)
+
+    m = len(pairs)
+    total = Fraction(0)
+    for lo_k, hi_k in zip(ordered, ordered[1:]):
+        if lo_k == hi_k:
+            continue
+        # exact polynomial interpolation of F on [lo_k, hi_k]
+        xs = [
+            lo_k + (hi_k - lo_k) * Fraction(i, m + 1) for i in range(m + 2)
+        ]
+        ys = [
+            sum_uniform_cdf(x - offset, widths) for x in xs
+        ]
+        poly = _lagrange(xs, ys)
+        survival = Polynomial.one() - poly
+        total += survival.integrate(lo_k, hi_k)
+    return total
+
+
+def _lagrange(xs: Sequence[Fraction], ys: Sequence[Fraction]):
+    """Exact Lagrange interpolation through the given points."""
+    from repro.symbolic.polynomial import Polynomial
+
+    result = Polynomial.zero()
+    for i, (xi, yi) in enumerate(zip(xs, ys)):
+        if yi == 0:
+            continue
+        basis = Polynomial.one()
+        denom = Fraction(1)
+        for j, xj in enumerate(xs):
+            if i == j:
+                continue
+            basis = basis * Polynomial.linear(-xj, 1)
+            denom *= xi - xj
+        result = result + basis * (yi / denom)
+    return result
+
+
+def chebyshev_overflow_bound(
+    delta: RationalLike, intervals: Sequence
+) -> Fraction:
+    """Chebyshev upper bound on ``P(S > delta)`` (1 when vacuous).
+
+    ``P(S - mu > delta - mu) <= Var(S) / (delta - mu)^2`` for
+    ``delta > mu``; clipped to [0, 1].
+    """
+    d = as_fraction(delta)
+    mean = sum_uniform_moment(1, intervals) if intervals else Fraction(0)
+    if d <= mean:
+        return Fraction(1)
+    variance = sum_uniform_central_moment(2, intervals)
+    bound = variance / (d - mean) ** 2
+    return min(bound, Fraction(1))
+
+
+def hoeffding_overflow_bound(
+    delta: RationalLike, intervals: Sequence
+) -> float:
+    """Hoeffding upper bound on ``P(S > delta)`` (float; 1 when vacuous).
+
+    ``P(S - mu >= t) <= exp(-2 t^2 / sum (hi - lo)^2)``
+    """
+    d = as_fraction(delta)
+    pairs = [(as_fraction(lo), as_fraction(hi)) for lo, hi in intervals]
+    mean = sum_uniform_moment(1, pairs) if pairs else Fraction(0)
+    if d <= mean:
+        return 1.0
+    denom = sum(((hi - lo) ** 2 for lo, hi in pairs), Fraction(0))
+    if denom == 0:
+        return 0.0
+    exponent = -2 * float((d - mean) ** 2 / denom)
+    return min(exp(exponent), 1.0)

@@ -1,0 +1,312 @@
+"""Exact distributions of sums of independent uniforms (Section 2.2).
+
+All functions return exact :class:`fractions.Fraction` values.  The core
+results implemented:
+
+* **Lemma 2.4** -- for independent ``x_i ~ U[0, pi_i]``,
+
+  ``F(t) = (1 / (m! prod pi_l)) * sum_{I : sum_{l in I} pi_l < t}
+            (-1)^|I| (t - sum_{l in I} pi_l)^m``
+
+* **Lemma 2.5** -- the density of the same sum (this answers Rota's
+  research problem on "a nice formula for the density of n independent,
+  uniformly distributed random variables").
+
+* **Corollary 2.6** -- the Irwin-Hall CDF (all ``pi_i = 1``).
+
+* **Lemma 2.7** -- for ``x_i ~ U[pi_i, 1]``,
+
+  ``F(t) = 1 - (1 / (m! prod (1 - pi_l))) * sum_{I : |I| < m - t + sum pi_l}
+             (-1)^|I| (m - t - |I| + sum_{l in I} pi_l)^m``
+
+* The **joint probabilities** that Theorem 5.1 multiplies together:
+  ``P(sum x_i <= t  and  every x_i <= alpha_i)`` and
+  ``P(sum x_i <= t  and  every x_i >= alpha_i)`` for ``x_i ~ U[0, 1]``
+  (i.e. the un-normalised numerators, where the paper's conditional
+  probabilities have been multiplied back by ``P(y = b)``).
+
+Empty sums follow the paper's conventions: a sum of zero random
+variables is the constant 0, so its CDF at any ``t > 0`` is 1.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from typing import Sequence
+
+from repro.probability.inclusion_exclusion import alternating_symmetric_sum
+from repro.symbolic.rational import (
+    RationalLike,
+    as_fraction,
+    binomial,
+    factorial,
+)
+
+__all__ = [
+    "irwin_hall_cdf",
+    "irwin_hall_pdf",
+    "joint_sum_below_and_inside_boxes",
+    "joint_sum_below_and_inside_high",
+    "joint_sum_below_and_inside_low",
+    "sum_uniform_cdf",
+    "sum_uniform_pdf",
+    "sum_uniform_tail_cdf",
+]
+
+
+def _validated_positive(values: Sequence[RationalLike], name: str):
+    out = [as_fraction(v) for v in values]
+    for i, v in enumerate(out):
+        if v <= 0:
+            raise ValueError(f"{name}[{i}] must be positive, got {v}")
+    return out
+
+
+def sum_uniform_cdf(t: RationalLike, uppers: Sequence[RationalLike]) -> Fraction:
+    """Lemma 2.4: ``P(sum x_i <= t)`` for independent ``x_i ~ U[0, uppers[i]]``.
+
+    For ``t <= 0`` returns 0; for ``t >= sum(uppers)`` returns 1 (both
+    follow from the formula but are short-circuited for clarity and
+    speed).  Exponential in ``len(uppers)`` via subset enumeration --
+    fine for the paper's small ``m``; use :func:`irwin_hall_cdf` for the
+    identical-interval case, which is linear.
+    """
+    pi = _validated_positive(uppers, "uppers")
+    m = len(pi)
+    tt = as_fraction(t)
+    if m == 0:
+        return Fraction(1) if tt >= 0 else Fraction(0)
+    if tt <= 0:
+        return Fraction(0)
+    total_span = sum(pi, Fraction(0))
+    if tt >= total_span:
+        return Fraction(1)
+    normaliser = factorial(m)
+    for v in pi:
+        normaliser *= v
+
+    total = Fraction(0)
+    for size in range(m + 1):
+        sign = (-1) ** size
+        for subset in combinations(pi, size):
+            shift = sum(subset, Fraction(0))
+            if shift < tt:
+                total += sign * (tt - shift) ** m
+    return total / normaliser
+
+
+def sum_uniform_pdf(t: RationalLike, uppers: Sequence[RationalLike]) -> Fraction:
+    """Lemma 2.5: density of the sum of independent ``x_i ~ U[0, uppers[i]]``.
+
+    This is the formula the paper offers as an answer to Rota's research
+    problem.  The density is taken as the right-continuous version at
+    knots; it vanishes outside ``(0, sum(uppers))``.
+    """
+    pi = _validated_positive(uppers, "uppers")
+    m = len(pi)
+    tt = as_fraction(t)
+    if m == 0:
+        raise ValueError("the empty sum is a point mass; it has no density")
+    if tt <= 0 or tt >= sum(pi, Fraction(0)):
+        return Fraction(0)
+    normaliser = factorial(m - 1)
+    for v in pi:
+        normaliser *= v
+
+    total = Fraction(0)
+    for size in range(m + 1):
+        sign = (-1) ** size
+        for subset in combinations(pi, size):
+            shift = sum(subset, Fraction(0))
+            if shift < tt:
+                total += sign * (tt - shift) ** (m - 1)
+    return total / normaliser
+
+
+def irwin_hall_cdf(t: RationalLike, m: int) -> Fraction:
+    """Corollary 2.6: ``P(sum of m U[0,1] <= t)``, the Irwin-Hall CDF.
+
+    ``F(t) = (1/m!) sum_{0 <= i <= m, i < t} (-1)^i C(m, i) (t - i)^m``
+
+    Linear in ``m``.  ``m = 0`` returns 1 for ``t >= 0`` (empty sum).
+    """
+    if m < 0:
+        raise ValueError(f"m must be >= 0, got {m}")
+    tt = as_fraction(t)
+    if m == 0:
+        return Fraction(1) if tt >= 0 else Fraction(0)
+    if tt <= 0:
+        return Fraction(0)
+    if tt >= m:
+        return Fraction(1)
+    total = alternating_symmetric_sum(
+        m,
+        term=lambda i: (tt - i) ** m,
+        condition=lambda i: i < tt,
+    )
+    return total / factorial(m)
+
+
+def irwin_hall_pdf(t: RationalLike, m: int) -> Fraction:
+    """Density of the Irwin-Hall distribution (Lemma 2.5 with unit boxes)."""
+    if m < 1:
+        raise ValueError(f"m must be >= 1 for a density, got {m}")
+    tt = as_fraction(t)
+    if tt <= 0 or tt >= m:
+        return Fraction(0)
+    total = alternating_symmetric_sum(
+        m,
+        term=lambda i: (tt - i) ** (m - 1),
+        condition=lambda i: i < tt,
+    )
+    return total / factorial(m - 1)
+
+
+def sum_uniform_tail_cdf(
+    t: RationalLike, lowers: Sequence[RationalLike]
+) -> Fraction:
+    """Lemma 2.7: ``P(sum x_i <= t)`` for independent ``x_i ~ U[lowers[i], 1]``.
+
+    Derived in the paper by the reflection ``x'_i = 1 - x_i``:
+
+    ``F(t) = 1 - (1/(m! prod (1 - pi_l))) *
+             sum_{I : |I| < m - t + sum_{l in I} pi_l}
+             (-1)^|I| (m - t - |I| + sum_{l in I} pi_l)^m``
+
+    Every ``lowers[i]`` must lie in ``[0, 1)``.
+    """
+    pi = [as_fraction(v) for v in lowers]
+    m = len(pi)
+    tt = as_fraction(t)
+    if m == 0:
+        return Fraction(1) if tt >= 0 else Fraction(0)
+    for i, v in enumerate(pi):
+        if not 0 <= v < 1:
+            raise ValueError(f"lowers[{i}] must be in [0, 1), got {v}")
+    floor_sum = sum(pi, Fraction(0))
+    if tt <= floor_sum:
+        return Fraction(0)
+    if tt >= m:
+        return Fraction(1)
+    # Reflection: 1 - x_i ~ U[0, 1 - pi_i]; P(sum x <= t) =
+    # 1 - P(sum (1 - x) <= m - t) evaluated with Lemma 2.4.
+    return 1 - sum_uniform_cdf(m - tt, [1 - v for v in pi])
+
+
+def joint_sum_below_and_inside_low(
+    t: RationalLike, alphas: Sequence[RationalLike]
+) -> Fraction:
+    """``P(sum x_i <= t  and  x_i <= alphas[i] for all i)`` with ``x_i ~ U[0,1]``.
+
+    This is the first factor in Theorem 5.1 (the "bin 0" factor): the
+    players whose output bit is 0 have, by the single-threshold rule,
+    inputs in ``[0, alpha_i]``, and the bin wins when their sum stays
+    below the capacity.  Equals the volume
+
+    ``Vol(SigmaPi(t * 1, alpha)) =
+      (1/m!) sum_{I : sum alpha_l < t} (-1)^|I| (t - sum_{l in I} alpha_l)^m``
+
+    (no normalisation: the ambient density on the unit cube is 1).
+    Empty *alphas* gives 1 for ``t >= 0``.
+    """
+    alpha = [as_fraction(v) for v in alphas]
+    m = len(alpha)
+    tt = as_fraction(t)
+    if m == 0:
+        return Fraction(1) if tt >= 0 else Fraction(0)
+    for i, v in enumerate(alpha):
+        if not 0 <= v <= 1:
+            raise ValueError(f"alphas[{i}] must be in [0, 1], got {v}")
+        if v == 0:
+            # P(x_i <= 0) = 0: the joint event is null.
+            return Fraction(0)
+    if tt <= 0:
+        return Fraction(0)
+
+    total = Fraction(0)
+    for size in range(m + 1):
+        sign = (-1) ** size
+        for subset in combinations(alpha, size):
+            shift = sum(subset, Fraction(0))
+            if shift < tt:
+                total += sign * (tt - shift) ** m
+    return total / factorial(m)
+
+
+def joint_sum_below_and_inside_boxes(
+    t: RationalLike, intervals: Sequence
+) -> Fraction:
+    """``P(sum x_i <= t  and  x_i in [l_i, u_i] for all i)``, ``x_i ~ U[0,1]``.
+
+    The common generalisation of the two threshold joints: each input
+    is confined to its own sub-interval of ``[0, 1]``.  By the shift
+    reduction,
+
+    ``P = prod (u_i - l_i) * F(t - sum l_i)``
+
+    with ``F`` the Lemma 2.4 CDF of the sum of uniforms on
+    ``[0, u_i - l_i]``.  This is the primitive the interval-rule
+    extension (``repro.core.interval_rules``) sums over segment
+    choices.  *intervals* is a sequence of ``(lower, upper)`` pairs;
+    the empty sequence gives 1 for ``t >= 0``.
+    """
+    pairs = [(as_fraction(l), as_fraction(u)) for l, u in intervals]
+    tt = as_fraction(t)
+    if not pairs:
+        return Fraction(1) if tt >= 0 else Fraction(0)
+    widths = []
+    offset = Fraction(0)
+    box = Fraction(1)
+    for i, (lo, hi) in enumerate(pairs):
+        if not 0 <= lo < hi <= 1:
+            raise ValueError(
+                f"intervals[{i}] must satisfy 0 <= l < u <= 1, "
+                f"got [{lo}, {hi}]"
+            )
+        widths.append(hi - lo)
+        offset += lo
+        box *= hi - lo
+    return box * sum_uniform_cdf(tt - offset, widths)
+
+
+def joint_sum_below_and_inside_high(
+    t: RationalLike, alphas: Sequence[RationalLike]
+) -> Fraction:
+    """``P(sum x_i <= t  and  x_i >= alphas[i] for all i)`` with ``x_i ~ U[0,1]``.
+
+    The second factor in Theorem 5.1 (the "bin 1" factor):
+
+    ``prod (1 - alpha_l) - (1/m!) sum_{I : |I| < m - t + sum alpha_l}
+       (-1)^|I| (m - t - |I| + sum_{l in I} alpha_l)^m``
+
+    Empty *alphas* gives 1 for ``t >= 0``.
+    """
+    alpha = [as_fraction(v) for v in alphas]
+    m = len(alpha)
+    tt = as_fraction(t)
+    if m == 0:
+        return Fraction(1) if tt >= 0 else Fraction(0)
+    for i, v in enumerate(alpha):
+        if not 0 <= v <= 1:
+            raise ValueError(f"alphas[{i}] must be in [0, 1], got {v}")
+    survival = Fraction(1)
+    for v in alpha:
+        survival *= 1 - v
+    if survival == 0:
+        # Some alpha_i == 1: P(x_i >= 1) = 0.
+        return Fraction(0)
+    floor_sum = sum(alpha, Fraction(0))
+    if tt <= floor_sum:
+        return Fraction(0)
+    if tt >= m:
+        return survival
+
+    total = Fraction(0)
+    for size in range(m + 1):
+        sign = (-1) ** size
+        for subset in combinations(alpha, size):
+            shift = sum(subset, Fraction(0))
+            if size < m - tt + shift:
+                total += sign * (m - tt - size + shift) ** m
+    return survival - total / factorial(m)

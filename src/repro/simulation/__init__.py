@@ -1,0 +1,49 @@
+"""Monte Carlo simulation substrate.
+
+The paper's results are exact; this subpackage is the independent
+"testbed" that validates them by actually executing the distributed
+protocol on sampled inputs:
+
+* :mod:`repro.simulation.rng` -- deterministic seed management so every
+  experiment is reproducible from one root seed.
+* :mod:`repro.simulation.statistics` -- binomial summaries with Wilson
+  confidence intervals (the right interval for probabilities near 0/1).
+* :mod:`repro.simulation.engine` -- the trial engine: estimate a
+  system's winning probability, vectorised where possible.
+* :mod:`repro.simulation.runner` -- parameter sweeps (threshold grids,
+  player counts) producing experiment records.
+"""
+
+from repro.simulation.adaptive import AdaptiveResult, estimate_until_precise
+from repro.simulation.engine import MonteCarloEngine
+from repro.simulation.results_store import (
+    load_sweep,
+    merge_sweeps,
+    save_sweep,
+)
+from repro.simulation.rng import SeedSequenceFactory
+from repro.simulation.runner import SweepResult, sweep_thresholds, sweep_players
+from repro.simulation.statistics import BinomialSummary, wilson_interval
+from repro.simulation.variance_reduction import (
+    VarianceReducedEstimate,
+    antithetic_winning_probability,
+    stratified_threshold_winning_probability,
+)
+
+__all__ = [
+    "AdaptiveResult",
+    "BinomialSummary",
+    "VarianceReducedEstimate",
+    "antithetic_winning_probability",
+    "estimate_until_precise",
+    "load_sweep",
+    "merge_sweeps",
+    "save_sweep",
+    "stratified_threshold_winning_probability",
+    "MonteCarloEngine",
+    "SeedSequenceFactory",
+    "SweepResult",
+    "sweep_players",
+    "sweep_thresholds",
+    "wilson_interval",
+]

@@ -1,0 +1,110 @@
+"""Adaptive (sequential) estimation: sample until a target precision.
+
+The fixed-budget engine asks "what can I say after N trials?"; this
+module asks the operational question "how many trials until the
+winning probability is known to within ``±h``?"  It runs the engine in
+growing stages and stops when the Wilson half-width drops below the
+target, reporting the full trajectory so tests can assert the stopping
+rule's behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.model.system import DistributedSystem
+from repro.simulation.engine import MonteCarloEngine
+from repro.simulation.statistics import (
+    BinomialSummary,
+    required_samples,
+    wilson_interval,
+)
+
+__all__ = ["AdaptiveResult", "estimate_until_precise"]
+
+
+@dataclass
+class AdaptiveResult:
+    """Outcome of a sequential estimation."""
+
+    summary: BinomialSummary
+    target_half_width: float
+    stages: List[int] = field(default_factory=list)
+
+    @property
+    def achieved(self) -> bool:
+        return self.summary.half_width <= self.target_half_width
+
+    @property
+    def total_trials(self) -> int:
+        return self.summary.trials
+
+    def __str__(self) -> str:
+        status = "achieved" if self.achieved else "budget exhausted"
+        return (
+            f"{self.summary} after {len(self.stages)} stages "
+            f"({status}; target ±{self.target_half_width})"
+        )
+
+
+def estimate_until_precise(
+    system: DistributedSystem,
+    half_width: float,
+    engine: Optional[MonteCarloEngine] = None,
+    initial_trials: int = 4_096,
+    growth: float = 2.0,
+    max_trials: int = 5_000_000,
+    z_score: float = 3.89,
+) -> AdaptiveResult:
+    """Sample in growing stages until the Wilson half-width <= *half_width*.
+
+    Successes accumulate across stages (every trial contributes to the
+    final interval).  The first stage is sized from the worst-case
+    requirement when that is already below *max_trials*, so easy
+    targets finish in one stage.  Stops early once the target is met;
+    gives up (with ``achieved == False``) at *max_trials*.
+    """
+    if not 0 < half_width < 0.5:
+        raise ValueError(
+            f"half_width must be in (0, 0.5), got {half_width}"
+        )
+    if growth <= 1:
+        raise ValueError(f"growth must exceed 1, got {growth}")
+    if initial_trials < 1:
+        raise ValueError(
+            f"initial_trials must be >= 1, got {initial_trials}"
+        )
+    engine = engine or MonteCarloEngine(seed=0)
+
+    worst_case = required_samples(half_width, z_score)
+    stage = min(max(initial_trials, worst_case // 4), max_trials)
+
+    successes = 0
+    trials = 0
+    stages: List[int] = []
+    while True:
+        batch = min(stage, max_trials - trials)
+        if batch <= 0:
+            break
+        summary = engine.estimate_winning_probability(
+            system,
+            trials=batch,
+            stream=f"adaptive-stage-{len(stages)}",
+            z_score=z_score,
+        )
+        successes += summary.successes
+        trials += batch
+        stages.append(batch)
+        lo, hi = wilson_interval(successes, trials, z_score)
+        if (hi - lo) / 2 <= half_width:
+            break
+        stage = int(stage * growth)
+    final = BinomialSummary(
+        successes=successes, trials=trials, z_score=z_score
+    )
+    return AdaptiveResult(
+        summary=final,
+        target_half_width=half_width,
+        stages=stages,
+    )

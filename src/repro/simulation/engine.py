@@ -1,0 +1,118 @@
+"""The Monte Carlo trial engine.
+
+Estimates the winning probability of a :class:`DistributedSystem` by
+drawing input vectors ``x ~ U[0, 1]^n``, executing the protocol, and
+counting wins.  Two execution paths:
+
+* a **vectorised** path (no-communication systems): all trials at once
+  in numpy, handling millions of trials per second;
+* a **scalar** path (communicating systems): one protocol execution per
+  trial, exercising the full message-visibility machinery.
+
+The engine never invents randomness: callers supply either a generator
+or a :class:`SeedSequenceFactory`, keeping experiments reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Union
+
+import numpy as np
+
+from repro.model.system import DistributedSystem
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.model.inputs import InputDistribution
+from repro.simulation.rng import SeedSequenceFactory
+from repro.simulation.statistics import BinomialSummary
+
+__all__ = ["MonteCarloEngine"]
+
+
+class MonteCarloEngine:
+    """Runs repeated protocol trials and summarises the win rate."""
+
+    def __init__(
+        self,
+        seed: Union[int, SeedSequenceFactory, None] = None,
+        batch_size: int = 262_144,
+    ):
+        if isinstance(seed, SeedSequenceFactory):
+            self._factory = seed
+        else:
+            self._factory = SeedSequenceFactory(seed)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._batch_size = batch_size
+
+    @property
+    def factory(self) -> SeedSequenceFactory:
+        return self._factory
+
+    def estimate_winning_probability(
+        self,
+        system: DistributedSystem,
+        trials: int = 200_000,
+        stream: str = "winning-probability",
+        z_score: float = 3.89,
+        inputs: Optional["InputDistribution"] = None,
+    ) -> BinomialSummary:
+        """Estimate ``P_A(delta)`` over *trials* independent executions.
+
+        *inputs* selects the per-player input distribution; the default
+        is the paper's ``U[0, 1]``.  Pass any
+        :class:`repro.model.inputs.InputDistribution` to study the
+        Section 6 extensions (Beta inputs, mixtures, scaled uniforms).
+        """
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials}")
+        rng = self._factory.generator(stream)
+        vectorised = all(alg.is_local for alg in system.algorithms)
+        wins = 0
+        if vectorised:
+            remaining = trials
+            while remaining > 0:
+                batch = min(remaining, self._batch_size)
+                if inputs is None:
+                    matrix = rng.random((batch, system.n))
+                else:
+                    matrix = inputs.sample(rng, batch, system.n)
+                wins += int(system.run_batch(matrix, rng).sum())
+                remaining -= batch
+        else:
+            for _ in range(trials):
+                if inputs is None:
+                    vector = rng.random(system.n)
+                else:
+                    vector = inputs.sample(rng, 1, system.n)[0]
+                if system.run(vector, rng).won:
+                    wins += 1
+        return BinomialSummary(successes=wins, trials=trials, z_score=z_score)
+
+    def estimate_bin_load_distribution(
+        self,
+        system: DistributedSystem,
+        trials: int = 100_000,
+        stream: str = "bin-loads",
+    ) -> np.ndarray:
+        """Sample the pair ``(Sigma_0, Sigma_1)`` -- returns ``(trials, 2)``.
+
+        Used to validate the conditional-distribution lemmas: given the
+        output vector, the bin loads are sums of conditioned uniforms.
+        Scalar path only (it needs per-trial outcomes).
+        """
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials}")
+        rng = self._factory.generator(stream)
+        loads = np.empty((trials, 2))
+        for t in range(trials):
+            outcome = system.run(rng.random(system.n), rng)
+            loads[t, 0] = outcome.load_bin0
+            loads[t, 1] = outcome.load_bin1
+        return loads
+
+    def __repr__(self) -> str:
+        return (
+            f"MonteCarloEngine(seed={self._factory.root_seed}, "
+            f"batch_size={self._batch_size})"
+        )

@@ -1,0 +1,151 @@
+"""Persistent experiment records: save, load and merge sweep results.
+
+Long experiment campaigns (fine grids, many seeds) want their results
+on disk: to resume after interruption, to compare across code
+versions, and to feed external analysis.  This module serialises
+:class:`~repro.simulation.runner.SweepResult` objects to a simple
+versioned JSON schema, preserving exactness: rational parameters and
+exact values are stored as ``"p/q"`` strings, never as floats.
+
+Schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "label": "n=3, delta=1",
+      "points": [
+        {"parameter": "1/2", "exact": "23/48",
+         "simulated": 0.47905, "interval": [0.4751, 0.4830]},
+        ...
+      ]
+    }
+
+``simulated``/``interval`` are ``null`` for exact-only sweeps.
+Merging concatenates point lists of results with the same label and
+re-sorts by parameter, dropping exact duplicates -- the resume
+workflow: run disjoint grids, merge, render.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.simulation.runner import SweepPoint, SweepResult
+
+__all__ = [
+    "load_sweep",
+    "merge_sweeps",
+    "save_sweep",
+    "sweep_from_dict",
+    "sweep_to_dict",
+]
+
+SCHEMA_VERSION = 1
+
+
+def _fraction_to_str(value: Fraction) -> str:
+    return f"{value.numerator}/{value.denominator}"
+
+
+def _fraction_from_str(text: str) -> Fraction:
+    return Fraction(text)
+
+
+def sweep_to_dict(result: SweepResult) -> Dict:
+    """The JSON-ready dict form of a sweep result (exactness preserved)."""
+    points = []
+    for p in result.points:
+        points.append(
+            {
+                "parameter": _fraction_to_str(p.parameter),
+                "exact": _fraction_to_str(p.exact),
+                "simulated": p.simulated,
+                "interval": list(p.interval) if p.interval else None,
+            }
+        )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "label": result.label,
+        "points": points,
+    }
+
+
+def sweep_from_dict(payload: Dict) -> SweepResult:
+    """Inverse of :func:`sweep_to_dict`, with schema validation."""
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema_version {version!r}; this build reads "
+            f"version {SCHEMA_VERSION}"
+        )
+    if "label" not in payload or "points" not in payload:
+        raise ValueError("payload missing 'label' or 'points'")
+    points = []
+    for i, entry in enumerate(payload["points"]):
+        try:
+            parameter = _fraction_from_str(entry["parameter"])
+            exact = _fraction_from_str(entry["exact"])
+        except (KeyError, ValueError, ZeroDivisionError) as exc:
+            raise ValueError(f"malformed point {i}: {entry!r}") from exc
+        interval = entry.get("interval")
+        points.append(
+            SweepPoint(
+                parameter=parameter,
+                exact=exact,
+                simulated=entry.get("simulated"),
+                interval=tuple(interval) if interval else None,
+            )
+        )
+    return SweepResult(label=payload["label"], points=points)
+
+
+def save_sweep(result: SweepResult, path: Union[str, Path]) -> Path:
+    """Write a sweep result as JSON; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w") as handle:
+        json.dump(sweep_to_dict(result), handle, indent=2)
+    return target
+
+
+def load_sweep(path: Union[str, Path]) -> SweepResult:
+    """Read a sweep result written by :func:`save_sweep`."""
+    with Path(path).open() as handle:
+        payload = json.load(handle)
+    return sweep_from_dict(payload)
+
+
+def merge_sweeps(results: Sequence[SweepResult]) -> SweepResult:
+    """Concatenate same-label sweeps, sort by parameter, dedupe.
+
+    Points with equal parameters must carry equal exact values
+    (anything else means the sweeps came from different problems);
+    among duplicates, a simulated point wins over an exact-only one.
+    """
+    if not results:
+        raise ValueError("nothing to merge")
+    labels = {r.label for r in results}
+    if len(labels) != 1:
+        raise ValueError(
+            f"refusing to merge sweeps with different labels: {sorted(labels)}"
+        )
+    by_parameter: Dict[Fraction, SweepPoint] = {}
+    for result in results:
+        for point in result.points:
+            existing = by_parameter.get(point.parameter)
+            if existing is None:
+                by_parameter[point.parameter] = point
+                continue
+            if existing.exact != point.exact:
+                raise ValueError(
+                    f"conflicting exact values at parameter "
+                    f"{point.parameter}: {existing.exact} vs {point.exact}"
+                )
+            if point.simulated is not None:
+                by_parameter[point.parameter] = point
+    merged: List[SweepPoint] = [
+        by_parameter[key] for key in sorted(by_parameter)
+    ]
+    return SweepResult(label=results[0].label, points=merged)

@@ -1,0 +1,139 @@
+"""Parameter-sweep runners producing experiment records.
+
+The figures and tables of the paper are sweeps: winning probability
+against the common threshold ``beta`` (Figures 1-2) or against the
+player count ``n`` (the uniformity table).  These helpers run such
+sweeps through either the exact formulas, the Monte Carlo engine, or
+both, and return plain records that the reporting layer renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.nonoblivious import symmetric_threshold_winning_probability
+from repro.core.oblivious import optimal_oblivious_winning_probability
+from repro.model.algorithms import SingleThresholdRule
+from repro.model.system import DistributedSystem
+from repro.simulation.engine import MonteCarloEngine
+from repro.symbolic.rational import RationalLike, as_fraction, rational_range
+
+__all__ = ["SweepPoint", "SweepResult", "sweep_players", "sweep_thresholds"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep: the parameter, the exact value, and (when a
+    Monte Carlo check ran) the simulated estimate with its interval."""
+
+    parameter: Fraction
+    exact: Fraction
+    simulated: Optional[float] = None
+    interval: Optional[tuple] = None
+
+    @property
+    def consistent(self) -> Optional[bool]:
+        """Whether the exact value falls in the simulated interval
+        (None when no simulation ran)."""
+        if self.interval is None:
+            return None
+        lo, hi = self.interval
+        return lo <= float(self.exact) <= hi
+
+
+@dataclass
+class SweepResult:
+    """A labelled series of sweep points."""
+
+    label: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    @property
+    def parameters(self) -> List[Fraction]:
+        return [p.parameter for p in self.points]
+
+    @property
+    def exact_values(self) -> List[Fraction]:
+        return [p.exact for p in self.points]
+
+    def all_consistent(self) -> bool:
+        """True when every simulated point covers its exact value."""
+        return all(p.consistent is not False for p in self.points)
+
+    def best(self) -> SweepPoint:
+        """The point with the largest exact value."""
+        return max(self.points, key=lambda p: p.exact)
+
+
+def sweep_thresholds(
+    n: int,
+    delta: RationalLike,
+    grid: Optional[Sequence[RationalLike]] = None,
+    grid_size: int = 101,
+    simulate: bool = False,
+    trials: int = 100_000,
+    seed: Optional[int] = None,
+) -> SweepResult:
+    """Winning probability of the symmetric threshold rule over a ``beta`` grid.
+
+    Exact values come from Theorem 5.1; with ``simulate=True`` each grid
+    point is also estimated by Monte Carlo and the Wilson interval
+    recorded (this is the validation mode used by the integration
+    tests and benchmark harness).
+    """
+    d = as_fraction(delta)
+    betas = (
+        [as_fraction(b) for b in grid]
+        if grid is not None
+        else rational_range(0, 1, grid_size)
+    )
+    engine = MonteCarloEngine(seed=seed) if simulate else None
+    points = []
+    for beta in betas:
+        exact = symmetric_threshold_winning_probability(beta, n, d)
+        simulated = None
+        interval = None
+        if engine is not None:
+            system = DistributedSystem(
+                [SingleThresholdRule(beta) for _ in range(n)], d
+            )
+            summary = engine.estimate_winning_probability(
+                system, trials=trials, stream=f"beta={beta}"
+            )
+            simulated = summary.estimate
+            interval = summary.interval
+        points.append(
+            SweepPoint(
+                parameter=beta,
+                exact=exact,
+                simulated=simulated,
+                interval=interval,
+            )
+        )
+    return SweepResult(label=f"n={n}, delta={d}", points=points)
+
+
+def sweep_players(
+    ns: Sequence[int],
+    delta_of_n: Callable[[int], RationalLike],
+    value_of_n: Callable[[int, Fraction], Fraction] = (
+        lambda n, d: optimal_oblivious_winning_probability(d, n)
+    ),
+    label: str = "optimal oblivious",
+) -> SweepResult:
+    """Sweep a per-``n`` exact quantity (default: the Theorem 4.3 optimum).
+
+    *delta_of_n* maps the player count to the capacity (e.g. constant 1,
+    or the scaled ``n/3`` used in Section 5.2.2).
+    """
+    points = []
+    for n in ns:
+        if n < 1:
+            raise ValueError(f"player counts must be >= 1, got {n}")
+        d = as_fraction(delta_of_n(n))
+        points.append(
+            SweepPoint(parameter=Fraction(n), exact=value_of_n(n, d))
+        )
+    return SweepResult(label=label, points=points)

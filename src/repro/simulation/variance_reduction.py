@@ -1,0 +1,191 @@
+"""Variance-reduced estimators for winning probabilities.
+
+The plain Monte Carlo engine is the ground truth of the test-suite;
+these estimators answer "how many samples do I really need?" for a
+downstream user running larger systems:
+
+* **antithetic variates** -- pair each input vector ``x`` with
+  ``1 - x``.  For threshold protocols the win indicator is strongly
+  (negatively) correlated between the pair, cutting variance;
+* **stratified sampling** -- condition on the output vector ``b``
+  (computable per-player for no-communication protocols); within a
+  stratum the win event depends on conditioned uniform sums, sampled
+  with the exact stratum probabilities as weights.  Implemented for
+  single-threshold profiles, whose strata probabilities are products
+  of ``beta``/``1 - beta``.
+
+Both return the same :class:`BinomialSummary`-compatible point
+estimates with their own standard errors, and both are validated in
+the tests against the exact formulas and against plain Monte Carlo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import product
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.model.algorithms import SingleThresholdRule
+from repro.model.system import DistributedSystem
+from repro.symbolic.rational import as_fraction
+
+__all__ = [
+    "VarianceReducedEstimate",
+    "antithetic_winning_probability",
+    "stratified_threshold_winning_probability",
+]
+
+
+@dataclass(frozen=True)
+class VarianceReducedEstimate:
+    """Point estimate with a standard error and the trial budget used."""
+
+    estimate: float
+    std_error: float
+    trials: int
+    method: str
+
+    def interval(self, z_score: float = 3.89):
+        """Normal confidence interval at the given z score."""
+        return (
+            self.estimate - z_score * self.std_error,
+            self.estimate + z_score * self.std_error,
+        )
+
+    def covers(self, value: float, z_score: float = 3.89) -> bool:
+        """Whether *value* lies inside the confidence interval."""
+        lo, hi = self.interval(z_score)
+        return lo <= value <= hi
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.6f} +- {self.std_error:.6f} "
+            f"({self.method}, {self.trials} trials)"
+        )
+
+
+def antithetic_winning_probability(
+    system: DistributedSystem,
+    trials: int = 100_000,
+    seed: Optional[int] = None,
+) -> VarianceReducedEstimate:
+    """Antithetic-pair estimate of the winning probability.
+
+    Draws ``trials // 2`` input vectors, evaluates each together with
+    its reflection ``1 - x``, and averages the pair means.  Requires a
+    deterministic, local protocol (reflection pairing is meaningless
+    for randomized rules whose coin flips cannot be paired).
+    """
+    if trials < 2:
+        raise ValueError(f"trials must be >= 2, got {trials}")
+    for alg in system.algorithms:
+        if not alg.is_local or alg.is_oblivious:
+            raise ValueError(
+                "antithetic pairing needs deterministic input-reading "
+                f"rules; got {type(alg).__name__}"
+            )
+    half = trials // 2
+    rng = np.random.default_rng(seed)
+    inputs = rng.random((half, system.n))
+    wins_a = system.run_batch(inputs, rng).astype(float)
+    wins_b = system.run_batch(1.0 - inputs, rng).astype(float)
+    pair_means = (wins_a + wins_b) / 2
+    estimate = float(pair_means.mean())
+    std_error = float(pair_means.std(ddof=1) / np.sqrt(half))
+    return VarianceReducedEstimate(
+        estimate=estimate,
+        std_error=std_error,
+        trials=2 * half,
+        method="antithetic",
+    )
+
+
+def stratified_threshold_winning_probability(
+    thresholds: Sequence,
+    capacity,
+    trials: int = 100_000,
+    seed: Optional[int] = None,
+) -> VarianceReducedEstimate:
+    """Stratified estimate for a single-threshold profile.
+
+    Strata are the ``2^n`` output vectors; the stratum probability is
+    the exact product of threshold masses, and within a stratum the
+    inputs are conditioned uniforms (``U[0, a_i]`` or ``U[a_i, 1]``).
+    The estimator is unbiased with variance never above plain Monte
+    Carlo at equal budget (proportional allocation).  Degenerate
+    thresholds (0/1) collapse their strata automatically (zero-mass
+    strata are skipped).
+    """
+    a = [as_fraction(v) for v in thresholds]
+    n = len(a)
+    if n == 0:
+        raise ValueError("need at least one player")
+    for i, v in enumerate(a):
+        if not 0 <= v <= 1:
+            raise ValueError(f"thresholds[{i}] must be in [0, 1], got {v}")
+    cap = float(as_fraction(capacity))
+    if trials < 2**n:
+        raise ValueError(
+            f"budget {trials} too small for 2^{n} strata"
+        )
+    rng = np.random.default_rng(seed)
+    total_estimate = 0.0
+    total_variance = 0.0
+    used = 0
+    for bits in product((0, 1), repeat=n):
+        weight = Fraction(1)
+        for b, ai in zip(bits, a):
+            weight *= (1 - ai) if b else ai
+        if weight == 0:
+            continue
+        share = max(int(trials * float(weight)), 2)
+        used += share
+        lows = np.array(
+            [0.0 if b == 0 else float(ai) for b, ai in zip(bits, a)]
+        )
+        highs = np.array(
+            [float(ai) if b == 0 else 1.0 for b, ai in zip(bits, a)]
+        )
+        draws = rng.uniform(lows, highs, size=(share, n))
+        ones_mask = np.array(bits, dtype=bool)
+        load1 = draws[:, ones_mask].sum(axis=1)
+        load0 = draws[:, ~ones_mask].sum(axis=1)
+        wins = ((load0 <= cap) & (load1 <= cap)).astype(float)
+        mean = float(wins.mean())
+        var = float(wins.var(ddof=1)) if share > 1 else 0.0
+        w = float(weight)
+        total_estimate += w * mean
+        total_variance += w * w * var / share
+    return VarianceReducedEstimate(
+        estimate=total_estimate,
+        std_error=total_variance**0.5,
+        trials=used,
+        method="stratified",
+    )
+
+
+def plain_reference(
+    thresholds: Sequence,
+    capacity,
+    trials: int = 100_000,
+    seed: Optional[int] = None,
+) -> VarianceReducedEstimate:
+    """Plain Monte Carlo in the same return shape, for comparisons."""
+    system = DistributedSystem(
+        [SingleThresholdRule(as_fraction(v)) for v in thresholds],
+        as_fraction(capacity),
+    )
+    rng = np.random.default_rng(seed)
+    inputs = rng.random((trials, system.n))
+    wins = system.run_batch(inputs, rng).astype(float)
+    estimate = float(wins.mean())
+    std_error = float(wins.std(ddof=1) / np.sqrt(trials))
+    return VarianceReducedEstimate(
+        estimate=estimate,
+        std_error=std_error,
+        trials=trials,
+        method="plain",
+    )

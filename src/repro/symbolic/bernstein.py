@@ -1,0 +1,119 @@
+"""Bernstein-basis tools: certified polynomial bounds on an interval.
+
+The reproduction repeatedly needs statements of the form "polynomial
+``q`` is non-negative on ``[a, b]``" (e.g. *no threshold in this piece
+beats the optimum*, or *this stationarity difference keeps one sign*).
+Sampling can only suggest such facts; the Bernstein expansion proves
+them:
+
+    a polynomial whose Bernstein coefficients over ``[a, b]`` are all
+    ``>= 0`` is ``>= 0`` on the whole interval
+
+(the converse is false, but subdividing the interval makes the test
+complete in the limit -- implemented here with bounded-depth bisection
+plus exact root knowledge as a fallback witness).
+
+Everything is exact over ``Fraction``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from repro.symbolic.polynomial import Polynomial
+from repro.symbolic.rational import RationalLike, as_fraction, binomial
+
+__all__ = [
+    "bernstein_coefficients",
+    "bernstein_range_bound",
+    "certify_nonnegative",
+]
+
+
+def bernstein_coefficients(
+    poly: Polynomial,
+    lower: RationalLike = 0,
+    upper: RationalLike = 1,
+) -> List[Fraction]:
+    """Bernstein coefficients of *poly* over ``[lower, upper]``.
+
+    Returns ``b_0 .. b_d`` (``d`` = degree) with
+
+    ``poly(x) = sum_k b_k C(d, k) u^k (1 - u)^(d - k)``,
+    ``u = (x - lower) / (upper - lower)``.
+
+    Computed by mapping to the unit interval and applying the closed
+    form ``b_k = sum_{i <= k} C(k, i) / C(d, i) * a_i`` on the mapped
+    monomial coefficients ``a_i``.
+    """
+    lo = as_fraction(lower)
+    hi = as_fraction(upper)
+    if lo >= hi:
+        raise ValueError(f"need lower < upper, got [{lo}, {hi}]")
+    if poly.is_zero():
+        return [Fraction(0)]
+    # map x = lo + (hi - lo) u
+    mapped = poly.compose(Polynomial.linear(lo, hi - lo))
+    d = max(mapped.degree, 0)
+    coeffs = [mapped.coefficient(i) for i in range(d + 1)]
+    bernstein = []
+    for k in range(d + 1):
+        total = Fraction(0)
+        for i in range(k + 1):
+            total += Fraction(binomial(k, i), binomial(d, i)) * coeffs[i]
+        bernstein.append(total)
+    return bernstein
+
+
+def bernstein_range_bound(
+    poly: Polynomial,
+    lower: RationalLike = 0,
+    upper: RationalLike = 1,
+) -> Tuple[Fraction, Fraction]:
+    """Certified enclosure of the range of *poly* on ``[lower, upper]``.
+
+    The polynomial's values on the interval lie within
+    ``[min(b_k), max(b_k)]`` of its Bernstein coefficients (the
+    Bernstein form is a convex combination).  The enclosure is exact at
+    the endpoints (``b_0 = poly(lower)``, ``b_d = poly(upper)``) and
+    tightens under subdivision.
+    """
+    coeffs = bernstein_coefficients(poly, lower, upper)
+    return min(coeffs), max(coeffs)
+
+
+def certify_nonnegative(
+    poly: Polynomial,
+    lower: RationalLike = 0,
+    upper: RationalLike = 1,
+    max_depth: int = 24,
+) -> bool:
+    """Prove ``poly >= 0`` on ``[lower, upper]`` (or refute it).
+
+    Returns ``True`` only with a proof: every leaf of the subdivision
+    has all Bernstein coefficients ``>= 0``.  Returns ``False`` only
+    with a witness: some point where the polynomial is negative.
+    Raises :class:`RuntimeError` if the budgeted subdivision depth is
+    insufficient to decide (tangential zeros of high multiplicity).
+    """
+    lo = as_fraction(lower)
+    hi = as_fraction(upper)
+
+    def recurse(a: Fraction, b: Fraction, depth: int) -> bool:
+        coeffs = bernstein_coefficients(poly, a, b)
+        if all(c >= 0 for c in coeffs):
+            return True
+        # exact negative witness at an endpoint or the midpoint?
+        mid = (a + b) / 2
+        for probe in (a, mid, b):
+            if poly(probe) < 0:
+                return False
+        if depth >= max_depth:
+            raise RuntimeError(
+                f"Bernstein certification undecided on [{a}, {b}] at "
+                f"depth {depth}; increase max_depth"
+            )
+        return recurse(a, mid, depth + 1) and recurse(mid, b, depth + 1)
+
+    return recurse(lo, hi, 0)

@@ -1,0 +1,277 @@
+"""Sparse multivariate polynomials over exact rationals.
+
+Theorem 4.1 makes the oblivious winning probability a *multilinear*
+polynomial in the probability vector ``alpha = (alpha_1 .. alpha_n)``,
+and Corollary 4.2's optimality conditions are its partial derivatives.
+This module represents such polynomials exactly so the paper's
+symbolic objects -- not just their evaluations -- can be constructed
+and checked:
+
+* the winning probability as a polynomial in ``n`` variables;
+* the gradient system of Corollary 4.2;
+* Lemma 4.5's exchange argument (the difference ``dP/dalpha_j -
+  dP/dalpha_k`` factors through ``(alpha_k - alpha_j)``), verified by
+  exact polynomial division.
+
+Representation: a dict from exponent tuples to coefficients.  Only the
+operations the reproduction needs are implemented (ring arithmetic,
+partial derivatives, substitution, evaluation); this is not a general
+computer-algebra system.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.symbolic.rational import RationalLike, as_fraction
+
+__all__ = ["MultiPoly"]
+
+Monomial = Tuple[int, ...]
+
+
+class MultiPoly:
+    """An immutable sparse polynomial in a fixed number of variables."""
+
+    __slots__ = ("_nvars", "_terms")
+
+    def __init__(
+        self,
+        nvars: int,
+        terms: Mapping[Monomial, RationalLike] = (),
+    ):
+        if nvars < 0:
+            raise ValueError(f"nvars must be >= 0, got {nvars}")
+        self._nvars = nvars
+        clean: Dict[Monomial, Fraction] = {}
+        items = terms.items() if isinstance(terms, Mapping) else terms
+        for exponents, coefficient in items:
+            key = tuple(int(e) for e in exponents)
+            if len(key) != nvars:
+                raise ValueError(
+                    f"monomial {key} has {len(key)} exponents, "
+                    f"expected {nvars}"
+                )
+            if any(e < 0 for e in key):
+                raise ValueError(f"negative exponent in {key}")
+            value = as_fraction(coefficient)
+            if value == 0:
+                continue
+            clean[key] = clean.get(key, Fraction(0)) + value
+            if clean[key] == 0:
+                del clean[key]
+        self._terms: Dict[Monomial, Fraction] = clean
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, nvars: int) -> "MultiPoly":
+        return cls(nvars)
+
+    @classmethod
+    def constant(cls, nvars: int, value: RationalLike) -> "MultiPoly":
+        return cls(nvars, {tuple([0] * nvars): as_fraction(value)})
+
+    @classmethod
+    def variable(cls, nvars: int, index: int) -> "MultiPoly":
+        """The polynomial ``x_index``."""
+        if not 0 <= index < nvars:
+            raise ValueError(f"variable index {index} out of range")
+        exponents = [0] * nvars
+        exponents[index] = 1
+        return cls(nvars, {tuple(exponents): Fraction(1)})
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nvars(self) -> int:
+        return self._nvars
+
+    @property
+    def terms(self) -> Dict[Monomial, Fraction]:
+        return dict(self._terms)
+
+    def is_zero(self) -> bool:
+        """True for the zero polynomial."""
+        return not self._terms
+
+    def total_degree(self) -> int:
+        """Largest monomial total degree; -1 for the zero polynomial."""
+        if not self._terms:
+            return -1
+        return max(sum(m) for m in self._terms)
+
+    def degree_in(self, index: int) -> int:
+        """Largest exponent of variable *index*; -1 for zero."""
+        if not self._terms:
+            return -1
+        return max(m[index] for m in self._terms)
+
+    def is_multilinear(self) -> bool:
+        """Every variable appears with exponent at most 1."""
+        return all(
+            all(e <= 1 for e in monomial) for monomial in self._terms
+        )
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other) -> "MultiPoly":
+        if isinstance(other, MultiPoly):
+            if other._nvars != self._nvars:
+                raise ValueError(
+                    f"variable-count mismatch: {self._nvars} vs "
+                    f"{other._nvars}"
+                )
+            return other
+        return MultiPoly.constant(self._nvars, other)
+
+    def __add__(self, other) -> "MultiPoly":
+        other = self._coerce(other)
+        merged = dict(self._terms)
+        for monomial, coefficient in other._terms.items():
+            merged[monomial] = (
+                merged.get(monomial, Fraction(0)) + coefficient
+            )
+        return MultiPoly(self._nvars, merged)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "MultiPoly":
+        return MultiPoly(
+            self._nvars,
+            {m: -c for m, c in self._terms.items()},
+        )
+
+    def __sub__(self, other) -> "MultiPoly":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "MultiPoly":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other) -> "MultiPoly":
+        other = self._coerce(other)
+        product: Dict[Monomial, Fraction] = {}
+        for m1, c1 in self._terms.items():
+            for m2, c2 in other._terms.items():
+                key = tuple(a + b for a, b in zip(m1, m2))
+                product[key] = product.get(key, Fraction(0)) + c1 * c2
+        return MultiPoly(self._nvars, product)
+
+    __rmul__ = __mul__
+
+    # ------------------------------------------------------------------
+    # Calculus and substitution
+    # ------------------------------------------------------------------
+    def partial(self, index: int) -> "MultiPoly":
+        """Partial derivative with respect to variable *index*."""
+        if not 0 <= index < self._nvars:
+            raise ValueError(f"variable index {index} out of range")
+        result: Dict[Monomial, Fraction] = {}
+        for monomial, coefficient in self._terms.items():
+            e = monomial[index]
+            if e == 0:
+                continue
+            lowered = list(monomial)
+            lowered[index] = e - 1
+            key = tuple(lowered)
+            result[key] = result.get(key, Fraction(0)) + coefficient * e
+        return MultiPoly(self._nvars, result)
+
+    def substitute(self, index: int, value: RationalLike) -> "MultiPoly":
+        """Fix variable *index* to *value* (result keeps all slots)."""
+        v = as_fraction(value)
+        result: Dict[Monomial, Fraction] = {}
+        for monomial, coefficient in self._terms.items():
+            scaled = coefficient * v ** monomial[index]
+            if scaled == 0:
+                continue
+            lowered = list(monomial)
+            lowered[index] = 0
+            key = tuple(lowered)
+            result[key] = result.get(key, Fraction(0)) + scaled
+        return MultiPoly(self._nvars, result)
+
+    def swap_variables(self, i: int, j: int) -> "MultiPoly":
+        """The polynomial with variables *i* and *j* exchanged."""
+        result: Dict[Monomial, Fraction] = {}
+        for monomial, coefficient in self._terms.items():
+            swapped = list(monomial)
+            swapped[i], swapped[j] = swapped[j], swapped[i]
+            key = tuple(swapped)
+            result[key] = result.get(key, Fraction(0)) + coefficient
+        return MultiPoly(self._nvars, result)
+
+    def __call__(self, point: Sequence[RationalLike]) -> Fraction:
+        """Exact evaluation at *point*."""
+        if len(point) != self._nvars:
+            raise ValueError(
+                f"point has {len(point)} coordinates, expected {self._nvars}"
+            )
+        values = [as_fraction(v) for v in point]
+        total = Fraction(0)
+        for monomial, coefficient in self._terms.items():
+            term = coefficient
+            for v, e in zip(values, monomial):
+                if e:
+                    term *= v**e
+            total += term
+        return total
+
+    # ------------------------------------------------------------------
+    # Comparison / rendering
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if isinstance(other, MultiPoly):
+            return (
+                self._nvars == other._nvars
+                and self._terms == other._terms
+            )
+        if isinstance(other, (int, Fraction)):
+            return self == MultiPoly.constant(self._nvars, other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._nvars, frozenset(self._terms.items())))
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiPoly(nvars={self._nvars}, "
+            f"terms={len(self._terms)})"
+        )
+
+    def pretty(self, names: Sequence[str] = ()) -> str:
+        """Readable rendering, monomials in lexicographic order."""
+        if not self._terms:
+            return "0"
+        if not names:
+            names = [f"a{i + 1}" for i in range(self._nvars)]
+        parts = []
+        for monomial in sorted(self._terms, reverse=True):
+            coefficient = self._terms[monomial]
+            factors = [
+                (names[i] if e == 1 else f"{names[i]}^{e}")
+                for i, e in enumerate(monomial)
+                if e
+            ]
+            body = "*".join(factors) if factors else ""
+            if body:
+                text = (
+                    body
+                    if abs(coefficient) == 1
+                    else f"{abs(coefficient)}*{body}"
+                )
+            else:
+                text = str(abs(coefficient))
+            sign = "-" if coefficient < 0 else "+"
+            parts.append((sign, text))
+        first_sign, first_text = parts[0]
+        rendered = (
+            f"-{first_text}" if first_sign == "-" else first_text
+        )
+        for sign, text in parts[1:]:
+            rendered += f" {sign} {text}"
+        return rendered

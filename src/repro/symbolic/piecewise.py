@@ -1,0 +1,289 @@
+"""Piecewise polynomial functions with exact rational breakpoints.
+
+Theorem 5.1's winning probability, as a function of the common threshold
+``beta``, is polynomial on each interval between *breakpoints* -- the
+points where one of the strict inclusion-exclusion conditions
+``delta - i*beta > 0`` or ``k - delta - i*(1 - beta) > 0`` changes sign.
+:class:`PiecewisePolynomial` represents exactly this object and provides
+the operations the reproduction needs: exact evaluation, arithmetic,
+differentiation piece-by-piece, and exact global maximisation (compare
+all stationary points, breakpoints and endpoints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.symbolic.polynomial import Polynomial
+from repro.symbolic.rational import RationalLike, as_fraction
+from repro.symbolic.roots import real_roots
+
+__all__ = ["Piece", "PiecewisePolynomial"]
+
+
+@dataclass(frozen=True)
+class Piece:
+    """One polynomial piece valid on the closed interval ``[lower, upper]``.
+
+    Adjacent pieces of a continuous piecewise function agree at the
+    shared breakpoint, so representing the pieces as closed intervals is
+    unambiguous for the functions this package builds (winning
+    probabilities are continuous in the threshold).
+    """
+
+    lower: Fraction
+    upper: Fraction
+    polynomial: Polynomial
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise ValueError(f"empty piece: [{self.lower}, {self.upper}]")
+
+    def contains(self, point: Fraction) -> bool:
+        """Whether *point* lies in this piece's closed interval."""
+        return self.lower <= point <= self.upper
+
+    def width(self) -> Fraction:
+        """Length of the piece's interval."""
+        return self.upper - self.lower
+
+
+class PiecewisePolynomial:
+    """A function that is polynomial on each of finitely many intervals.
+
+    Pieces must be contiguous (each piece starts where the previous one
+    ends) and are sorted on construction.  The function's domain is the
+    closed interval from the first piece's lower bound to the last
+    piece's upper bound.
+    """
+
+    def __init__(self, pieces: Sequence[Piece]):
+        if not pieces:
+            raise ValueError("a PiecewisePolynomial needs at least one piece")
+        ordered = sorted(pieces, key=lambda p: (p.lower, p.upper))
+        for prev, nxt in zip(ordered, ordered[1:]):
+            if prev.upper != nxt.lower:
+                raise ValueError(
+                    f"pieces are not contiguous: [{prev.lower}, {prev.upper}] "
+                    f"then [{nxt.lower}, {nxt.upper}]"
+                )
+        self._pieces: Tuple[Piece, ...] = tuple(ordered)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_breakpoints(
+        cls,
+        breakpoints: Sequence[RationalLike],
+        polynomials: Sequence[Polynomial],
+    ) -> "PiecewisePolynomial":
+        """Build from ``n+1`` breakpoints and ``n`` polynomials."""
+        points = [as_fraction(b) for b in breakpoints]
+        if len(points) != len(polynomials) + 1:
+            raise ValueError(
+                f"need len(breakpoints) == len(polynomials) + 1, got "
+                f"{len(points)} and {len(polynomials)}"
+            )
+        pieces = [
+            Piece(points[i], points[i + 1], polynomials[i])
+            for i in range(len(polynomials))
+        ]
+        return cls(pieces)
+
+    @classmethod
+    def from_sampler(
+        cls,
+        builder: Callable[[Fraction], Polynomial],
+        breakpoints: Sequence[RationalLike],
+    ) -> "PiecewisePolynomial":
+        """Build by asking *builder* for the polynomial valid around the
+        midpoint of each consecutive breakpoint pair.
+
+        This is how the winning-probability construction works: the
+        inclusion-exclusion conditions are constant on each open
+        interval, so evaluating the condition pattern at the midpoint
+        determines the piece's polynomial exactly.
+        """
+        points = sorted({as_fraction(b) for b in breakpoints})
+        if len(points) < 2:
+            raise ValueError("need at least two distinct breakpoints")
+        pieces = []
+        for lo, hi in zip(points, points[1:]):
+            mid = (lo + hi) / 2
+            pieces.append(Piece(lo, hi, builder(mid)))
+        return cls(pieces)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pieces(self) -> Tuple[Piece, ...]:
+        return self._pieces
+
+    @property
+    def lower(self) -> Fraction:
+        """Left end of the domain."""
+        return self._pieces[0].lower
+
+    @property
+    def upper(self) -> Fraction:
+        """Right end of the domain."""
+        return self._pieces[-1].upper
+
+    @property
+    def breakpoints(self) -> List[Fraction]:
+        """All breakpoints including the two domain endpoints."""
+        return [p.lower for p in self._pieces] + [self.upper]
+
+    def piece_at(self, point: RationalLike) -> Piece:
+        """The piece containing *point* (the left piece at shared breakpoints)."""
+        x = as_fraction(point)
+        if not self.lower <= x <= self.upper:
+            raise ValueError(f"{x} outside domain [{self.lower}, {self.upper}]")
+        for piece in self._pieces:
+            if x <= piece.upper:
+                return piece
+        return self._pieces[-1]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def __call__(self, point: RationalLike) -> Fraction:
+        """Exact evaluation."""
+        x = as_fraction(point)
+        return self.piece_at(x).polynomial(x)
+
+    def evaluate_float(self, point: float) -> float:
+        """Float evaluation (for plotting grids)."""
+        return float(self(as_fraction(point)))
+
+    def sample(self, count: int) -> List[Tuple[Fraction, Fraction]]:
+        """Evaluate on *count* evenly spaced points across the domain."""
+        from repro.symbolic.rational import rational_range
+
+        xs = rational_range(self.lower, self.upper, count)
+        return [(x, self(x)) for x in xs]
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def map_pieces(
+        self, transform: Callable[[Polynomial], Polynomial]
+    ) -> "PiecewisePolynomial":
+        """Apply *transform* to every piece's polynomial."""
+        return PiecewisePolynomial(
+            [Piece(p.lower, p.upper, transform(p.polynomial)) for p in self._pieces]
+        )
+
+    def derivative(self) -> "PiecewisePolynomial":
+        """Piecewise derivative (defined piece-by-piece; breakpoint values
+        follow the convention of :meth:`piece_at`)."""
+        return self.map_pieces(lambda poly: poly.derivative())
+
+    def simplify(self) -> "PiecewisePolynomial":
+        """Merge adjacent pieces whose polynomials are identical."""
+        merged: List[Piece] = []
+        for piece in self._pieces:
+            if merged and merged[-1].polynomial == piece.polynomial:
+                merged[-1] = Piece(merged[-1].lower, piece.upper, piece.polynomial)
+            else:
+                merged.append(piece)
+        return PiecewisePolynomial(merged)
+
+    def _binary_op(
+        self,
+        other: "PiecewisePolynomial",
+        op: Callable[[Polynomial, Polynomial], Polynomial],
+    ) -> "PiecewisePolynomial":
+        if (self.lower, self.upper) != (other.lower, other.upper):
+            raise ValueError(
+                f"domain mismatch: [{self.lower}, {self.upper}] vs "
+                f"[{other.lower}, {other.upper}]"
+            )
+        points = sorted(set(self.breakpoints) | set(other.breakpoints))
+        pieces = []
+        for lo, hi in zip(points, points[1:]):
+            mid = (lo + hi) / 2
+            left = self.piece_at(mid).polynomial
+            right = other.piece_at(mid).polynomial
+            pieces.append(Piece(lo, hi, op(left, right)))
+        return PiecewisePolynomial(pieces)
+
+    def __add__(self, other: "PiecewisePolynomial") -> "PiecewisePolynomial":
+        return self._binary_op(other, lambda a, b: a + b)
+
+    def __sub__(self, other: "PiecewisePolynomial") -> "PiecewisePolynomial":
+        return self._binary_op(other, lambda a, b: a - b)
+
+    def __mul__(self, other: "PiecewisePolynomial") -> "PiecewisePolynomial":
+        return self._binary_op(other, lambda a, b: a * b)
+
+    def scale(self, factor: RationalLike) -> "PiecewisePolynomial":
+        """Multiply the whole function by a rational constant."""
+        f = as_fraction(factor)
+        return self.map_pieces(lambda poly: poly * f)
+
+    # ------------------------------------------------------------------
+    # Optimisation
+    # ------------------------------------------------------------------
+    def critical_points(
+        self, tolerance: RationalLike = Fraction(1, 10**12)
+    ) -> List[Fraction]:
+        """All candidate extrema: breakpoints plus interior stationary points.
+
+        Stationary points are found exactly per piece with Sturm-based
+        root isolation on the piece's derivative; irrational roots are
+        refined to *tolerance*.
+        """
+        candidates = set(self.breakpoints)
+        for piece in self._pieces:
+            deriv = piece.polynomial.derivative()
+            if deriv.is_zero() or deriv.is_constant():
+                continue
+            for root in real_roots(deriv, piece.lower, piece.upper, tolerance):
+                if piece.lower <= root <= piece.upper:
+                    candidates.add(root)
+        return sorted(candidates)
+
+    def maximize(
+        self, tolerance: RationalLike = Fraction(1, 10**12)
+    ) -> Tuple[Fraction, Fraction]:
+        """Return ``(argmax, max)`` over the whole domain.
+
+        Ties break toward the smallest argmax, which keeps results
+        deterministic.
+        """
+        best_x: Optional[Fraction] = None
+        best_v: Optional[Fraction] = None
+        for x in self.critical_points(tolerance):
+            v = self(x)
+            if best_v is None or v > best_v:
+                best_x, best_v = x, v
+        assert best_x is not None and best_v is not None
+        return best_x, best_v
+
+    def minimize(
+        self, tolerance: RationalLike = Fraction(1, 10**12)
+    ) -> Tuple[Fraction, Fraction]:
+        """Return ``(argmin, min)`` over the whole domain."""
+        negated = self.map_pieces(lambda poly: -poly)
+        x, v = negated.maximize(tolerance)
+        return x, -v
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"PiecewisePolynomial({len(self._pieces)} pieces on [{self.lower}, {self.upper}])"
+
+    def pretty(self, variable: str = "x") -> str:
+        """Multi-line rendering listing every piece."""
+        lines = []
+        for piece in self._pieces:
+            lines.append(
+                f"[{piece.lower}, {piece.upper}]: {piece.polynomial.pretty(variable)}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Shared fixtures and helpers for the test-suite.
+
+Conventions used throughout the tests:
+
+* Exact assertions (``==`` on ``Fraction``) wherever the quantity is
+  exact -- which is most of the package.
+* Monte Carlo assertions always go through a Wilson/normal interval at
+  z = 3.89 (two-sided tail ~ 1e-4), with fixed seeds, so spurious
+  failures are rare and reruns are deterministic.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests that sample."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tight_tolerance() -> Fraction:
+    """Root-refinement tolerance used by exact-optimum tests."""
+    return Fraction(1, 10**15)
+
+
+def fraction_close(a: Fraction, b: Fraction, tol: Fraction) -> bool:
+    """|a - b| <= tol for exact rationals."""
+    return abs(a - b) <= tol

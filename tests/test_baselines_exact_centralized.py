@@ -1,0 +1,92 @@
+"""Tests for repro.baselines.exact_centralized."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.baselines.centralized import (
+    best_possible_win,
+    centralized_winning_probability,
+)
+from repro.baselines.exact_centralized import centralized_feasibility_exact
+
+
+class TestSmallCases:
+    def test_n1(self):
+        assert centralized_feasibility_exact(1, Fraction(1, 2)) == (
+            Fraction(1, 2)
+        )
+        assert centralized_feasibility_exact(1, 2) == 1
+
+    def test_n2(self):
+        assert centralized_feasibility_exact(2, Fraction(1, 2)) == (
+            Fraction(1, 4)
+        )
+        assert centralized_feasibility_exact(2, 1) == 1
+        assert centralized_feasibility_exact(2, 3) == 1
+
+    def test_n3_delta1_closed_form(self):
+        # hand integral: P = 3/4 exactly
+        assert centralized_feasibility_exact(3, 1) == Fraction(3, 4)
+
+    def test_degenerate_capacity(self):
+        assert centralized_feasibility_exact(3, 0) == 0
+        assert centralized_feasibility_exact(3, -1) == 0
+
+    def test_saturation(self):
+        # capacity 3 fits everything in one bin
+        assert centralized_feasibility_exact(3, 3) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            centralized_feasibility_exact(0, 1)
+        with pytest.raises(NotImplementedError):
+            centralized_feasibility_exact(4, 1)
+
+
+class TestAgainstMonteCarlo:
+    @pytest.mark.parametrize(
+        "delta", [Fraction(1, 2), Fraction(3, 4), 1, Fraction(4, 3), Fraction(3, 2)]
+    )
+    def test_n3_covered_by_sampling(self, delta):
+        exact = float(centralized_feasibility_exact(3, delta))
+        summary = centralized_winning_probability(
+            3, delta, trials=60_000, seed=int(delta * 100)
+        )
+        assert summary.covers(exact)
+
+    def test_n3_against_direct_enumeration(self, rng):
+        delta = 1.0
+        trials = 30_000
+        wins = sum(
+            best_possible_win(rng.random(3), delta) for _ in range(trials)
+        )
+        exact = float(centralized_feasibility_exact(3, 1))
+        z_half_width = 3.89 * (0.25 / trials) ** 0.5
+        assert abs(wins / trials - exact) < z_half_width + 1e-9
+
+
+class TestDominanceOverProtocols:
+    def test_bounds_every_exact_protocol_value(self):
+        """The feasibility probability dominates the no-communication
+        optima at every tested capacity -- the exact version of the
+        information ordering."""
+        from repro.core.oblivious import (
+            optimal_oblivious_winning_probability,
+        )
+        from repro.optimize.threshold_opt import (
+            optimal_symmetric_threshold,
+        )
+
+        for delta in (Fraction(1, 2), 1, Fraction(4, 3), 2):
+            bound = centralized_feasibility_exact(3, delta)
+            assert bound >= optimal_symmetric_threshold(3, delta).probability
+            assert bound >= optimal_oblivious_winning_probability(delta, 3)
+
+    def test_monotone_in_capacity(self):
+        values = [
+            centralized_feasibility_exact(3, Fraction(i, 8))
+            for i in range(1, 25)
+        ]
+        assert values == sorted(values)

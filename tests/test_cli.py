@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCase:
+    def test_case_n3(self, capsys):
+        assert main(["case", "--n", "3", "--delta", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "beta* = 0.622" in out
+        assert "P*(oblivious, alpha=1/2) = 0.4166" in out
+
+    def test_case_fractional_delta(self, capsys):
+        assert main(["case", "--n", "4", "--delta", "4/3"]) == 0
+        out = capsys.readouterr().out
+        assert "beta* = 0.677997" in out
+
+
+class TestFigures:
+    def test_figure1(self, capsys):
+        assert main(["figure1", "--ns", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "beta* = 0.622036" in out
+
+    def test_figure2(self, capsys):
+        assert main(["figure2", "--ns", "3", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "delta = n/3" in out
+        assert "n=4 (delta=4/3)" in out
+
+
+class TestUniformity:
+    def test_fixed_delta(self, capsys):
+        assert main(["uniformity", "--ns", "2", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "0.416667" in out  # oblivious n=3 value
+
+    def test_scaled(self, capsys):
+        assert main(["uniformity", "--ns", "4", "--scaled"]) == 0
+        out = capsys.readouterr().out
+        assert "4/3" in out
+
+
+class TestTradeoff:
+    def test_runs(self, capsys):
+        assert main(
+            ["tradeoff", "--ns", "2", "3", "--trials", "5000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "centralized" in out
+
+
+class TestValidate:
+    def test_consistent(self, capsys):
+        code = main(
+            [
+                "validate",
+                "--n",
+                "3",
+                "--grid-size",
+                "3",
+                "--trials",
+                "30000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all 3 grid points consistent" in out
+
+
+class TestMixture:
+    def test_n4_reports_interior_optimum(self, capsys):
+        assert main(["mixture", "--n", "4", "--delta", "4/3"]) == 0
+        out = capsys.readouterr().out
+        assert "p* = 0.549144" in out
+        assert "beats BOTH" in out
+
+    def test_n3_prefers_pure_threshold(self, capsys):
+        assert main(["mixture", "--n", "3", "--delta", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "p* = 1.000000" in out
+        assert "beats BOTH" not in out
+
+
+class TestParsing:
+    def test_bad_delta_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["case", "--n", "3", "--delta", "abc"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

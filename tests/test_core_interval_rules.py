@@ -1,0 +1,194 @@
+"""Tests for repro.core.interval_rules (the step-function extension)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.interval_rules import (
+    best_two_cut_perturbation,
+    interval_rule_winning_probability,
+    rule_segments,
+    single_threshold_as_interval_rule,
+)
+from repro.core.nonoblivious import threshold_winning_probability
+from repro.model.algorithms import IntervalRule
+from repro.probability.uniform_sums import (
+    irwin_hall_cdf,
+    joint_sum_below_and_inside_boxes,
+)
+
+
+class TestJointBoxes:
+    def test_generalises_low_joint(self):
+        from repro.probability.uniform_sums import (
+            joint_sum_below_and_inside_low,
+        )
+
+        alphas = [Fraction(1, 3), Fraction(2, 3)]
+        t = Fraction(3, 4)
+        assert joint_sum_below_and_inside_boxes(
+            t, [(0, a) for a in alphas]
+        ) == joint_sum_below_and_inside_low(t, alphas)
+
+    def test_generalises_high_joint(self):
+        from repro.probability.uniform_sums import (
+            joint_sum_below_and_inside_high,
+        )
+
+        alphas = [Fraction(1, 4), Fraction(1, 2)]
+        t = Fraction(7, 4)
+        assert joint_sum_below_and_inside_boxes(
+            t, [(a, 1) for a in alphas]
+        ) == joint_sum_below_and_inside_high(t, alphas)
+
+    def test_empty(self):
+        assert joint_sum_below_and_inside_boxes(1, []) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            joint_sum_below_and_inside_boxes(
+                1, [(Fraction(1, 2), Fraction(1, 2))]
+            )
+        with pytest.raises(ValueError):
+            joint_sum_below_and_inside_boxes(1, [(0, Fraction(3, 2))])
+
+
+class TestSegments:
+    def test_single_threshold_segments(self):
+        rule = single_threshold_as_interval_rule(Fraction(2, 5))
+        assert rule_segments(rule, 0) == [(Fraction(0), Fraction(2, 5))]
+        assert rule_segments(rule, 1) == [(Fraction(2, 5), Fraction(1))]
+
+    def test_degenerate_thresholds(self):
+        always_one = single_threshold_as_interval_rule(0)
+        assert rule_segments(always_one, 0) == []
+        assert rule_segments(always_one, 1) == [(0, 1)]
+        always_zero = single_threshold_as_interval_rule(1)
+        assert rule_segments(always_zero, 0) == [(0, 1)]
+        assert rule_segments(always_zero, 1) == []
+
+    def test_sandwich_segments(self):
+        rule = IntervalRule([Fraction(1, 4), Fraction(3, 4)], [0, 1, 0])
+        assert rule_segments(rule, 0) == [
+            (Fraction(0), Fraction(1, 4)),
+            (Fraction(3, 4), Fraction(1)),
+        ]
+        assert rule_segments(rule, 1) == [
+            (Fraction(1, 4), Fraction(3, 4))
+        ]
+
+    def test_adjacent_same_bit_segments_merged(self):
+        rule = IntervalRule(
+            [Fraction(1, 4), Fraction(1, 2)], [0, 0, 1]
+        )
+        assert rule_segments(rule, 0) == [(Fraction(0), Fraction(1, 2))]
+
+    def test_zero_width_segment_dropped(self):
+        rule = IntervalRule([Fraction(0), Fraction(1, 2)], [1, 0, 1])
+        # the [0, 0] "segment" labelled 1 vanishes
+        assert rule_segments(rule, 0) == [(Fraction(0), Fraction(1, 2))]
+        assert rule_segments(rule, 1) == [(Fraction(1, 2), Fraction(1))]
+
+    def test_bit_validation(self):
+        rule = single_threshold_as_interval_rule(Fraction(1, 2))
+        with pytest.raises(ValueError):
+            rule_segments(rule, 2)
+
+
+class TestIntervalWinningProbability:
+    def test_reduces_to_theorem_5_1(self):
+        for thresholds in (
+            [Fraction(1, 2)] * 3,
+            [Fraction(311, 500)] * 3,
+            [Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)],
+        ):
+            rules = [
+                single_threshold_as_interval_rule(a) for a in thresholds
+            ]
+            assert interval_rule_winning_probability(1, rules) == (
+                threshold_winning_probability(1, thresholds)
+            )
+
+    def test_constant_rules(self):
+        # everyone forced to bin 1: Irwin-Hall
+        rules = [single_threshold_as_interval_rule(0)] * 3
+        assert interval_rule_winning_probability(1, rules) == (
+            irwin_hall_cdf(1, 3)
+        )
+
+    def test_flipped_threshold_symmetry(self):
+        # swapping the two bins everywhere leaves the winning
+        # probability unchanged
+        beta = Fraction(3, 5)
+        normal = [IntervalRule([beta], [0, 1])] * 3
+        flipped = [IntervalRule([beta], [1, 0])] * 3
+        assert interval_rule_winning_probability(
+            1, normal
+        ) == interval_rule_winning_probability(1, flipped)
+
+    def test_sandwich_rule_against_monte_carlo(self):
+        from repro.model.system import DistributedSystem
+        from repro.simulation.engine import MonteCarloEngine
+
+        rule = IntervalRule([Fraction(1, 2), Fraction(4, 5)], [0, 1, 0])
+        rules = [rule] * 3
+        exact = interval_rule_winning_probability(1, rules)
+        summary = MonteCarloEngine(seed=55).estimate_winning_probability(
+            DistributedSystem(rules, 1), trials=120_000
+        )
+        assert summary.covers(float(exact))
+
+    def test_mixed_rule_shapes_against_monte_carlo(self):
+        from repro.model.system import DistributedSystem
+        from repro.simulation.engine import MonteCarloEngine
+
+        rules = [
+            IntervalRule([Fraction(1, 3)], [1, 0]),
+            IntervalRule(
+                [Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)],
+                [0, 1, 0, 1],
+            ),
+            single_threshold_as_interval_rule(Fraction(3, 5)),
+        ]
+        exact = interval_rule_winning_probability(Fraction(4, 3), rules)
+        summary = MonteCarloEngine(seed=56).estimate_winning_probability(
+            DistributedSystem(rules, Fraction(4, 3)), trials=120_000
+        )
+        assert summary.covers(float(exact))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interval_rule_winning_probability(1, [])
+        rules = [single_threshold_as_interval_rule(Fraction(1, 2))]
+        assert interval_rule_winning_probability(0, rules) == 0
+
+    def test_range(self):
+        rule = IntervalRule([Fraction(2, 5), Fraction(3, 5)], [1, 0, 1])
+        v = interval_rule_winning_probability(Fraction(1, 2), [rule] * 2)
+        assert 0 <= v <= 1
+
+
+class TestTwoCutAblation:
+    def test_no_improvement_at_paper_optimum(self):
+        """At the Section 5.2.1 optimum, 'send the largest inputs back
+        to bin 0' refinements do not help -- the single threshold wins
+        in the whole perturbation family."""
+        best, single, cuts = best_two_cut_perturbation(
+            3,
+            1,
+            Fraction(62204, 100000),
+            offsets=[Fraction(k, 25) for k in range(-2, 10)],
+        )
+        assert best == single
+
+    def test_improvement_possible_at_bad_threshold(self):
+        """Away from the optimum the family must be able to improve
+        (sanity check that the search is not vacuous): at beta = 0.9
+        the two-cut family strictly beats the single threshold."""
+        best, single, cuts = best_two_cut_perturbation(
+            3,
+            1,
+            Fraction(9, 10),
+            offsets=[Fraction(k, 20) - Fraction(1, 2) for k in range(0, 20)],
+        )
+        assert best > single

@@ -1,0 +1,106 @@
+"""Tests replaying Lemma 4.6 computationally (repro.core.lemma46)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.lemma46 import (
+    antisymmetry_defect,
+    lemma46_polynomial,
+    rho_of_alpha,
+    stationarity_in_alpha,
+)
+from repro.symbolic.roots import count_real_roots
+
+SWEEP = [
+    (n, t)
+    for n in (2, 3, 4, 5, 6, 7)
+    for t in (Fraction(1, 2), Fraction(1), Fraction(4, 3), Fraction(2))
+    if t < n
+]
+
+
+class TestRhoChangeOfVariable:
+    def test_half_maps_to_minus_one(self):
+        assert rho_of_alpha(Fraction(1, 2)) == -1
+
+    def test_monotone_decreasing_on_unit_interval(self):
+        # rho = alpha / (alpha - 1) falls from 0 toward -infinity
+        values = [rho_of_alpha(Fraction(i, 10)) for i in range(10)]
+        assert values == sorted(values, reverse=True)
+        assert all(v <= 0 for v in values)
+
+    def test_undefined_at_one(self):
+        with pytest.raises(ZeroDivisionError):
+            rho_of_alpha(1)
+
+
+class TestCoefficientAntisymmetry:
+    @pytest.mark.parametrize("n, t", SWEEP)
+    def test_lemma_4_4_in_coefficient_form(self, n, t):
+        assert all(d == 0 for d in antisymmetry_defect(t, n))
+
+    @pytest.mark.parametrize("n, t", SWEEP)
+    def test_middle_coefficient_vanishes_for_odd_n(self, n, t):
+        if n % 2 == 1:
+            q = lemma46_polynomial(t, n)
+            assert q.coefficient((n - 1) // 2) == 0
+
+
+class TestStationarityPolynomial:
+    @pytest.mark.parametrize("n, t", SWEEP)
+    def test_half_is_stationary(self, n, t):
+        assert stationarity_in_alpha(t, n)(Fraction(1, 2)) == 0
+
+    @pytest.mark.parametrize("n, t", SWEEP)
+    def test_half_is_the_only_interior_root(self, n, t):
+        """The uniqueness claim of Lemma 4.6, verified by exact Sturm
+        root counting on (0, 1) (shrunk slightly to avoid the boundary
+        roots that exist when phi degenerates)."""
+        s = stationarity_in_alpha(t, n)
+        assert not s.is_zero()
+        assert count_real_roots(
+            s, Fraction(1, 1000), Fraction(999, 1000)
+        ) == 1
+
+    @pytest.mark.parametrize("n, t", SWEEP)
+    def test_matches_gradient_evaluator(self, n, t):
+        from repro.core.optimality import oblivious_partial
+
+        s = stationarity_in_alpha(t, n)
+        for i in (1, 3, 7):
+            alpha = Fraction(i, 10)
+            assert s(alpha) == oblivious_partial(t, [alpha] * n, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stationarity_in_alpha(1, 1)
+        with pytest.raises(ValueError):
+            lemma46_polynomial(1, 1)
+
+
+class TestQPolynomial:
+    def test_degree(self):
+        assert lemma46_polynomial(1, 4).degree <= 3
+
+    def test_relation_to_stationarity(self):
+        """S(alpha) = (1-alpha)^(n-1) * Q'(alpha) where Q' substitutes
+        rho -> alpha/(alpha-1) up to sign conventions; verify the
+        concrete relation pointwise:
+        S(alpha) = sum_r c_r alpha^(n-1-r) (1-alpha)^r with
+        c_r = -q_r (the stationarity uses phi(r) - phi(r+1))."""
+        n, t = 5, Fraction(3, 2)
+        q = lemma46_polynomial(t, n)
+        s = stationarity_in_alpha(t, n)
+        for i in range(1, 10):
+            alpha = Fraction(i, 10)
+            direct = sum(
+                (
+                    -q.coefficient(r)
+                    * alpha ** (n - 1 - r)
+                    * (1 - alpha) ** r
+                    for r in range(n)
+                ),
+                Fraction(0),
+            )
+            assert direct == s(alpha)

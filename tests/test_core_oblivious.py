@@ -1,0 +1,143 @@
+"""Tests for repro.core.oblivious (Theorem 4.1 / Theorem 4.3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.oblivious import (
+    number_of_ones_distribution,
+    oblivious_winning_probability,
+    oblivious_winning_probability_enumerated,
+    optimal_oblivious_winning_probability,
+    symmetric_oblivious_winning_probability,
+)
+from repro.symbolic.rational import binomial
+
+
+class TestNumberOfOnesDistribution:
+    def test_fair_coins_give_binomial(self):
+        pmf = number_of_ones_distribution([Fraction(1, 2)] * 4)
+        assert pmf == [Fraction(binomial(4, k), 16) for k in range(5)]
+
+    def test_deterministic_players(self):
+        # alpha = 1 -> always 0; alpha = 0 -> always 1
+        pmf = number_of_ones_distribution([1, 0, 1])
+        assert pmf == [0, 1, 0, 0]
+
+    def test_sums_to_one(self):
+        pmf = number_of_ones_distribution(
+            [Fraction(1, 3), Fraction(2, 5), Fraction(7, 9)]
+        )
+        assert sum(pmf) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            number_of_ones_distribution([])
+        with pytest.raises(ValueError):
+            number_of_ones_distribution([Fraction(3, 2)])
+
+
+class TestTheorem41:
+    def test_collapse_matches_enumeration(self):
+        alphas = [Fraction(1, 3), Fraction(1, 2), Fraction(4, 5), Fraction(1, 7)]
+        for t in (Fraction(1, 2), 1, Fraction(4, 3), 3):
+            assert oblivious_winning_probability(t, alphas) == (
+                oblivious_winning_probability_enumerated(t, alphas)
+            )
+
+    def test_symmetric_form_agrees(self):
+        a = Fraction(2, 7)
+        for n in (2, 3, 5):
+            assert symmetric_oblivious_winning_probability(1, n, a) == (
+                oblivious_winning_probability(1, [a] * n)
+            )
+
+    def test_two_players_hand_computation(self):
+        # n=2, t=1, alpha=(1/2,1/2):
+        # P = (1/4)(phi(0) + 2 phi(1) + phi(2)); phi(0)=phi(2)=F_2(1)=1/2,
+        # phi(1)=F_1(1)^2=1  ->  P = (1/4)(1/2 + 2 + 1/2) = 3/4
+        assert oblivious_winning_probability(
+            1, [Fraction(1, 2), Fraction(1, 2)]
+        ) == Fraction(3, 4)
+
+    def test_deterministic_all_same_bin(self):
+        # everyone to bin 0: win iff Irwin-Hall sum <= t
+        from repro.probability.uniform_sums import irwin_hall_cdf
+
+        for n in (2, 3, 4):
+            assert oblivious_winning_probability(1, [1] * n) == (
+                irwin_hall_cdf(1, n)
+            )
+
+    def test_capacity_saturation(self):
+        assert oblivious_winning_probability(5, [Fraction(1, 2)] * 4) == 1
+
+    def test_zero_capacity(self):
+        assert oblivious_winning_probability(0, [Fraction(1, 2)] * 3) == 0
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            oblivious_winning_probability(1, [Fraction(3, 2)])
+        with pytest.raises(ValueError):
+            symmetric_oblivious_winning_probability(1, 3, 2)
+
+
+class TestTheorem43:
+    def test_known_value_n3(self):
+        assert optimal_oblivious_winning_probability(1, 3) == Fraction(5, 12)
+
+    def test_known_value_n2(self):
+        assert optimal_oblivious_winning_probability(1, 2) == Fraction(3, 4)
+
+    def test_matches_symmetric_at_half(self):
+        for n in (2, 3, 4, 5, 6):
+            for t in (Fraction(1, 2), 1, Fraction(4, 3)):
+                assert optimal_oblivious_winning_probability(t, n) == (
+                    symmetric_oblivious_winning_probability(
+                        t, n, Fraction(1, 2)
+                    )
+                )
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    @pytest.mark.parametrize("t", [Fraction(1, 2), 1, Fraction(4, 3)])
+    def test_fair_coin_beats_grid(self, n, t):
+        """alpha = 1/2 dominates a grid of symmetric alternatives --
+        the optimality claim of Theorem 4.3 restricted to symmetric
+        algorithms (asymmetric ones are covered by the gradient tests)."""
+        best = optimal_oblivious_winning_probability(t, n)
+        for i in range(0, 11):
+            a = Fraction(i, 10)
+            assert symmetric_oblivious_winning_probability(t, n, a) <= best
+
+    def test_symmetric_profiles_never_beat_fair_coin(self):
+        t = Fraction(1)
+        best = optimal_oblivious_winning_probability(t, 3)
+        for i in range(0, 21):
+            a = Fraction(i, 20)
+            assert oblivious_winning_probability(t, [a] * 3) <= best
+
+    def test_paper_discrepancy_boundary_profiles_beat_fair_coin(self):
+        """Documented deviation from the paper (see EXPERIMENTS.md).
+
+        Theorem 4.3 claims alpha = (1/2, ..., 1/2) is THE optimal
+        oblivious algorithm, but the proof only rules out interior
+        stationary points.  Boundary (partly deterministic) profiles do
+        better: for n = 3, t = 1 the deterministic split
+        alpha = (1, 0, 1/2) guarantees one player per bin and wins with
+        probability 1/2 > 5/12.  The reproduction asserts the
+        phenomenon so it stays on the record.
+        """
+        t = Fraction(1)
+        fair = optimal_oblivious_winning_probability(t, 3)
+        split = oblivious_winning_probability(
+            t, [1, 0, Fraction(1, 2)]
+        )
+        assert split == Fraction(1, 2)
+        assert split > fair
+        # the interior profile from Lemma 4.5's "equal coordinates"
+        # family is still dominated by the asymmetric interior one:
+        skewed = oblivious_winning_probability(
+            t, [Fraction(1, 3), Fraction(1, 2), Fraction(2, 3)]
+        )
+        assert skewed == Fraction(23, 54)
+        assert skewed > fair

@@ -1,0 +1,113 @@
+"""Tests for repro.core.optimality (Corollary 4.2 / Theorem 5.2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.nonoblivious import symmetric_threshold_winning_polynomial
+from repro.core.oblivious import oblivious_winning_probability
+from repro.core.optimality import (
+    oblivious_gradient,
+    oblivious_partial,
+    symmetric_threshold_stationarity,
+    threshold_gradient,
+)
+from repro.symbolic.polynomial import Polynomial
+
+
+class TestObliviousGradient:
+    def test_vanishes_at_fair_coin(self):
+        for n in (2, 3, 4, 5):
+            for t in (Fraction(1, 2), 1, Fraction(4, 3)):
+                grad = oblivious_gradient(t, [Fraction(1, 2)] * n)
+                assert all(g == 0 for g in grad)
+
+    def test_matches_finite_difference(self):
+        t = Fraction(1)
+        alphas = [Fraction(1, 3), Fraction(2, 5), Fraction(3, 4)]
+        h = Fraction(1, 10**6)
+        for k in range(3):
+            up = list(alphas)
+            down = list(alphas)
+            up[k] += h
+            down[k] -= h
+            numeric = (
+                oblivious_winning_probability(t, up)
+                - oblivious_winning_probability(t, down)
+            ) / (2 * h)
+            exact = oblivious_partial(t, alphas, k)
+            # the objective is multilinear in alpha, so the central
+            # difference is EXACT
+            assert numeric == exact
+
+    def test_index_validation(self):
+        with pytest.raises(ValueError):
+            oblivious_partial(1, [Fraction(1, 2)] * 3, 3)
+
+    def test_single_player(self):
+        # n = 1: P = alpha*phi(0) + (1-alpha)*phi(1); gradient is
+        # phi(0) - phi(1) = 0 by symmetry
+        grad = oblivious_gradient(1, [Fraction(1, 3)])
+        assert grad == [Fraction(0)]
+
+    def test_gradient_sign_pushes_toward_balance(self):
+        # with everyone biased to bin 0 (alpha > 1/2), the partial
+        # derivative should be negative: decreasing alpha_k (moving
+        # toward bin 1) helps.
+        t = Fraction(1)
+        grad = oblivious_gradient(t, [Fraction(3, 4)] * 3)
+        assert all(g < 0 for g in grad)
+        grad = oblivious_gradient(t, [Fraction(1, 4)] * 3)
+        assert all(g > 0 for g in grad)
+
+
+class TestThresholdGradient:
+    def test_matches_piecewise_derivative_in_symmetric_case(self):
+        n, delta = 3, Fraction(1)
+        beta = Fraction(7, 10)  # interior of the (1/2, 1] piece
+        curve = symmetric_threshold_winning_polynomial(n, delta)
+        # d/dbeta of P(beta, beta, beta) = sum of partials
+        total_exact = curve.derivative()(beta)
+        grad = threshold_gradient(delta, [beta] * n)
+        assert abs(sum(grad) - total_exact) < Fraction(1, 10**4)
+
+    def test_zero_at_optimum(self):
+        # near beta* the summed gradient changes sign
+        n, delta = 3, Fraction(1)
+        below = [Fraction(61, 100)] * n
+        above = [Fraction(64, 100)] * n
+        assert sum(threshold_gradient(delta, below)) > 0
+        assert sum(threshold_gradient(delta, above)) < 0
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            threshold_gradient(1, [Fraction(1, 2)], step=0)
+
+    def test_boundary_thresholds_handled(self):
+        grad = threshold_gradient(1, [Fraction(0), Fraction(1)])
+        assert len(grad) == 2
+
+
+class TestSymmetricStationarity:
+    def test_n3_delta1_matches_paper_quadratic(self):
+        stationarity = symmetric_threshold_stationarity(3, 1)
+        piece = stationarity.piece_at(Fraction(3, 4)).polynomial
+        # (21/2)(beta^2 - 2 beta + 6/7)
+        assert piece == Polynomial([Fraction(6, 7), -2, 1]) * Fraction(21, 2)
+
+    def test_root_is_paper_threshold(self):
+        from repro.symbolic.roots import real_roots
+
+        stationarity = symmetric_threshold_stationarity(3, 1)
+        piece = stationarity.piece_at(Fraction(3, 4)).polynomial
+        roots = real_roots(piece, Fraction(1, 2), 1, Fraction(1, 10**15))
+        assert len(roots) == 1
+        assert abs(float(roots[0]) - (1 - (1 / 7) ** 0.5)) < 1e-13
+
+    def test_derivative_of_curve(self):
+        n, delta = 4, Fraction(4, 3)
+        curve = symmetric_threshold_winning_polynomial(n, delta)
+        stationarity = symmetric_threshold_stationarity(n, delta)
+        for i in range(1, 10):
+            beta = Fraction(i, 10)
+            assert stationarity(beta) == curve.derivative()(beta)

@@ -1,0 +1,87 @@
+"""Tests for repro.core.phi (the Theorem 4.1 kernel and Lemma 4.4)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.phi import phi, phi_forward_difference, phi_table
+from repro.probability.uniform_sums import irwin_hall_cdf
+
+
+class TestPhi:
+    def test_product_form(self):
+        t = Fraction(3, 2)
+        n = 5
+        for k in range(n + 1):
+            assert phi(t, k, n) == irwin_hall_cdf(t, k) * irwin_hall_cdf(
+                t, n - k
+            )
+
+    def test_known_values_n3_t1(self):
+        # F_0(1)=1, F_1(1)=1, F_2(1)=1/2, F_3(1)=1/6
+        assert phi(1, 0, 3) == Fraction(1, 6)
+        assert phi(1, 1, 3) == Fraction(1, 2)
+        assert phi(1, 2, 3) == Fraction(1, 2)
+        assert phi(1, 3, 3) == Fraction(1, 6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            phi(1, -1, 3)
+        with pytest.raises(ValueError):
+            phi(1, 4, 3)
+        with pytest.raises(ValueError):
+            phi(1, 0, 0)
+
+    def test_zero_capacity(self):
+        assert phi(0, 1, 3) == 0
+        assert phi(-1, 1, 3) == 0
+
+    def test_large_capacity_saturates(self):
+        assert phi(10, 2, 4) == 1
+
+
+class TestLemma44Symmetry:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7])
+    @pytest.mark.parametrize(
+        "t", [Fraction(1, 2), 1, Fraction(4, 3), 2, Fraction(5, 2)]
+    )
+    def test_phi_symmetric(self, n, t):
+        for k in range(n + 1):
+            assert phi(t, k, n) == phi(t, n - k, n)
+
+
+class TestPhiTable:
+    def test_matches_pointwise(self):
+        t = Fraction(4, 3)
+        n = 6
+        table = phi_table(t, n)
+        assert table == [phi(t, k, n) for k in range(n + 1)]
+
+    def test_length(self):
+        assert len(phi_table(1, 4)) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            phi_table(1, 0)
+
+
+class TestForwardDifferences:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    @pytest.mark.parametrize("t", [Fraction(1, 2), 1, Fraction(3, 2)])
+    def test_positive_below_half(self, n, t):
+        """Lemma 4.6 needs phi(r+1) - phi(r) > 0 for r < n/2 whenever
+        phi is non-degenerate (0 < t < n)."""
+        diffs = phi_forward_difference(t, n)
+        for r in range(n):
+            if r + 1 <= n / 2 and phi(t, r + 1, n) > 0:
+                assert diffs[r] >= 0
+            # strictly positive in the interior regime
+            if r + 1 <= (n - 1) / 2 and 0 < t < n and diffs[r] != 0:
+                assert diffs[r] > 0
+
+    def test_antisymmetry(self):
+        # phi(r+1) - phi(r) = -(phi(n-r) - phi(n-r-1)) by Lemma 4.4
+        n, t = 5, Fraction(3, 2)
+        diffs = phi_forward_difference(t, n)
+        for r in range(n):
+            assert diffs[r] == -diffs[n - 1 - r]

@@ -1,0 +1,137 @@
+"""Property-based tests for the core winning-probability formulas.
+
+The invariances that must hold for *any* parameters, not just the
+paper's worked points: permutation symmetry, bin-swap symmetry,
+monotonicity in the capacity, probability bounds, and the reductions
+between the algorithm families.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nonoblivious import (
+    symmetric_threshold_winning_probability,
+    threshold_winning_probability,
+)
+from repro.core.oblivious import (
+    oblivious_winning_probability,
+    optimal_oblivious_winning_probability,
+)
+from repro.core.phi import phi_table
+
+probabilities = st.fractions(min_value=0, max_value=1, max_denominator=12)
+capacities = st.fractions(
+    min_value="1/4", max_value=4, max_denominator=12
+)
+small_profiles = st.lists(probabilities, min_size=1, max_size=4)
+
+
+class TestObliviousInvariances:
+    @settings(max_examples=50, deadline=None)
+    @given(small_profiles, capacities)
+    def test_range(self, alphas, t):
+        v = oblivious_winning_probability(t, alphas)
+        assert 0 <= v <= 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_profiles, capacities, st.randoms(use_true_random=False))
+    def test_permutation_invariance(self, alphas, t, rnd):
+        shuffled = list(alphas)
+        rnd.shuffle(shuffled)
+        assert oblivious_winning_probability(t, alphas) == (
+            oblivious_winning_probability(t, shuffled)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_profiles, capacities)
+    def test_bin_swap_invariance(self, alphas, t):
+        """Relabelling the bins maps alpha -> 1 - alpha and must leave
+        the winning probability unchanged (Lemma 4.4 in disguise)."""
+        flipped = [1 - a for a in alphas]
+        assert oblivious_winning_probability(t, alphas) == (
+            oblivious_winning_probability(t, flipped)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_profiles, capacities, capacities)
+    def test_monotone_in_capacity(self, alphas, t1, t2):
+        lo, hi = min(t1, t2), max(t1, t2)
+        assert oblivious_winning_probability(
+            lo, alphas
+        ) <= oblivious_winning_probability(hi, alphas)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=5), capacities)
+    def test_saturation(self, n, t):
+        # capacity >= n: no overflow possible
+        assert oblivious_winning_probability(
+            Fraction(n) + t, [Fraction(1, 2)] * n
+        ) == 1
+
+
+class TestThresholdInvariances:
+    @settings(max_examples=40, deadline=None)
+    @given(small_profiles, capacities)
+    def test_range(self, thresholds, delta):
+        v = threshold_winning_probability(delta, thresholds)
+        assert 0 <= v <= 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_profiles, capacities, st.randoms(use_true_random=False))
+    def test_permutation_invariance(self, thresholds, delta, rnd):
+        shuffled = list(thresholds)
+        rnd.shuffle(shuffled)
+        assert threshold_winning_probability(delta, thresholds) == (
+            threshold_winning_probability(delta, shuffled)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_profiles, capacities, capacities)
+    def test_monotone_in_capacity(self, thresholds, d1, d2):
+        lo, hi = min(d1, d2), max(d1, d2)
+        assert threshold_winning_probability(
+            lo, thresholds
+        ) <= threshold_winning_probability(hi, thresholds)
+
+    @settings(max_examples=40, deadline=None)
+    @given(probabilities, st.integers(min_value=1, max_value=4), capacities)
+    def test_symmetric_agrees_with_general(self, beta, n, delta):
+        assert symmetric_threshold_winning_probability(
+            beta, n, delta
+        ) == threshold_winning_probability(delta, [beta] * n)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=4), capacities)
+    def test_endpoint_equality(self, n, delta):
+        # beta = 0 and beta = 1 both dump everyone in one bin
+        assert symmetric_threshold_winning_probability(
+            0, n, delta
+        ) == symmetric_threshold_winning_probability(1, n, delta)
+
+
+class TestCrossFamilyRelations:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=5), capacities)
+    def test_optimal_threshold_vs_all_in_one_bin(self, n, delta):
+        """Any threshold profile at least matches the everyone-in-one-bin
+        strategy (beta = 0 is in the feasible set)."""
+        from repro.optimize.threshold_opt import (
+            optimal_symmetric_threshold,
+        )
+
+        opt = optimal_symmetric_threshold(n, delta)
+        assert opt.probability >= symmetric_threshold_winning_probability(
+            0, n, delta
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=5), capacities)
+    def test_phi_bounds_everything(self, n, t):
+        """No algorithm of any kind beats max_k phi_t(k): conditioning
+        on the best possible split count is an upper bound for all
+        no-communication protocols with deterministic outputs."""
+        best_phi = max(phi_table(t, n))
+        coin = optimal_oblivious_winning_probability(t, n)
+        assert coin <= best_phi

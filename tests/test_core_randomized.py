@@ -1,0 +1,172 @@
+"""Tests for repro.core.randomized (the oblivious/non-oblivious continuum)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.nonoblivious import threshold_winning_probability
+from repro.core.oblivious import oblivious_winning_probability
+from repro.core.randomized import (
+    RandomizedThresholdRule,
+    best_symmetric_mixture,
+    best_symmetric_mixture_exact,
+    randomized_threshold_winning_probability,
+    symmetric_mixture_polynomial,
+    symmetric_mixture_winning_probability,
+)
+
+
+class TestRandomizedThresholdRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomizedThresholdRule(2, Fraction(1, 2))
+        with pytest.raises(ValueError):
+            RandomizedThresholdRule(Fraction(1, 2), 2)
+        with pytest.raises(ValueError):
+            RandomizedThresholdRule(
+                Fraction(1, 2), Fraction(1, 2), alpha=-1
+            )
+
+    def test_p_one_is_pure_threshold(self, rng):
+        rule = RandomizedThresholdRule(1, Fraction(1, 2))
+        assert rule.decide(0.4, {}, rng) == 0
+        assert rule.decide(0.6, {}, rng) == 1
+
+    def test_p_zero_is_pure_coin(self, rng):
+        rule = RandomizedThresholdRule(0, Fraction(1, 2), alpha=1)
+        # coin with alpha = 1 always picks bin 0, input irrelevant
+        assert rule.decide(0.99, {}, rng) == 0
+
+    def test_probability_of_zero(self):
+        rule = RandomizedThresholdRule(
+            Fraction(1, 2), Fraction(1, 2), alpha=Fraction(1, 4)
+        )
+        # below the threshold: 1/2 * 1 + 1/2 * 1/4 = 5/8
+        assert rule.probability_of_zero(0.3) == pytest.approx(5 / 8)
+        # above: 1/2 * 0 + 1/2 * 1/4 = 1/8
+        assert rule.probability_of_zero(0.7) == pytest.approx(1 / 8)
+
+    def test_batch_statistics(self, rng):
+        rule = RandomizedThresholdRule(
+            Fraction(1, 2), Fraction(1, 2), alpha=Fraction(1, 2)
+        )
+        xs = np.full(40_000, 0.25)  # below threshold
+        outs = rule.decide_batch(xs, rng)
+        # P(0) = 1/2 + 1/2 * 1/2 = 3/4
+        assert abs(float((outs == 0).mean()) - 0.75) < 3.89 * (
+            0.75 * 0.25 / 40_000
+        ) ** 0.5
+
+
+class TestExactFormula:
+    def test_p_one_reduces_to_theorem_5_1(self):
+        beta = Fraction(3, 5)
+        rules = [RandomizedThresholdRule(1, beta) for _ in range(3)]
+        assert randomized_threshold_winning_probability(1, rules) == (
+            threshold_winning_probability(1, [beta] * 3)
+        )
+
+    def test_p_zero_reduces_to_theorem_4_1(self):
+        alpha = Fraction(2, 5)
+        rules = [
+            RandomizedThresholdRule(0, Fraction(1, 2), alpha=alpha)
+            for _ in range(3)
+        ]
+        assert randomized_threshold_winning_probability(1, rules) == (
+            oblivious_winning_probability(1, [alpha] * 3)
+        )
+
+    def test_symmetric_collapse_matches_general(self):
+        p = Fraction(2, 5)
+        beta = Fraction(3, 5)
+        alpha = Fraction(1, 3)
+        rules = [
+            RandomizedThresholdRule(p, beta, alpha=alpha) for _ in range(3)
+        ]
+        assert randomized_threshold_winning_probability(1, rules) == (
+            symmetric_mixture_winning_probability(p, beta, 3, 1, alpha)
+        )
+
+    def test_against_monte_carlo(self):
+        from repro.model.system import DistributedSystem
+        from repro.simulation.engine import MonteCarloEngine
+
+        rules = [
+            RandomizedThresholdRule(
+                Fraction(1, 2), Fraction(678, 1000)
+            )
+            for _ in range(4)
+        ]
+        exact = randomized_threshold_winning_probability(
+            Fraction(4, 3), rules
+        )
+        summary = MonteCarloEngine(seed=88).estimate_winning_probability(
+            DistributedSystem(rules, Fraction(4, 3)), trials=150_000
+        )
+        assert summary.covers(float(exact))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            randomized_threshold_winning_probability(1, [])
+        with pytest.raises(ValueError):
+            symmetric_mixture_winning_probability(2, Fraction(1, 2), 3, 1)
+        with pytest.raises(ValueError):
+            symmetric_mixture_winning_probability(
+                Fraction(1, 2), Fraction(1, 2), 0, 1
+            )
+
+
+class TestMixturePolynomial:
+    def test_matches_pointwise_evaluation(self):
+        beta = Fraction(678, 1000)
+        poly = symmetric_mixture_polynomial(beta, 4, Fraction(4, 3))
+        for i in range(6):
+            p = Fraction(i, 5)
+            assert poly(p) == symmetric_mixture_winning_probability(
+                p, beta, 4, Fraction(4, 3)
+            )
+
+    def test_degree_at_most_n(self):
+        poly = symmetric_mixture_polynomial(Fraction(1, 2), 3, 1)
+        assert poly.degree <= 3
+
+
+class TestE8MixtureExperiment:
+    """Extension experiment E8: mixing beats both pure families at the
+    paper's n = 4, delta = 4/3 point (see EXPERIMENTS.md)."""
+
+    def test_interior_mixture_beats_both_endpoints(self):
+        from repro.optimize.threshold_opt import optimal_symmetric_threshold
+
+        delta = Fraction(4, 3)
+        beta = optimal_symmetric_threshold(4, delta).beta
+        p_star, value = best_symmetric_mixture_exact(4, delta, beta)
+        poly = symmetric_mixture_polynomial(beta, 4, delta)
+        assert 0 < p_star < 1
+        assert value > poly(0)  # beats the fair coin
+        assert value > poly(1)  # beats the pure threshold
+        assert abs(float(p_star) - 0.5491) < 1e-3
+
+    def test_grid_search_agrees_with_exact(self):
+        delta = Fraction(4, 3)
+        beta = Fraction(678, 1000)
+        p_grid, v_grid = best_symmetric_mixture(
+            4, delta, beta, grid_size=21
+        )
+        p_exact, v_exact = best_symmetric_mixture_exact(4, delta, beta)
+        assert v_grid <= v_exact
+        assert abs(p_grid - p_exact) < Fraction(1, 10)
+
+    def test_n3_case_prefers_pure_threshold(self):
+        # at n = 3, delta = 1 the deterministic threshold is so much
+        # better that no mixing helps: p* = 1
+        from repro.optimize.threshold_opt import optimal_symmetric_threshold
+
+        beta = optimal_symmetric_threshold(3, 1).beta
+        p_star, value = best_symmetric_mixture_exact(3, 1, beta)
+        assert p_star == 1
+
+    def test_grid_size_validation(self):
+        with pytest.raises(ValueError):
+            best_symmetric_mixture(3, 1, Fraction(1, 2), grid_size=1)

@@ -1,0 +1,113 @@
+"""Tests for repro.core.symbolic_oblivious (Theorem 4.1 as a polynomial)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.oblivious import oblivious_winning_probability
+from repro.core.optimality import oblivious_partial
+from repro.core.symbolic_oblivious import (
+    exchange_difference,
+    oblivious_winning_polynomial,
+    optimality_system,
+)
+from repro.symbolic.multivariate import MultiPoly
+
+
+class TestWinningPolynomial:
+    def test_multilinear(self):
+        for n in (2, 3, 4):
+            poly = oblivious_winning_polynomial(1, n)
+            assert poly.is_multilinear()
+            assert poly.nvars == n
+
+    def test_matches_numeric_evaluator(self):
+        poly = oblivious_winning_polynomial(Fraction(4, 3), 3)
+        for alphas in (
+            [Fraction(1, 2)] * 3,
+            [Fraction(1, 3), Fraction(2, 5), Fraction(7, 9)],
+            [Fraction(0), Fraction(1), Fraction(1, 2)],
+        ):
+            assert poly(alphas) == oblivious_winning_probability(
+                Fraction(4, 3), alphas
+            )
+
+    def test_permutation_symmetry(self):
+        poly = oblivious_winning_polynomial(1, 3)
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert poly.swap_variables(i, j) == poly
+
+    def test_n2_closed_form(self):
+        # n=2, t=1: phi(0)=phi(2)=1/2, phi(1)=1
+        # P = 1/2 a1 a2 + (1-a1) a2 + a1 (1-a2) + 1/2 (1-a1)(1-a2)
+        #   = 1/2 + 1/2 a1 + 1/2 a2 - a1 a2
+        poly = oblivious_winning_polynomial(1, 2)
+        expected = MultiPoly(
+            2,
+            {
+                (0, 0): Fraction(1, 2),
+                (1, 0): Fraction(1, 2),
+                (0, 1): Fraction(1, 2),
+                (1, 1): Fraction(-1),
+            },
+        )
+        assert poly == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            oblivious_winning_polynomial(1, 0)
+
+
+class TestOptimalitySystem:
+    def test_gradient_matches_numeric_partial(self):
+        system = optimality_system(1, 3)
+        alphas = [Fraction(1, 4), Fraction(3, 5), Fraction(1, 2)]
+        for k, gradient_poly in enumerate(system):
+            assert gradient_poly(alphas) == oblivious_partial(
+                1, alphas, k
+            )
+
+    def test_fair_coin_zeroes_the_system(self):
+        for n in (2, 3, 4, 5):
+            for t in (Fraction(1, 2), 1, Fraction(4, 3)):
+                system = optimality_system(t, n)
+                half = [Fraction(1, 2)] * n
+                assert all(g(half) == 0 for g in system)
+
+    def test_partials_are_multilinear_and_independent_of_own_variable(self):
+        # P is multilinear, so dP/da_k cannot mention a_k
+        system = optimality_system(1, 4)
+        for k, g in enumerate(system):
+            assert g.degree_in(k) <= 0
+
+
+class TestLemma45Exchange:
+    def test_difference_vanishes_on_diagonal(self):
+        """Lemma 4.5: dP/da_j - dP/da_k = 0 whenever a_j = a_k.
+
+        Verified as a polynomial identity: substituting the same fresh
+        value into both slots yields the zero polynomial for every
+        tested value, and -- stronger -- substituting slot j's variable
+        into slot k gives a polynomial identical to zero.
+        """
+        n = 4
+        diff = exchange_difference(1, n, 1, 3)
+        # substitute a common value c into both positions: zero for all c
+        for c in (Fraction(0), Fraction(1, 3), Fraction(1, 2), Fraction(1)):
+            collapsed = diff.substitute(1, c).substitute(3, c)
+            assert collapsed.is_zero()
+
+    def test_difference_nonzero_off_diagonal(self):
+        diff = exchange_difference(1, 3, 0, 1)
+        value = diff([Fraction(1, 4), Fraction(3, 4), Fraction(1, 2)])
+        assert value != 0
+
+    def test_antisymmetry(self):
+        d1 = exchange_difference(1, 3, 0, 2)
+        d2 = exchange_difference(1, 3, 2, 0)
+        assert d1 == -d2
+
+    def test_same_player_rejected(self):
+        with pytest.raises(ValueError):
+            exchange_difference(1, 3, 1, 1)

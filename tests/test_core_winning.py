@@ -1,0 +1,108 @@
+"""Tests for repro.core.winning (the exact dispatch front-end)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.nonoblivious import threshold_winning_probability
+from repro.core.oblivious import oblivious_winning_probability
+from repro.core.winning import exact_winning_probability
+from repro.model.algorithms import (
+    CallableRule,
+    IntervalRule,
+    ObliviousCoin,
+    SingleThresholdRule,
+)
+
+
+class TestDispatch:
+    def test_all_oblivious(self):
+        algs = [ObliviousCoin(Fraction(1, 3)), ObliviousCoin(Fraction(2, 3))]
+        assert exact_winning_probability(algs, 1) == (
+            oblivious_winning_probability(1, [Fraction(1, 3), Fraction(2, 3)])
+        )
+
+    def test_all_thresholds(self):
+        algs = [
+            SingleThresholdRule(Fraction(1, 2)),
+            SingleThresholdRule(Fraction(3, 4)),
+        ]
+        assert exact_winning_probability(algs, 1) == (
+            threshold_winning_probability(
+                1, [Fraction(1, 2), Fraction(3, 4)]
+            )
+        )
+
+    def test_unsupported_types_raise(self):
+        algs = [SingleThresholdRule(Fraction(1, 2)), CallableRule(lambda x: 0)]
+        with pytest.raises(NotImplementedError, match="CallableRule"):
+            exact_winning_probability(algs, 1)
+
+    def test_interval_rule_now_supported(self):
+        # extension: interval rules gained an exact evaluator, so the
+        # dispatch covers them (see test_core_winning_general.py)
+        from repro.core.interval_rules import (
+            interval_rule_winning_probability,
+        )
+
+        algs = [IntervalRule([Fraction(1, 2)], [0, 1])]
+        assert exact_winning_probability(algs, 1) == (
+            interval_rule_winning_probability(1, algs)
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            exact_winning_probability([], 1)
+
+
+class TestMixedProfiles:
+    def test_coin_as_average_of_forced_thresholds(self):
+        # one coin + one threshold: conditioning identity
+        coin = ObliviousCoin(Fraction(1, 3))
+        thresh = SingleThresholdRule(Fraction(1, 2))
+        mixed = exact_winning_probability([coin, thresh], 1)
+        forced0 = threshold_winning_probability(
+            1, [Fraction(1), Fraction(1, 2)]
+        )
+        forced1 = threshold_winning_probability(
+            1, [Fraction(0), Fraction(1, 2)]
+        )
+        assert mixed == Fraction(1, 3) * forced0 + Fraction(2, 3) * forced1
+
+    def test_mixed_reduces_to_oblivious_when_all_coins(self):
+        # the mixed path and the oblivious path must agree when given
+        # coin-only profiles via different call shapes
+        coins = [ObliviousCoin(Fraction(1, 4)), ObliviousCoin(Fraction(3, 4))]
+        direct = exact_winning_probability(coins, Fraction(4, 3))
+        # degenerate "thresholds" 1 and 0 encode forced bins
+        manual = Fraction(0)
+        for b0, w0 in ((1, Fraction(1, 4)), (0, Fraction(3, 4))):
+            for b1, w1 in ((1, Fraction(3, 4)), (0, Fraction(1, 4))):
+                manual += w0 * w1 * threshold_winning_probability(
+                    Fraction(4, 3),
+                    [Fraction(b0), Fraction(b1)],
+                )
+        assert direct == manual
+
+    def test_mixed_against_monte_carlo(self):
+        from repro.model.system import DistributedSystem
+        from repro.simulation.engine import MonteCarloEngine
+
+        algs = [
+            ObliviousCoin(Fraction(2, 5)),
+            SingleThresholdRule(Fraction(3, 5)),
+            SingleThresholdRule(Fraction(1, 2)),
+        ]
+        exact = exact_winning_probability(algs, 1)
+        engine = MonteCarloEngine(seed=77)
+        summary = engine.estimate_winning_probability(
+            DistributedSystem(algs, 1), trials=150_000
+        )
+        assert summary.covers(float(exact))
+
+    def test_deterministic_coin_shortcut(self):
+        # coins with alpha in {0, 1} contribute a single branch
+        algs = [ObliviousCoin(1), SingleThresholdRule(Fraction(1, 2))]
+        assert exact_winning_probability(algs, 1) == (
+            threshold_winning_probability(1, [1, Fraction(1, 2)])
+        )

@@ -1,0 +1,103 @@
+"""Tests for the generalised exact dispatch (all four families mixed)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.interval_rules import interval_rule_winning_probability
+from repro.core.randomized import (
+    RandomizedThresholdRule,
+    randomized_threshold_winning_probability,
+)
+from repro.core.winning import exact_winning_probability
+from repro.model.algorithms import (
+    CallableRule,
+    IntervalRule,
+    ObliviousCoin,
+    SingleThresholdRule,
+)
+
+
+class TestGeneralDispatch:
+    def test_pure_interval_rules(self):
+        rules = [IntervalRule([Fraction(1, 2), Fraction(4, 5)], [0, 1, 0])] * 3
+        assert exact_winning_probability(rules, 1) == (
+            interval_rule_winning_probability(1, rules)
+        )
+
+    def test_pure_randomized_thresholds(self):
+        rules = [
+            RandomizedThresholdRule(Fraction(1, 2), Fraction(3, 5))
+            for _ in range(3)
+        ]
+        assert exact_winning_probability(rules, 1) == (
+            randomized_threshold_winning_probability(1, rules)
+        )
+
+    def test_all_four_families_together_against_monte_carlo(self):
+        from repro.model.system import DistributedSystem
+        from repro.simulation.engine import MonteCarloEngine
+
+        algs = [
+            ObliviousCoin(Fraction(1, 3)),
+            SingleThresholdRule(Fraction(3, 5)),
+            IntervalRule([Fraction(1, 4), Fraction(3, 4)], [0, 1, 0]),
+            RandomizedThresholdRule(
+                Fraction(2, 3), Fraction(1, 2), alpha=Fraction(1, 4)
+            ),
+        ]
+        exact = exact_winning_probability(algs, Fraction(4, 3))
+        summary = MonteCarloEngine(seed=123).estimate_winning_probability(
+            DistributedSystem(algs, Fraction(4, 3)), trials=200_000
+        )
+        assert summary.covers(float(exact))
+
+    def test_reduces_to_specialised_paths(self):
+        # interval + threshold mix must agree with converting the
+        # threshold to an interval rule by hand
+        from repro.core.interval_rules import (
+            single_threshold_as_interval_rule,
+        )
+
+        mixed = [
+            SingleThresholdRule(Fraction(2, 5)),
+            IntervalRule([Fraction(1, 2)], [1, 0]),
+        ]
+        as_intervals = [
+            single_threshold_as_interval_rule(Fraction(2, 5)),
+            IntervalRule([Fraction(1, 2)], [1, 0]),
+        ]
+        assert exact_winning_probability(mixed, 1) == (
+            interval_rule_winning_probability(1, as_intervals)
+        )
+
+    def test_degenerate_coin_branches_pruned(self):
+        # alpha = 1 coin: a single branch; must equal the forced value
+        algs = [
+            ObliviousCoin(1),
+            IntervalRule([Fraction(1, 2)], [0, 1]),
+        ]
+        value = exact_winning_probability(algs, 1)
+        forced = [
+            IntervalRule([], [0]),
+            IntervalRule([Fraction(1, 2)], [0, 1]),
+        ]
+        assert value == interval_rule_winning_probability(1, forced)
+
+    def test_callable_still_rejected(self):
+        algs = [
+            IntervalRule([Fraction(1, 2)], [0, 1]),
+            CallableRule(lambda x: 0),
+        ]
+        with pytest.raises(NotImplementedError, match="CallableRule"):
+            exact_winning_probability(algs, 1)
+
+    def test_randomized_p1_equals_threshold(self):
+        mixed = [
+            RandomizedThresholdRule(1, Fraction(3, 5)),
+            SingleThresholdRule(Fraction(3, 5)),
+        ]
+        pure = [SingleThresholdRule(Fraction(3, 5))] * 2
+        assert exact_winning_probability(
+            mixed, 1
+        ) == exact_winning_probability(pure, 1)

@@ -1,0 +1,145 @@
+"""Tests for repro.experiments (figures, tables, report rendering)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.experiments.figures import figure1, figure2, render_figure
+from repro.experiments.report import format_table, render_ascii_plot
+from repro.experiments.tables import (
+    case_study,
+    render_case_study,
+    render_tradeoff_table,
+    render_uniformity_table,
+    tradeoff_table,
+    uniformity_table,
+)
+
+
+class TestFigures:
+    def test_figure1_series_structure(self):
+        series = figure1(ns=[3, 4], grid_size=11)
+        assert [s.n for s in series] == [3, 4]
+        for s in series:
+            assert s.delta == 1
+            assert len(s.betas) == 11
+            assert s.betas[0] == 0 and s.betas[-1] == 1
+            assert max(s.values) <= s.maximum
+
+    def test_figure1_n3_optimum(self):
+        (s,) = figure1(ns=[3], grid_size=5)
+        assert abs(float(s.argmax) - 0.62204) < 1e-4
+        assert abs(float(s.maximum) - 0.54463) < 1e-4
+
+    def test_figure2_scaled_deltas(self):
+        series = figure2(ns=[3, 4, 5], grid_size=5)
+        assert [s.delta for s in series] == [
+            Fraction(1),
+            Fraction(4, 3),
+            Fraction(5, 3),
+        ]
+
+    def test_figure2_n4_matches_paper_case(self):
+        series = figure2(ns=[4], grid_size=5)
+        assert abs(float(series[0].argmax) - 0.678) < 1e-3
+
+    def test_series_floats_and_label(self):
+        (s,) = figure1(ns=[3], grid_size=3)
+        floats = s.as_floats()
+        assert floats[0] == (0.0, pytest.approx(1 / 6))
+        assert "n=3" in s.label
+
+    def test_render_figure(self):
+        series = figure1(ns=[3], grid_size=21)
+        text = render_figure(series, title="t")
+        assert "beta* = 0.622036" in text
+        assert "t" in text.splitlines()[0]
+
+
+class TestCaseStudies:
+    def test_n3_case(self):
+        study = case_study(3, 1)
+        assert study.oblivious_value == Fraction(5, 12)
+        assert abs(float(study.improvement) - 0.12796) < 1e-4
+        assert study.n == 3 and study.delta == 1
+
+    def test_n4_case_negative_improvement(self):
+        # documented paper discrepancy: oblivious coin wins at n=4, 4/3
+        study = case_study(4, Fraction(4, 3))
+        assert study.improvement < 0
+
+    def test_render_case_study_mentions_key_objects(self):
+        text = render_case_study(case_study(3, 1))
+        assert "beta* = 0.622" in text
+        assert "Stationarity polynomial" in text
+        assert "21/2" in text  # the paper quadratic's scale factor
+
+
+class TestUniformityTable:
+    def test_rows(self):
+        studies = uniformity_table(ns=(2, 3), delta_of_n=lambda n: 1)
+        assert len(studies) == 2
+        assert studies[0].n == 2
+
+    def test_thresholds_drift_with_n(self):
+        studies = uniformity_table(ns=(3, 4, 5), delta_of_n=lambda n: 1)
+        betas = [s.optimum.beta for s in studies]
+        assert len(set(betas)) == 3  # non-uniform in n
+
+    def test_render(self):
+        text = render_uniformity_table(
+            uniformity_table(ns=(2, 3), delta_of_n=lambda n: 1)
+        )
+        assert "alpha* (oblivious)" in text
+        assert "1/2" in text
+
+
+class TestTradeoffTable:
+    def test_ordering_holds(self):
+        rows = tradeoff_table(ns=(2, 3), trials=20_000, seed=0)
+        for row in rows:
+            assert row.ordered
+
+    def test_render(self):
+        rows = tradeoff_table(ns=(2,), trials=5_000, seed=0)
+        text = render_tradeoff_table(rows)
+        assert "centralized" in text
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["a", "bb"], [[1, 2], ["xxx", "y"]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_row_length_validation(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_render_ascii_plot(self):
+        text = render_ascii_plot(
+            [("s1", [(0.0, 0.0), (1.0, 1.0)])], width=20, height=5
+        )
+        assert "s1" in text
+        assert "x in [0.0000, 1.0000]" in text
+
+    def test_render_ascii_plot_validation(self):
+        with pytest.raises(ValueError):
+            render_ascii_plot([])
+        with pytest.raises(ValueError):
+            render_ascii_plot([("empty", [])])
+
+    def test_render_multiple_series_markers(self):
+        text = render_ascii_plot(
+            [
+                ("a", [(0.0, 0.0)]),
+                ("b", [(1.0, 1.0)]),
+            ],
+            width=10,
+            height=4,
+        )
+        assert "* a" in text and "o b" in text

@@ -1,0 +1,70 @@
+"""Tests for repro.experiments.asymptotics (large-n behaviour)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.experiments.asymptotics import (
+    asymptotics_table,
+    decay_ratios,
+)
+
+NS = (2, 3, 4, 5, 6, 7, 8)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return asymptotics_table(NS, delta=1)
+
+
+class TestAsymptoticsTable:
+    def test_values_decay(self, table):
+        thresholds = [r.threshold_value for r in table]
+        coins = [r.coin_value for r in table]
+        assert thresholds == sorted(thresholds, reverse=True)
+        assert coins == sorted(coins, reverse=True)
+
+    def test_threshold_dominates_coin_at_delta_1(self, table):
+        for row in table:
+            assert row.threshold_value > row.coin_value
+
+    def test_relative_advantage_stays_bounded_away_from_one(self, table):
+        """The multiplicative knowledge premium neither vanishes nor
+        explodes: P*_threshold / P*_coin oscillates in a band around
+        ~1.1-1.4 at fixed capacity (computed exactly; the oscillation
+        tracks how delta = 1 interacts with the breakpoint lattice)."""
+        advantages = [float(r.relative_advantage) for r in table]
+        assert all(1.05 < a < 1.5 for a in advantages)
+
+    def test_optimal_beta_drifts_down(self, table):
+        betas = [r.beta_star for r in table[1:]]  # n = 3 onwards
+        assert betas == sorted(betas, reverse=True)
+
+    def test_paper_anchor_rows(self, table):
+        by_n = {r.n: r for r in table}
+        assert by_n[3].coin_value == Fraction(5, 12)
+        assert abs(float(by_n[3].beta_star) - 0.62204) < 1e-4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            asymptotics_table([0])
+
+
+class TestDecayRatios:
+    def test_ratios_below_one(self, table):
+        for ratio in decay_ratios(table):
+            assert 0 < ratio < 1
+
+    def test_decay_accelerates(self, table):
+        """At fixed capacity the decay gets *faster* with n (each new
+        player multiplies the failure odds by more)."""
+        ratios = decay_ratios(table)
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_zero_value_rejected(self):
+        rows = asymptotics_table([2, 3], delta=1)
+        from dataclasses import replace
+
+        broken = [replace(rows[0], threshold_value=Fraction(0)), rows[1]]
+        with pytest.raises(ValueError):
+            decay_ratios(broken)

@@ -1,0 +1,73 @@
+"""Tests for repro.experiments.export and the `repro export` command."""
+
+import csv
+import json
+from fractions import Fraction
+from pathlib import Path
+
+from repro.experiments.export import (
+    export_all,
+    write_figure_csv,
+    write_uniformity_csv,
+)
+from repro.experiments.figures import figure1
+from repro.experiments.tables import uniformity_table
+
+
+class TestFigureCsv:
+    def test_rows_and_headers(self, tmp_path):
+        path = tmp_path / "fig.csv"
+        write_figure_csv(path, figure1(ns=[3], grid_size=5))
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["n", "delta", "beta", "winning_probability"]
+        assert len(rows) == 6  # header + 5 samples
+        assert rows[1][:3] == ["3", "1.0", "0.0"]
+        assert float(rows[1][3]) == float(Fraction(1, 6))
+
+
+class TestUniformityCsv:
+    def test_rows(self, tmp_path):
+        path = tmp_path / "uni.csv"
+        write_uniformity_csv(
+            path, uniformity_table(ns=(2, 3), delta_of_n=lambda n: 1)
+        )
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 3
+        n3 = rows[2]
+        assert n3[0] == "3"
+        assert float(n3[3]) == float(Fraction(5, 12))
+        assert abs(float(n3[4]) - 0.62204) < 1e-4
+
+
+class TestExportAll:
+    def test_writes_everything(self, tmp_path):
+        manifest = export_all(
+            tmp_path / "out",
+            ns=(3,),
+            grid_size=5,
+            uniformity_ns=(2, 3),
+        )
+        out = Path(tmp_path / "out")
+        for name in ("figure1.csv", "figure2.csv", "uniformity.csv",
+                     "manifest.json"):
+            assert (out / name).exists()
+        with (out / "manifest.json").open() as handle:
+            loaded = json.load(handle)
+        assert loaded == manifest
+        anchors = loaded["anchors"]
+        assert abs(anchors["n3_delta1"]["beta_star"] - 0.62204) < 1e-4
+        assert anchors["n4_delta_4_3"][
+            "discrepancy_D2_oblivious_beats_threshold"
+        ] is True
+
+    def test_cli_export(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "results"
+        assert main(
+            ["export", "--out", str(out), "--grid-size", "5"]
+        ) == 0
+        assert (out / "manifest.json").exists()
+        assert "manifest.json" in capsys.readouterr().out

@@ -1,0 +1,101 @@
+"""Tests for repro.experiments.sensitivity (capacity landscape)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    find_improvement_crossover,
+    improvement,
+    sensitivity_curve,
+)
+
+
+class TestImprovement:
+    def test_positive_at_paper_first_case(self):
+        assert improvement(3, 1) > 0
+
+    def test_negative_at_paper_second_case(self):
+        assert improvement(4, Fraction(4, 3)) < 0
+
+    def test_matches_components(self):
+        from repro.core.oblivious import (
+            optimal_oblivious_winning_probability,
+        )
+        from repro.optimize.threshold_opt import (
+            optimal_symmetric_threshold,
+        )
+
+        d = Fraction(3, 4)
+        assert improvement(3, d) == (
+            optimal_symmetric_threshold(3, d).probability
+            - optimal_oblivious_winning_probability(d, 3)
+        )
+
+
+class TestSensitivityCurve:
+    def test_structure(self):
+        deltas = [Fraction(1, 2), 1, Fraction(3, 2)]
+        points = sensitivity_curve(3, deltas)
+        assert [p.delta for p in points] == [
+            Fraction(1, 2),
+            Fraction(1),
+            Fraction(3, 2),
+        ]
+        for p in points:
+            assert 0 <= p.threshold_value <= 1
+            assert 0 <= p.coin_value <= 1
+            assert p.improvement == p.threshold_value - p.coin_value
+
+    def test_beta_star_moves_with_delta(self):
+        points = sensitivity_curve(3, [Fraction(1, 2), 1, Fraction(3, 2)])
+        betas = {p.beta_star for p in points}
+        assert len(betas) == 3
+
+    def test_both_values_increase_with_capacity(self):
+        points = sensitivity_curve(
+            4, [Fraction(1, 2), 1, Fraction(3, 2), 2]
+        )
+        thresholds = [p.threshold_value for p in points]
+        coins = [p.coin_value for p in points]
+        assert thresholds == sorted(thresholds)
+        assert coins == sorted(coins)
+
+
+class TestCrossover:
+    def test_n4_crossover_location(self):
+        """The D2 reversal begins just below delta = 4/3: the exact
+        crossover for n = 4 sits at delta ~ 1.3231."""
+        x = find_improvement_crossover(
+            4, 1, Fraction(4, 3), Fraction(1, 10**4)
+        )
+        assert x is not None
+        assert abs(float(x) - 1.3231) < 1e-3
+        # sign pattern around it
+        assert improvement(4, x - Fraction(1, 100)) > 0
+        assert improvement(4, x + Fraction(1, 100)) < 0
+
+    def test_n3_has_negative_window_near_3_2(self):
+        """Even n = 3 has a capacity window where the coin wins."""
+        assert improvement(3, Fraction(4, 3)) > 0
+        assert improvement(3, Fraction(3, 2)) < 0
+        assert improvement(3, Fraction(7, 4)) > 0
+        enter = find_improvement_crossover(
+            3, Fraction(4, 3), Fraction(3, 2), Fraction(1, 10**3)
+        )
+        leave = find_improvement_crossover(
+            3, Fraction(3, 2), Fraction(7, 4), Fraction(1, 10**3)
+        )
+        assert enter is not None and leave is not None
+        assert enter < Fraction(3, 2) < leave
+
+    def test_no_crossing_returns_none(self):
+        assert find_improvement_crossover(
+            3, Fraction(1, 2), 1, Fraction(1, 10**2)
+        ) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_improvement_crossover(3, 1, 1)
+        with pytest.raises(ValueError):
+            find_improvement_crossover(3, 1, 2, 0)

@@ -1,0 +1,64 @@
+"""Tests for repro.experiments.summary and the `repro all` command."""
+
+import pytest
+
+from repro.experiments.summary import (
+    CheckResult,
+    ReproductionReport,
+    reproduce_all,
+)
+
+
+class TestReproduceAll:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return reproduce_all(monte_carlo_trials=None)
+
+    def test_all_checks_pass(self, report):
+        assert report.passed, report.render()
+
+    def test_exact_only_skips_sampling_checks(self, report):
+        items = [c.item for c in report.checks]
+        assert "Prop 2.2 vs Monte Carlo" not in items
+        assert "protocol replay (n=3 optimum)" not in items
+
+    def test_covers_every_headline(self, report):
+        items = " ".join(c.item for c in report.checks)
+        for keyword in ("5.2.1", "5.2.2", "Thm 4.3", "D1", "D2", "E8"):
+            assert keyword in items
+
+    def test_with_monte_carlo(self):
+        report = reproduce_all(monte_carlo_trials=20_000)
+        assert report.passed, report.render()
+        items = [c.item for c in report.checks]
+        assert "Prop 2.2 vs Monte Carlo" in items
+
+    def test_render_format(self, report):
+        text = report.render()
+        assert "[ok ]" in text
+        assert "REPRODUCTION COMPLETE" in text
+
+
+class TestReportMechanics:
+    def test_failures_listed(self):
+        report = ReproductionReport(
+            checks=[
+                CheckResult("a", "1", "1", True),
+                CheckResult("b", "2", "3", False, note="oops"),
+            ]
+        )
+        assert not report.passed
+        assert [c.item for c in report.failures] == ["b"]
+        text = report.render()
+        assert "FAIL" in text
+        assert "1 CHECK(S) FAILED" in text
+        assert "(oops)" in text
+
+
+class TestCliAll:
+    def test_exact_only(self, capsys):
+        from repro.cli import main
+
+        assert main(["all", "--exact-only"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRODUCTION COMPLETE" in out

@@ -1,0 +1,120 @@
+"""Tests for repro.geometry.polytope."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.geometry.polytope import HalfSpace, Polytope
+
+
+class TestHalfSpace:
+    def test_of_coerces(self):
+        hs = HalfSpace.of(["1/2", 1], "3/4")
+        assert hs.normal == (Fraction(1, 2), Fraction(1))
+        assert hs.offset == Fraction(3, 4)
+
+    def test_contains(self):
+        hs = HalfSpace.of([1, 1], 1)
+        assert hs.contains([Fraction(1, 2), Fraction(1, 2)])
+        assert not hs.contains([1, 1])
+
+    def test_contains_boundary(self):
+        hs = HalfSpace.of([2], 1)
+        assert hs.contains([Fraction(1, 2)])
+
+    def test_contains_float(self):
+        hs = HalfSpace.of([1, 1], 1)
+        assert hs.contains_float([0.4, 0.4])
+        assert not hs.contains_float([0.6, 0.6])
+
+    def test_dimension_mismatch(self):
+        hs = HalfSpace.of([1, 1], 1)
+        with pytest.raises(ValueError):
+            hs.contains([1])
+
+    def test_slack(self):
+        hs = HalfSpace.of([1, 2], 3)
+        assert hs.slack([1, 1]) == 0
+        assert hs.slack([0, 0]) == 3
+        assert hs.slack([3, 3]) == -6
+
+    def test_str(self):
+        assert "<=" in str(HalfSpace.of([1, 0], 2))
+
+
+class TestPolytope:
+    def make_unit_square(self) -> Polytope:
+        p = Polytope(2)
+        for axis in range(2):
+            p.add_lower_bound(axis, 0)
+            p.add_upper_bound(axis, 1)
+        return p
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            Polytope(0)
+
+    def test_membership(self):
+        sq = self.make_unit_square()
+        assert sq.contains([Fraction(1, 2), Fraction(1, 2)])
+        assert sq.contains([0, 1])
+        assert not sq.contains([Fraction(3, 2), 0])
+        assert not sq.contains([Fraction(-1, 10), 0])
+
+    def test_contains_float(self):
+        sq = self.make_unit_square()
+        assert sq.contains_float([0.3, 0.9])
+        assert not sq.contains_float([0.3, 1.1])
+
+    def test_add_halfspace_dimension_check(self):
+        sq = self.make_unit_square()
+        with pytest.raises(ValueError):
+            sq.add(HalfSpace.of([1], 1))
+
+    def test_add_inequality(self):
+        sq = self.make_unit_square()
+        sq.add_inequality([1, 1], 1)  # cut the corner
+        assert not sq.contains([1, 1])
+        assert sq.contains([Fraction(1, 2), Fraction(1, 2)])
+
+    def test_intersect(self):
+        sq = self.make_unit_square()
+        other = Polytope(2, [HalfSpace.of([1, 0], Fraction(1, 2))])
+        cut = sq.intersect(other)
+        assert cut.contains([Fraction(1, 4), Fraction(1, 2)])
+        assert not cut.contains([Fraction(3, 4), Fraction(1, 2)])
+        # originals untouched
+        assert sq.contains([Fraction(3, 4), Fraction(1, 2)])
+
+    def test_intersect_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            self.make_unit_square().intersect(Polytope(3))
+
+    def test_coordinate_bounds(self):
+        sq = self.make_unit_square()
+        assert sq.coordinate_bounds() == [
+            (Fraction(0), Fraction(1)),
+            (Fraction(0), Fraction(1)),
+        ]
+
+    def test_coordinate_bounds_takes_tightest(self):
+        sq = self.make_unit_square()
+        sq.add_upper_bound(0, Fraction(1, 2))
+        assert sq.coordinate_bounds()[0] == (Fraction(0), Fraction(1, 2))
+
+    def test_coordinate_bounds_missing_axis(self):
+        p = Polytope(2)
+        p.add_lower_bound(0, 0)
+        p.add_upper_bound(0, 1)
+        p.add_lower_bound(1, 0)  # axis 1 has no upper bound
+        with pytest.raises(ValueError, match=r"axes \[1\]"):
+            p.coordinate_bounds()
+
+    def test_coordinate_bounds_ignores_multivariable_constraints(self):
+        sq = self.make_unit_square()
+        sq.add_inequality([1, 1], Fraction(1, 4))
+        # the diagonal constraint does not tighten the per-axis box
+        assert sq.coordinate_bounds()[0] == (Fraction(0), Fraction(1))
+
+    def test_repr(self):
+        assert "dim=2" in repr(self.make_unit_square())

@@ -1,0 +1,124 @@
+"""Property-based tests for the geometry substrate.
+
+The key properties of Proposition 2.2's volume:
+
+* agreement with the independent recursive-integration witness on
+  random instances;
+* monotonicity in the box sides and in the simplex sides;
+* the two boundary regimes (box inside simplex / simplex inside box).
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.box import Box
+from repro.geometry.simplex import OrthogonalSimplex
+from repro.geometry.volume import (
+    intersection_volume,
+    intersection_volume_by_integration,
+)
+
+sides = st.fractions(min_value="1/4", max_value=3, max_denominator=8)
+
+
+@st.composite
+def sigma_pi_pairs(draw, max_dim=3):
+    m = draw(st.integers(min_value=1, max_value=max_dim))
+    sigma = [draw(sides) for _ in range(m)]
+    pi = [draw(sides) for _ in range(m)]
+    return sigma, pi
+
+
+class TestVolumeProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(sigma_pi_pairs())
+    def test_matches_integration_witness(self, pair):
+        sigma, pi = pair
+        assert intersection_volume(sigma, pi) == (
+            intersection_volume_by_integration(sigma, pi)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(sigma_pi_pairs())
+    def test_bounded_by_both_shapes(self, pair):
+        sigma, pi = pair
+        v = intersection_volume(sigma, pi)
+        assert 0 <= v
+        assert v <= OrthogonalSimplex(sigma).volume()
+        assert v <= Box.from_sides(pi).volume()
+
+    @settings(max_examples=40, deadline=None)
+    @given(sigma_pi_pairs())
+    def test_monotone_in_box(self, pair):
+        sigma, pi = pair
+        bigger = [p * 2 for p in pi]
+        assert intersection_volume(sigma, pi) <= intersection_volume(
+            sigma, bigger
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(sigma_pi_pairs())
+    def test_monotone_in_simplex(self, pair):
+        sigma, pi = pair
+        bigger = [s * 2 for s in sigma]
+        assert intersection_volume(sigma, pi) <= intersection_volume(
+            bigger, pi
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(sigma_pi_pairs())
+    def test_huge_simplex_gives_box_volume(self, pair):
+        sigma, pi = pair
+        m = len(sigma)
+        huge = [sum(pi) + 1] * m
+        assert intersection_volume(huge, pi) == Box.from_sides(pi).volume()
+
+    @settings(max_examples=40, deadline=None)
+    @given(sigma_pi_pairs())
+    def test_huge_box_gives_simplex_volume(self, pair):
+        sigma, pi = pair
+        m = len(sigma)
+        huge = [max(sigma) + 1] * m
+        assert intersection_volume(sigma, huge) == (
+            OrthogonalSimplex(sigma).volume()
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(sigma_pi_pairs(), st.permutations(range(3)))
+    def test_permutation_invariance(self, pair, perm):
+        sigma, pi = pair
+        m = len(sigma)
+        order = [p for p in perm if p < m]
+        # complete the permutation over the actual dimension
+        order += [i for i in range(m) if i not in order]
+        permuted_sigma = [sigma[i] for i in order]
+        permuted_pi = [pi[i] for i in order]
+        assert intersection_volume(sigma, pi) == intersection_volume(
+            permuted_sigma, permuted_pi
+        )
+
+
+class TestMembershipConsistency:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        sigma_pi_pairs(),
+        st.lists(
+            st.fractions(min_value=0, max_value=2, max_denominator=16),
+            min_size=3,
+            max_size=3,
+        ),
+    )
+    def test_intersection_membership_is_conjunction(self, pair, raw_point):
+        from repro.geometry.volume import SimplexBoxIntersection
+
+        sigma, pi = pair
+        m = len(sigma)
+        point = raw_point[:m]
+        inter = SimplexBoxIntersection(sigma, pi)
+        expected = OrthogonalSimplex(sigma).contains(point) and (
+            Box.from_sides(pi).contains(point)
+        )
+        assert inter.contains(point) == expected
+        assert inter.as_polytope().contains(point) == expected

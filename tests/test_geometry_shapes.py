@@ -1,0 +1,167 @@
+"""Tests for repro.geometry.simplex and repro.geometry.box (Lemma 2.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.geometry.box import Box
+from repro.geometry.simplex import OrthogonalSimplex
+
+
+class TestSimplexConstruction:
+    def test_sides_validated_positive(self):
+        with pytest.raises(ValueError):
+            OrthogonalSimplex([1, 0])
+        with pytest.raises(ValueError):
+            OrthogonalSimplex([1, -2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            OrthogonalSimplex([])
+
+    def test_regular(self):
+        s = OrthogonalSimplex.regular(3, Fraction(1, 2))
+        assert s.sides == (Fraction(1, 2),) * 3
+
+    def test_equality_and_hash(self):
+        assert OrthogonalSimplex([1, 2]) == OrthogonalSimplex([1, 2])
+        assert hash(OrthogonalSimplex([1, 2])) == hash(
+            OrthogonalSimplex([1, 2])
+        )
+        assert OrthogonalSimplex([1, 2]) != OrthogonalSimplex([2, 1])
+
+
+class TestSimplexVolume:
+    def test_lemma_2_1_part_1(self):
+        # Vol = (1/m!) prod sigma_l
+        s = OrthogonalSimplex([2, 3, 4])
+        assert s.volume() == Fraction(24, 6)
+
+    def test_unit_simplex(self):
+        for m in range(1, 7):
+            s = OrthogonalSimplex.regular(m, 1)
+            assert s.volume() == Fraction(1, __import__("math").factorial(m))
+
+
+class TestSimplexMembership:
+    def test_inside_outside(self):
+        s = OrthogonalSimplex([1, 1])
+        assert s.contains([Fraction(1, 4), Fraction(1, 4)])
+        assert s.contains([Fraction(1, 2), Fraction(1, 2)])  # boundary
+        assert not s.contains([Fraction(3, 4), Fraction(1, 2)])
+
+    def test_negative_coordinates_excluded(self):
+        s = OrthogonalSimplex([1, 1])
+        assert not s.contains([Fraction(-1, 10), Fraction(1, 10)])
+
+    def test_weighted_sides(self):
+        s = OrthogonalSimplex([2, 4])
+        assert s.contains([1, 2])  # 1/2 + 2/4 = 1 boundary
+        assert not s.contains([1, Fraction(21, 10)])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            OrthogonalSimplex([1, 1]).contains([1])
+
+
+class TestSimplexStructure:
+    def test_vertices(self):
+        s = OrthogonalSimplex([2, 3])
+        verts = s.vertices()
+        assert (Fraction(0), Fraction(0)) in verts
+        assert (Fraction(2), Fraction(0)) in verts
+        assert (Fraction(0), Fraction(3)) in verts
+        assert len(verts) == 3
+
+    def test_as_polytope_membership_agrees(self):
+        s = OrthogonalSimplex([1, Fraction(3, 2)])
+        poly = s.as_polytope()
+        for pt in (
+            [Fraction(1, 4), Fraction(1, 4)],
+            [Fraction(1, 2), Fraction(3, 4)],
+            [Fraction(9, 10), Fraction(9, 10)],
+        ):
+            assert poly.contains(pt) == s.contains(pt)
+
+    def test_as_polytope_has_bounding_box(self):
+        bounds = OrthogonalSimplex([2, 3]).as_polytope().coordinate_bounds()
+        assert bounds == [(0, 2), (0, 3)]
+
+    def test_scaled_similarity(self):
+        s = OrthogonalSimplex([1, 1, 1])
+        half = s.scaled(Fraction(1, 2))
+        # Lemma 2.3: volume scales with ratio^m
+        assert half.volume() == s.volume() * Fraction(1, 8)
+
+    def test_scaled_validation(self):
+        with pytest.raises(ValueError):
+            OrthogonalSimplex([1]).scaled(0)
+
+
+class TestBoxConstruction:
+    def test_from_sides(self):
+        b = Box.from_sides([1, Fraction(1, 2)])
+        assert b.lowers == (0, 0)
+        assert b.uppers == (1, Fraction(1, 2))
+
+    def test_unit(self):
+        b = Box.unit(3)
+        assert b.volume() == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Box([0], [0])  # degenerate
+        with pytest.raises(ValueError):
+            Box([0, 0], [1])  # mismatched
+        with pytest.raises(ValueError):
+            Box([], [])
+
+    def test_equality_and_hash(self):
+        assert Box.unit(2) == Box.unit(2)
+        assert hash(Box.unit(2)) == hash(Box.unit(2))
+        assert Box.unit(2) != Box.from_sides([1, 2])
+
+
+class TestBoxVolume:
+    def test_lemma_2_1_part_2(self):
+        assert Box.from_sides([2, 3, Fraction(1, 2)]).volume() == 3
+
+    def test_shifted_box(self):
+        b = Box([Fraction(1, 4), Fraction(1, 2)], [1, 1])
+        assert b.volume() == Fraction(3, 4) * Fraction(1, 2)
+        assert b.sides == (Fraction(3, 4), Fraction(1, 2))
+
+
+class TestBoxMembership:
+    def test_inside_outside_boundary(self):
+        b = Box.from_sides([1, 2])
+        assert b.contains([Fraction(1, 2), Fraction(3, 2)])
+        assert b.contains([0, 2])
+        assert not b.contains([Fraction(11, 10), 0])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Box.unit(2).contains([0])
+
+
+class TestBoxStructure:
+    def test_vertices_count(self):
+        assert len(Box.unit(3).vertices()) == 8
+
+    def test_vertices_blowup_guard(self):
+        with pytest.raises(ValueError):
+            Box.unit(1).vertices.__wrapped__ if False else Box(
+                [0] * 21, [1] * 21
+            ).vertices()
+
+    def test_as_polytope_agrees(self):
+        b = Box([Fraction(1, 4)], [Fraction(3, 4)])
+        poly = b.as_polytope()
+        for x in (Fraction(0), Fraction(1, 2), Fraction(9, 10)):
+            assert poly.contains([x]) == b.contains([x])
+
+    def test_sample_float_inside(self, rng):
+        b = Box([Fraction(1, 4), 0], [Fraction(3, 4), 1])
+        pts = b.sample_float(rng, 100)
+        assert pts.shape == (100, 2)
+        assert (pts[:, 0] >= 0.25).all() and (pts[:, 0] <= 0.75).all()

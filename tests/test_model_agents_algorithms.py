@@ -1,0 +1,182 @@
+"""Tests for repro.model.agents and repro.model.algorithms."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.model.agents import DecisionAlgorithm, Player
+from repro.model.algorithms import (
+    CallableRule,
+    IntervalRule,
+    ObliviousCoin,
+    SingleThresholdRule,
+)
+
+
+class TestPlayer:
+    def test_default_name(self):
+        p = Player(0, ObliviousCoin(Fraction(1, 2)))
+        assert p.name == "P1"
+
+    def test_custom_name(self):
+        p = Player(2, ObliviousCoin(Fraction(1, 2)), name="alice")
+        assert p.name == "alice"
+        assert "alice" in str(p)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Player(-1, ObliviousCoin(Fraction(1, 2)))
+
+
+class TestObliviousCoin:
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            ObliviousCoin(Fraction(3, 2))
+        with pytest.raises(ValueError):
+            ObliviousCoin(-1)
+
+    def test_flags(self):
+        coin = ObliviousCoin(Fraction(1, 2))
+        assert coin.is_oblivious
+        assert coin.is_local
+
+    def test_ignores_input(self, rng):
+        coin = ObliviousCoin(1)  # always 0
+        assert coin.decide(0.99, {}, rng) == 0
+        coin = ObliviousCoin(0)  # always 1
+        assert coin.decide(0.01, {}, rng) == 1
+
+    def test_probability_of_zero(self):
+        assert ObliviousCoin(Fraction(2, 7)).probability_of_zero(0.4) == (
+            pytest.approx(2 / 7)
+        )
+
+    def test_batch_frequency(self, rng):
+        coin = ObliviousCoin(Fraction(1, 4))
+        outs = coin.decide_batch(np.zeros(40_000), rng)
+        assert set(np.unique(outs)) <= {0, 1}
+        # P(0) = 1/4; z=3.89 interval on 40k draws
+        assert abs(float((outs == 0).mean()) - 0.25) < 3.89 * (
+            0.25 * 0.75 / 40_000
+        ) ** 0.5
+
+    def test_batch_deterministic_cases(self, rng):
+        assert ObliviousCoin(1).decide_batch(np.zeros(10), rng).sum() == 0
+        assert ObliviousCoin(0).decide_batch(np.zeros(10), rng).sum() == 10
+
+
+class TestSingleThresholdRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SingleThresholdRule(Fraction(-1, 2))
+        with pytest.raises(ValueError):
+            SingleThresholdRule(2)
+
+    def test_decision_boundary(self, rng):
+        rule = SingleThresholdRule(Fraction(1, 2))
+        assert rule.decide(0.5, {}, rng) == 0  # closed at the threshold
+        assert rule.decide(0.500001, {}, rng) == 1
+        assert rule.decide(0.0, {}, rng) == 0
+
+    def test_flags(self):
+        rule = SingleThresholdRule(Fraction(1, 2))
+        assert not rule.is_oblivious
+        assert rule.is_local
+
+    def test_batch_matches_scalar(self, rng):
+        rule = SingleThresholdRule(Fraction(3, 10))
+        xs = np.linspace(0, 1, 101)
+        batch = rule.decide_batch(xs, rng)
+        scalar = [rule.decide(float(x), {}, rng) for x in xs]
+        assert list(batch) == scalar
+
+    def test_probability_of_zero(self):
+        rule = SingleThresholdRule(Fraction(1, 2))
+        assert rule.probability_of_zero(0.3) == 1.0
+        assert rule.probability_of_zero(0.7) == 0.0
+
+
+class TestIntervalRule:
+    def test_reduces_to_single_threshold(self, rng):
+        multi = IntervalRule([Fraction(2, 5)], [0, 1])
+        single = SingleThresholdRule(Fraction(2, 5))
+        for x in (0.0, 0.2, 0.4, 0.41, 0.9, 1.0):
+            assert multi.decide(x, {}, rng) == single.decide(x, {}, rng)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntervalRule([Fraction(1, 2)], [0])  # wrong outputs length
+        with pytest.raises(ValueError):
+            IntervalRule([Fraction(1, 2)], [0, 2])  # non-bit
+        with pytest.raises(ValueError):
+            IntervalRule(
+                [Fraction(1, 2), Fraction(1, 4)], [0, 1, 0]
+            )  # not increasing
+        with pytest.raises(ValueError):
+            IntervalRule([Fraction(3, 2)], [0, 1])  # outside [0, 1]
+
+    def test_sandwich_rule(self, rng):
+        # 0 on [0, 1/3], 1 on (1/3, 2/3], 0 on (2/3, 1]
+        rule = IntervalRule(
+            [Fraction(1, 3), Fraction(2, 3)], [0, 1, 0]
+        )
+        assert rule.decide(0.2, {}, rng) == 0
+        assert rule.decide(0.5, {}, rng) == 1
+        assert rule.decide(0.9, {}, rng) == 0
+
+    def test_batch_matches_scalar_incl_boundaries(self, rng):
+        rule = IntervalRule(
+            [Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)], [1, 0, 1, 0]
+        )
+        xs = np.array([0.0, 0.25, 0.26, 0.5, 0.51, 0.75, 0.76, 1.0])
+        batch = rule.decide_batch(xs, rng)
+        scalar = [rule.decide(float(x), {}, rng) for x in xs]
+        assert list(batch) == scalar
+
+    def test_measure_of_zero(self):
+        rule = IntervalRule(
+            [Fraction(1, 3), Fraction(2, 3)], [0, 1, 0]
+        )
+        assert rule.measure_of_zero() == Fraction(2, 3)
+
+    def test_probability_of_zero(self):
+        rule = IntervalRule([Fraction(1, 2)], [1, 0])
+        assert rule.probability_of_zero(0.25) == 0.0
+        assert rule.probability_of_zero(0.75) == 1.0
+
+
+class TestCallableRule:
+    def test_wraps_function(self, rng):
+        rule = CallableRule(lambda x: 0 if x * x <= 0.25 else 1, name="sq")
+        assert rule.decide(0.4, {}, rng) == 0
+        assert rule.decide(0.6, {}, rng) == 1
+
+    def test_bad_return_value(self, rng):
+        rule = CallableRule(lambda x: 2)
+        with pytest.raises(ValueError, match="must return 0 or 1"):
+            rule.decide(0.5, {}, rng)
+
+    def test_default_batch_loops(self, rng):
+        rule = CallableRule(lambda x: 1)
+        outs = rule.decide_batch(np.array([0.1, 0.9]), rng)
+        assert list(outs) == [1, 1]
+
+
+class TestDecisionAlgorithmBase:
+    def test_batch_rejected_for_nonlocal(self, rng):
+        class Peeker(DecisionAlgorithm):
+            is_local = False
+
+            def decide(self, own_input, observed, rng):
+                return 0
+
+        with pytest.raises(ValueError, match="batch"):
+            Peeker().decide_batch(np.zeros(3), rng)
+
+    def test_default_probability_of_zero_samples(self):
+        class AlwaysOne(DecisionAlgorithm):
+            def decide(self, own_input, observed, rng):
+                return 1
+
+        assert AlwaysOne().probability_of_zero(0.5) == 0.0

@@ -1,0 +1,157 @@
+"""Tests for repro.model.inputs and engine integration."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.nonoblivious import threshold_winning_probability
+from repro.model.algorithms import SingleThresholdRule
+from repro.model.inputs import (
+    BetaInputs,
+    MixtureInputs,
+    ScaledUniformInputs,
+    UniformInputs,
+)
+from repro.model.system import DistributedSystem
+from repro.simulation.engine import MonteCarloEngine
+
+
+class TestUniformInputs:
+    def test_sample_shape_and_range(self, rng):
+        draws = UniformInputs().sample(rng, 100, 3)
+        assert draws.shape == (100, 3)
+        assert (draws >= 0).all() and (draws <= 1).all()
+
+    def test_flags(self):
+        dist = UniformInputs()
+        assert dist.has_exact_theory()
+        assert dist.support == (0.0, 1.0)
+
+    def test_engine_default_equivalence(self):
+        # engine with explicit UniformInputs reproduces the default
+        system = DistributedSystem(
+            [SingleThresholdRule(Fraction(1, 2))] * 3, 1
+        )
+        a = MonteCarloEngine(seed=1).estimate_winning_probability(
+            system, trials=20_000
+        )
+        b = MonteCarloEngine(seed=1).estimate_winning_probability(
+            system, trials=20_000, inputs=UniformInputs()
+        )
+        assert a.successes == b.successes
+
+
+class TestScaledUniformInputs:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScaledUniformInputs(0)
+
+    def test_sample_range(self, rng):
+        draws = ScaledUniformInputs(Fraction(1, 2)).sample(rng, 200, 2)
+        assert (draws <= 0.5).all()
+
+    def test_reduction_identity(self):
+        dist = ScaledUniformInputs(Fraction(1, 2))
+        delta, thresholds = dist.reduce_threshold_problem(
+            Fraction(2, 3), [Fraction(1, 4), Fraction(1, 2)]
+        )
+        assert delta == Fraction(4, 3)
+        assert thresholds == [Fraction(1, 2), Fraction(1)]
+
+    def test_reduction_threshold_validation(self):
+        dist = ScaledUniformInputs(Fraction(1, 2))
+        with pytest.raises(ValueError):
+            dist.reduce_threshold_problem(1, [Fraction(3, 4)])
+
+    def test_exact_value_matches_simulation(self):
+        scale = Fraction(1, 2)
+        dist = ScaledUniformInputs(scale)
+        thresholds = [Fraction(3, 10)] * 3
+        delta = Fraction(1, 2)
+        exact = dist.exact_threshold_winning_probability(delta, thresholds)
+        system = DistributedSystem(
+            [SingleThresholdRule(float(a)) for a in thresholds], delta
+        )
+        summary = MonteCarloEngine(seed=2).estimate_winning_probability(
+            system, trials=100_000, inputs=dist
+        )
+        assert summary.covers(float(exact))
+
+    def test_scale_one_reduces_to_paper(self):
+        dist = ScaledUniformInputs(1)
+        thresholds = [Fraction(62, 100)] * 3
+        assert dist.exact_threshold_winning_probability(
+            1, thresholds
+        ) == threshold_winning_probability(1, thresholds)
+
+
+class TestBetaInputs:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BetaInputs(0, 1)
+        with pytest.raises(ValueError):
+            BetaInputs(1, -1)
+
+    def test_sample_statistics(self, rng):
+        dist = BetaInputs(2, 2)
+        draws = dist.sample(rng, 50_000, 1).ravel()
+        assert abs(draws.mean() - dist.mean) < 0.01
+        assert (draws >= 0).all() and (draws <= 1).all()
+
+    def test_concentration_changes_winning_probability(self):
+        """Beta(5,5) inputs concentrate near 1/2: three such inputs sum
+        near 3/2 > capacity 1, so the winning probability must drop
+        well below the uniform value at the same threshold."""
+        system = DistributedSystem(
+            [SingleThresholdRule(Fraction(62, 100))] * 3, 1
+        )
+        engine = MonteCarloEngine(seed=3)
+        uniform = engine.estimate_winning_probability(
+            system, trials=60_000, stream="u"
+        )
+        beta = engine.estimate_winning_probability(
+            system, trials=60_000, stream="b", inputs=BetaInputs(5, 5)
+        )
+        assert beta.upper < uniform.lower
+
+    def test_small_inputs_increase_winning_probability(self):
+        # Beta(1, 3) skews small: loads shrink, wins rise
+        system = DistributedSystem(
+            [SingleThresholdRule(Fraction(62, 100))] * 3, 1
+        )
+        engine = MonteCarloEngine(seed=4)
+        uniform = engine.estimate_winning_probability(
+            system, trials=60_000, stream="u"
+        )
+        light = engine.estimate_winning_probability(
+            system, trials=60_000, stream="l", inputs=BetaInputs(1, 3)
+        )
+        assert light.lower > uniform.upper
+
+
+class TestMixtureInputs:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MixtureInputs(2, UniformInputs(), UniformInputs())
+
+    def test_degenerate_weights(self, rng):
+        small = ScaledUniformInputs(Fraction(1, 10))
+        mix_all_first = MixtureInputs(1.0, small, UniformInputs())
+        draws = mix_all_first.sample(rng, 100, 2)
+        assert (draws <= 0.1).all()
+
+    def test_support_is_union(self):
+        mix = MixtureInputs(
+            0.5, ScaledUniformInputs(2), UniformInputs()
+        )
+        assert mix.support == (0.0, 2.0)
+
+    def test_heavy_minority_model(self, rng):
+        # 10% of jobs are from U[0,1], the rest tiny: mean must sit
+        # between the component means
+        mix = MixtureInputs(
+            0.9, ScaledUniformInputs(Fraction(1, 10)), UniformInputs()
+        )
+        draws = mix.sample(rng, 50_000, 1).ravel()
+        assert 0.05 < draws.mean() < 0.15

@@ -1,0 +1,201 @@
+"""Tests for repro.model.messaging (round-based protocols)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.model.algorithms import SingleThresholdRule
+from repro.model.communication import (
+    FullInformation,
+    GraphPattern,
+    NoCommunication,
+)
+from repro.model.messaging import (
+    AnnouncementProtocol,
+    Message,
+    PartialSumChainProtocol,
+    ProtocolEngine,
+    RoundBasedProtocol,
+)
+from repro.model.system import DistributedSystem
+
+
+class TestMessage:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Message(0, 0, 1, (0.5,))
+        with pytest.raises(ValueError):
+            Message(0, 1, 0, (0.5,))
+
+
+class TestProtocolEngine:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ProtocolEngine(0)
+
+    def test_input_length_validation(self, rng):
+        protocol = PartialSumChainProtocol(3, 1)
+        with pytest.raises(ValueError):
+            ProtocolEngine(1).execute(protocol, [0.5], rng)
+
+    def test_bad_receiver_rejected(self, rng):
+        class Broken(RoundBasedProtocol):
+            def send(self, player, round_index, own_input, inbox, rng):
+                return {99: (1.0,)}
+
+            def decide(self, player, own_input, inbox, rng):
+                return 0
+
+        with pytest.raises(ValueError, match="unknown receiver"):
+            ProtocolEngine(1).execute(Broken(2, 1), [0.1, 0.2], rng)
+
+    def test_non_bit_output_rejected(self, rng):
+        class Broken(RoundBasedProtocol):
+            def send(self, player, round_index, own_input, inbox, rng):
+                return {}
+
+            def decide(self, player, own_input, inbox, rng):
+                return 7
+
+        with pytest.raises(ValueError, match="non-bit"):
+            ProtocolEngine(1).execute(Broken(1, 0), [0.1], rng)
+
+
+class TestAnnouncementProtocol:
+    def test_matches_distributed_system_no_communication(self, rng):
+        algorithms = [SingleThresholdRule(Fraction(62, 100))] * 3
+        pattern = NoCommunication(3)
+        protocol = AnnouncementProtocol(pattern, algorithms)
+        assert protocol.rounds == 0
+        system = DistributedSystem(algorithms, 1, pattern=pattern)
+        engine = ProtocolEngine(1)
+        for _ in range(50):
+            xs = rng.random(3)
+            a = engine.execute(protocol, xs, rng)
+            b = system.run(xs, rng)
+            assert a.transcript.outputs == b.outputs
+            assert a.won == b.won
+
+    def test_matches_distributed_system_with_pattern(self, rng):
+        from repro.baselines.py1991 import WeightedAverageRule
+
+        pattern = GraphPattern.chain(3)
+        algorithms = [
+            WeightedAverageRule(Fraction(62, 100)),
+            WeightedAverageRule(
+                Fraction(4, 5), observed_weights={0: Fraction(1, 2)}
+            ),
+            WeightedAverageRule(
+                Fraction(4, 5), observed_weights={1: Fraction(1, 2)}
+            ),
+        ]
+        protocol = AnnouncementProtocol(pattern, algorithms)
+        system = DistributedSystem(algorithms, 1, pattern=pattern)
+        engine = ProtocolEngine(1)
+        for _ in range(50):
+            xs = rng.random(3)
+            a = engine.execute(protocol, xs, rng)
+            b = system.run(xs, rng)
+            assert a.transcript.outputs == b.outputs
+
+    def test_message_count_matches_pattern(self, rng):
+        pattern = FullInformation(3)
+        algorithms = [SingleThresholdRule(Fraction(1, 2))] * 3
+        protocol = AnnouncementProtocol(pattern, algorithms)
+        outcome = ProtocolEngine(1).execute(
+            protocol, [0.1, 0.5, 0.9], rng
+        )
+        assert outcome.transcript.total_messages == (
+            pattern.total_messages()
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AnnouncementProtocol(
+                NoCommunication(3),
+                [SingleThresholdRule(Fraction(1, 2))] * 2,
+            )
+
+
+class TestPartialSumChainProtocol:
+    def test_greedy_packing_example(self, rng):
+        protocol = PartialSumChainProtocol(3, 1)
+        outcome = ProtocolEngine(1).execute(
+            protocol, [0.6, 0.5, 0.4], rng
+        )
+        # 0.6 -> bin0; 0.5 -> bin1 (lighter); 0.4 -> bin1? loads
+        # (0.6, 0.5): bin1 lighter and feasible -> bin1 (0.9)
+        assert outcome.transcript.outputs == (0, 1, 1)
+        assert outcome.won
+
+    def test_message_structure(self, rng):
+        protocol = PartialSumChainProtocol(4, 1)
+        outcome = ProtocolEngine(1).execute(
+            protocol, [0.2, 0.3, 0.4, 0.1], rng
+        )
+        transcript = outcome.transcript
+        assert transcript.total_messages == 3
+        # player i messages player i+1 in round i+1
+        for message in transcript.messages:
+            assert message.receiver == message.sender + 1
+            assert message.round_index == message.sender + 1
+            assert len(message.payload) == 2
+        assert transcript.total_payload_floats == 6
+
+    def test_infeasible_inputs_still_decide(self, rng):
+        protocol = PartialSumChainProtocol(3, Fraction(1, 2))
+        outcome = ProtocolEngine(Fraction(1, 2)).execute(
+            protocol, [0.9, 0.9, 0.9], rng
+        )
+        assert not outcome.won
+        assert set(outcome.transcript.outputs) <= {0, 1}
+
+    def test_single_player(self, rng):
+        protocol = PartialSumChainProtocol(1, 1)
+        assert protocol.rounds == 0
+        outcome = ProtocolEngine(1).execute(protocol, [0.7], rng)
+        assert outcome.won
+
+    def test_beats_no_communication_optimum(self):
+        """The chain's sequential greedy strictly beats the best
+        no-communication protocol at n = 3, delta = 1 (0.545)."""
+        from repro.optimize.threshold_opt import (
+            optimal_symmetric_threshold,
+        )
+
+        protocol = PartialSumChainProtocol(3, 1)
+        engine = ProtocolEngine(1)
+        rng = np.random.default_rng(7)
+        summary = engine.estimate_winning_probability(
+            protocol, trials=30_000, rng=rng
+        )
+        best_silent = float(optimal_symmetric_threshold(3, 1).probability)
+        assert summary.lower > best_silent
+
+    def test_below_centralized_bound(self):
+        from repro.baselines.centralized import (
+            centralized_winning_probability,
+        )
+
+        protocol = PartialSumChainProtocol(3, 1)
+        rng = np.random.default_rng(8)
+        summary = ProtocolEngine(1).estimate_winning_probability(
+            protocol, trials=30_000, rng=rng
+        )
+        bound = centralized_winning_probability(
+            3, 1, trials=60_000, seed=9
+        )
+        assert summary.estimate <= bound.upper + 0.01
+
+
+class TestTranscriptQueries:
+    def test_round_and_receiver_filters(self, rng):
+        protocol = PartialSumChainProtocol(3, 1)
+        outcome = ProtocolEngine(1).execute(
+            protocol, [0.2, 0.3, 0.4], rng
+        )
+        t = outcome.transcript
+        assert len(t.messages_in_round(1)) == 1
+        assert len(t.received_by(1)) == 1
+        assert len(t.received_by(0)) == 0

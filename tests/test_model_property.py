@@ -1,0 +1,152 @@
+"""Property-based tests for the model layer.
+
+The invariants the Monte Carlo engine's correctness rests on: batch
+and scalar decision paths agree for every rule, loads partition the
+inputs, and the win verdict matches the definition.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.algorithms import (
+    IntervalRule,
+    ObliviousCoin,
+    SingleThresholdRule,
+)
+from repro.model.system import DistributedSystem
+
+thresholds = st.fractions(min_value=0, max_value=1, max_denominator=16)
+unit_floats = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def interval_rules(draw):
+    cut_count = draw(st.integers(min_value=0, max_value=3))
+    cuts = sorted(
+        draw(
+            st.sets(
+                st.fractions(
+                    min_value="1/16",
+                    max_value="15/16",
+                    max_denominator=16,
+                ),
+                min_size=cut_count,
+                max_size=cut_count,
+            )
+        )
+    )
+    outputs = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=1),
+            min_size=len(cuts) + 1,
+            max_size=len(cuts) + 1,
+        )
+    )
+    return IntervalRule(cuts, outputs)
+
+
+class TestBatchScalarAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(thresholds, st.lists(unit_floats, min_size=1, max_size=20))
+    def test_single_threshold(self, a, xs):
+        rule = SingleThresholdRule(a)
+        rng = np.random.default_rng(0)
+        batch = rule.decide_batch(np.array(xs), rng)
+        scalar = [rule.decide(x, {}, rng) for x in xs]
+        assert list(batch) == scalar
+
+    @settings(max_examples=60, deadline=None)
+    @given(interval_rules(), st.lists(unit_floats, min_size=1, max_size=20))
+    def test_interval_rule(self, rule, xs):
+        rng = np.random.default_rng(0)
+        batch = rule.decide_batch(np.array(xs), rng)
+        scalar = [rule.decide(x, {}, rng) for x in xs]
+        assert list(batch) == scalar
+
+    @settings(max_examples=30, deadline=None)
+    @given(interval_rules())
+    def test_interval_rule_boundary_points(self, rule):
+        """Exactly at each cut the batch and scalar paths must agree
+        (the closed-right convention)."""
+        rng = np.random.default_rng(0)
+        points = [float(c) for c in rule.cuts] + [0.0, 1.0]
+        batch = rule.decide_batch(np.array(points), rng)
+        scalar = [rule.decide(x, {}, rng) for x in points]
+        assert list(batch) == scalar
+
+
+class TestSystemInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(thresholds, min_size=1, max_size=5),
+        st.data(),
+    )
+    def test_loads_partition_inputs(self, rule_params, data):
+        system = DistributedSystem(
+            [SingleThresholdRule(a) for a in rule_params],
+            Fraction(1),
+        )
+        xs = data.draw(
+            st.lists(
+                unit_floats,
+                min_size=system.n,
+                max_size=system.n,
+            )
+        )
+        rng = np.random.default_rng(0)
+        outcome = system.run(xs, rng)
+        assert outcome.load_bin0 + outcome.load_bin1 == (
+            __import__("pytest").approx(sum(xs))
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(thresholds, min_size=1, max_size=5), st.data())
+    def test_verdict_matches_definition(self, rule_params, data):
+        capacity = Fraction(1)
+        system = DistributedSystem(
+            [SingleThresholdRule(a) for a in rule_params], capacity
+        )
+        xs = data.draw(
+            st.lists(unit_floats, min_size=system.n, max_size=system.n)
+        )
+        rng = np.random.default_rng(0)
+        outcome = system.run(xs, rng)
+        expected = (
+            outcome.load_bin0 <= float(capacity)
+            and outcome.load_bin1 <= float(capacity)
+        )
+        assert outcome.won == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(thresholds, min_size=1, max_size=4), st.data())
+    def test_outputs_follow_threshold_rule(self, rule_params, data):
+        system = DistributedSystem(
+            [SingleThresholdRule(a) for a in rule_params], 1
+        )
+        xs = data.draw(
+            st.lists(unit_floats, min_size=system.n, max_size=system.n)
+        )
+        rng = np.random.default_rng(0)
+        outcome = system.run(xs, rng)
+        for x, a, y in zip(xs, rule_params, outcome.outputs):
+            assert y == (0 if x <= float(a) else 1)
+
+
+class TestObliviousStatistics:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.fractions(min_value="1/8", max_value="7/8", max_denominator=8)
+    )
+    def test_coin_batch_frequency(self, alpha):
+        rng = np.random.default_rng(7)
+        coin = ObliviousCoin(alpha)
+        outs = coin.decide_batch(np.zeros(20_000), rng)
+        p_zero = float((outs == 0).mean())
+        expected = float(alpha)
+        half_width = 3.89 * (expected * (1 - expected) / 20_000) ** 0.5
+        assert abs(p_zero - expected) < half_width + 1e-9

@@ -1,0 +1,145 @@
+"""Tests for repro.model.system (protocol execution and verdicts)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.model.algorithms import ObliviousCoin, SingleThresholdRule
+from repro.model.communication import FullInformation, NoCommunication
+from repro.model.system import DistributedSystem, Outcome
+
+
+def threshold_system(n=3, beta=Fraction(1, 2), capacity=1):
+    return DistributedSystem(
+        [SingleThresholdRule(beta) for _ in range(n)], capacity
+    )
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistributedSystem([], 1)
+        with pytest.raises(ValueError):
+            DistributedSystem([ObliviousCoin(Fraction(1, 2))], 0)
+        with pytest.raises(ValueError):
+            DistributedSystem(
+                [ObliviousCoin(Fraction(1, 2))],
+                1,
+                pattern=NoCommunication(2),
+            )
+
+    def test_properties(self):
+        system = threshold_system()
+        assert system.n == 3
+        assert system.capacity == 1
+        assert len(system.players) == 3
+        assert system.pattern.is_silent()
+
+
+class TestRun:
+    def test_outputs_follow_thresholds(self, rng):
+        system = threshold_system(beta=Fraction(1, 2))
+        outcome = system.run([0.2, 0.7, 0.5], rng)
+        assert outcome.outputs == (0, 1, 0)
+
+    def test_loads_partition_the_inputs(self, rng):
+        system = threshold_system(beta=Fraction(1, 2))
+        outcome = system.run([0.2, 0.7, 0.5], rng)
+        assert outcome.load_bin0 == pytest.approx(0.7)
+        assert outcome.load_bin1 == pytest.approx(0.7)
+        assert outcome.load_bin0 + outcome.load_bin1 == pytest.approx(
+            sum(outcome.inputs)
+        )
+
+    def test_win_verdict(self, rng):
+        system = threshold_system(beta=Fraction(1, 2), capacity=1)
+        assert system.run([0.2, 0.7, 0.5], rng).won
+        # overload bin 0: three small inputs all below threshold
+        assert not system.run([0.45, 0.45, 0.4], rng).won
+
+    def test_input_length_validation(self, rng):
+        with pytest.raises(ValueError):
+            threshold_system().run([0.1, 0.2], rng)
+
+    def test_outcome_overflow_metric(self):
+        o = Outcome(
+            inputs=(0.9, 0.8),
+            outputs=(0, 0),
+            load_bin0=1.7,
+            load_bin1=0.0,
+            capacity=1.0,
+        )
+        assert not o.won
+        assert o.overflow == pytest.approx(0.7)
+        assert "OVERFLOW" in str(o)
+
+    def test_outcome_win_string(self):
+        o = Outcome((0.5,), (0,), 0.5, 0.0, 1.0)
+        assert o.won and "WIN" in str(o)
+
+
+class TestRunBatch:
+    def test_matches_scalar_run(self, rng):
+        system = threshold_system(n=3, beta=Fraction(2, 5))
+        inputs = rng.random((500, 3))
+        batch = system.run_batch(inputs, rng)
+        scalar = np.array(
+            [system.run(row, rng).won for row in inputs]
+        )
+        assert (batch == scalar).all()
+
+    def test_shape_validation(self, rng):
+        system = threshold_system()
+        with pytest.raises(ValueError):
+            system.run_batch(np.zeros((5, 2)), rng)
+        with pytest.raises(ValueError):
+            system.run_batch(np.zeros(3), rng)
+
+    def test_nonlocal_rejected(self, rng):
+        from repro.baselines.centralized import OmniscientPacker
+
+        system = DistributedSystem(
+            [OmniscientPacker(i, 2) for i in range(2)],
+            1,
+            pattern=FullInformation(2),
+        )
+        with pytest.raises(ValueError, match="batch"):
+            system.run_batch(np.zeros((4, 2)), rng)
+
+    def test_randomized_batch_statistics(self, rng):
+        # fair coins, n=2, capacity 1: exact winning probability 3/4
+        system = DistributedSystem(
+            [ObliviousCoin(Fraction(1, 2))] * 2, 1
+        )
+        inputs = rng.random((60_000, 2))
+        wins = system.run_batch(inputs, rng).mean()
+        assert abs(wins - 0.75) < 3.89 * (0.75 * 0.25 / 60_000) ** 0.5
+
+
+class TestCommunicationIntegration:
+    def test_full_information_run(self, rng):
+        from repro.baselines.centralized import OmniscientPacker
+
+        system = DistributedSystem(
+            [OmniscientPacker(i, 3) for i in range(3)],
+            1,
+            pattern=FullInformation(3),
+        )
+        outcome = system.run([0.6, 0.5, 0.4], rng)
+        # greedy LPT: 0.6 -> bin0, 0.5 -> bin1, 0.4 -> bin1: loads 0.6/0.9
+        assert outcome.won
+        assert sorted([outcome.load_bin0, outcome.load_bin1]) == (
+            pytest.approx([0.6, 0.9])
+        )
+
+    def test_omniscient_needs_full_pattern(self, rng):
+        from repro.baselines.centralized import OmniscientPacker
+
+        system = DistributedSystem(
+            [OmniscientPacker(i, 3) for i in range(3)],
+            1,
+            pattern=NoCommunication(3),
+        )
+        with pytest.raises(ValueError, match="full information"):
+            system.run([0.5, 0.5, 0.5], rng)

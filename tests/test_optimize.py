@@ -1,0 +1,150 @@
+"""Tests for repro.optimize (exact and numeric optimisers)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.nonoblivious import symmetric_threshold_winning_probability
+from repro.core.oblivious import optimal_oblivious_winning_probability
+from repro.optimize.numeric import (
+    maximize_oblivious_numeric,
+    maximize_thresholds_numeric,
+)
+from repro.optimize.oblivious_opt import (
+    boundary_split_value,
+    improvement_over_oblivious,
+    solve_oblivious_optimum,
+    symmetric_oblivious_polynomial,
+    verify_fair_coin_stationary,
+)
+from repro.optimize.threshold_opt import (
+    local_maxima,
+    optimal_symmetric_threshold,
+)
+
+
+class TestOptimalSymmetricThreshold:
+    def test_paper_case_n3(self, tight_tolerance):
+        opt = optimal_symmetric_threshold(3, 1, tight_tolerance)
+        assert abs(float(opt.beta) - (1 - (1 / 7) ** 0.5)) < 1e-13
+        assert abs(float(opt.probability) - 0.544631) < 1e-6
+        assert opt.is_interior()
+        assert opt.piece.lower == Fraction(1, 2)
+
+    def test_paper_case_n4(self, tight_tolerance):
+        opt = optimal_symmetric_threshold(4, Fraction(4, 3), tight_tolerance)
+        # the paper reports beta* ~ 0.678
+        assert abs(float(opt.beta) - 0.678) < 1e-3
+
+    def test_optimum_dominates_grid(self):
+        for n, delta in ((3, Fraction(1)), (4, Fraction(4, 3)), (5, Fraction(1))):
+            opt = optimal_symmetric_threshold(n, delta)
+            for i in range(0, 41):
+                beta = Fraction(i, 40)
+                assert symmetric_threshold_winning_probability(
+                    beta, n, delta
+                ) <= opt.probability + Fraction(1, 10**10)
+
+    def test_stationarity_at_interior_optimum(self):
+        opt = optimal_symmetric_threshold(3, 1)
+        value = opt.stationarity_polynomial(opt.beta)
+        assert abs(value) < Fraction(1, 10**9)
+
+    def test_str(self):
+        opt = optimal_symmetric_threshold(3, 1)
+        assert "beta*" in str(opt)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_symmetric_threshold(0, 1)
+        with pytest.raises(ValueError):
+            optimal_symmetric_threshold(3, 0)
+
+    def test_n1_degenerate(self):
+        # single player, big capacity: everything wins
+        opt = optimal_symmetric_threshold(1, 2)
+        assert opt.probability == 1
+
+    def test_local_maxima_contains_global(self):
+        opt = optimal_symmetric_threshold(3, 1)
+        maxima = local_maxima(3, 1)
+        assert any(
+            abs(x - opt.beta) < Fraction(1, 10**6) for x, _ in maxima
+        )
+
+
+class TestObliviousOptimum:
+    def test_fair_coin_is_stationary(self):
+        for n in (2, 3, 4, 5):
+            for t in (Fraction(1, 2), 1, Fraction(4, 3)):
+                grad = verify_fair_coin_stationary(t, n)
+                assert all(g == 0 for g in grad)
+
+    def test_symmetric_profile_polynomial(self):
+        # n = 3, t = 1: P(alpha) = 1/6 + (1/3)(1 - a^3 - (1-a)^3)
+        profile = symmetric_oblivious_polynomial(1, 3)
+        for i in range(11):
+            a = Fraction(i, 10)
+            expected = Fraction(1, 6) + Fraction(1, 3) * (
+                1 - a**3 - (1 - a) ** 3
+            )
+            assert profile(a) == expected
+
+    def test_solver_finds_half(self):
+        for n in (2, 3, 4, 5):
+            result = solve_oblivious_optimum(1, n)
+            assert result.alpha == Fraction(1, 2)
+            assert result.probability == (
+                optimal_oblivious_winning_probability(1, n)
+            )
+
+    def test_solver_degenerate_capacities(self):
+        big = solve_oblivious_optimum(10, 3)
+        assert big.probability == 1
+        tiny = solve_oblivious_optimum(Fraction(0), 3) if False else None
+        # t = 0 is rejected upstream by phi? t=0 gives probability 0
+        zero = solve_oblivious_optimum(Fraction(1, 1000000), 3)
+        assert zero.probability >= 0
+
+    def test_boundary_split_beats_fair_coin_n3(self):
+        split = boundary_split_value(1, 3)
+        assert split == Fraction(1, 2)
+        assert split > optimal_oblivious_winning_probability(1, 3)
+
+    def test_boundary_split_n2_wins_always(self):
+        assert boundary_split_value(1, 2) == 1
+
+    def test_improvement_positive_for_n3_case(self):
+        assert improvement_over_oblivious(3, 1) > 0
+
+    def test_paper_discrepancy_improvement_negative_for_n4_case(self):
+        """Documented deviation from the paper (see EXPERIMENTS.md).
+
+        Section 5's claim that optimal non-oblivious (single-threshold)
+        algorithms beat the oblivious optimum fails at the paper's own
+        second worked case: for n = 4, delta = 4/3 the fair coin
+        achieves 559/1296 ~ 0.43133 while the optimal common threshold
+        reaches only ~ 0.42854.
+        """
+        assert optimal_oblivious_winning_probability(Fraction(4, 3), 4) == (
+            Fraction(559, 1296)
+        )
+        assert improvement_over_oblivious(4, Fraction(4, 3)) < 0
+
+
+class TestNumericOptimizers:
+    def test_threshold_numeric_matches_exact_n3(self):
+        thresholds, value = maximize_thresholds_numeric(
+            1, 3, starts=4, seed=1
+        )
+        exact = optimal_symmetric_threshold(3, 1)
+        assert value == pytest.approx(float(exact.probability), abs=2e-4)
+        for a in thresholds:
+            assert a == pytest.approx(float(exact.beta), abs=5e-3)
+
+    def test_oblivious_numeric_at_least_fair_coin(self):
+        _, value = maximize_oblivious_numeric(1, 3, starts=4, seed=1)
+        fair = float(optimal_oblivious_winning_probability(1, 3))
+        assert value >= fair - 1e-9
+        # and it should find (or beat) the deterministic split
+        assert value == pytest.approx(0.5, abs=2e-3)

@@ -1,0 +1,144 @@
+"""Tests for repro.optimize.asymmetric."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.nonoblivious import threshold_winning_probability
+from repro.optimize.asymmetric import (
+    best_two_group_profile,
+    coordinate_ascent_thresholds,
+    two_group_winning_probability,
+)
+from repro.optimize.threshold_opt import optimal_symmetric_threshold
+
+
+class TestTwoGroupWinningProbability:
+    def test_matches_direct_evaluation(self):
+        v = two_group_winning_probability(
+            1, 3, 1, Fraction(1, 2), Fraction(3, 4)
+        )
+        assert v == threshold_winning_probability(
+            1, [Fraction(1, 2), Fraction(3, 4), Fraction(3, 4)]
+        )
+
+    def test_symmetric_special_case(self):
+        beta = Fraction(3, 5)
+        assert two_group_winning_probability(1, 4, 2, beta, beta) == (
+            threshold_winning_probability(1, [beta] * 4)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_group_winning_probability(1, 3, 4, Fraction(1, 2), 0)
+        with pytest.raises(ValueError):
+            two_group_winning_probability(1, 0, 0, 0, 0)
+
+
+class TestBestTwoGroupProfile:
+    def test_includes_symmetric_grid_optimum(self):
+        value, k, b1, b2 = best_two_group_profile(1, 3, grid_size=11)
+        # must at least reach the best symmetric grid point
+        symmetric_best = max(
+            threshold_winning_probability(1, [Fraction(i, 10)] * 3)
+            for i in range(11)
+        )
+        assert value >= symmetric_best
+
+    def test_two_players_split_is_found(self):
+        # n = 2, delta = 1: the profile (1, 0) wins always -- the grid
+        # search must find value 1
+        value, k, b1, b2 = best_two_group_profile(1, 2, grid_size=5)
+        assert value == 1
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            best_two_group_profile(1, 3, grid_size=1)
+
+
+class TestCoordinateAscent:
+    def test_monotone_improvement(self):
+        start = [Fraction(1, 2)] * 3
+        start_value = threshold_winning_probability(1, start)
+        thresholds, value = coordinate_ascent_thresholds(
+            1, start, rounds=2, grid_size=21, refine_steps=2
+        )
+        assert value >= start_value
+
+    def test_converges_to_symmetric_optimum_from_symmetric_start(self):
+        opt = optimal_symmetric_threshold(3, 1)
+        thresholds, value = coordinate_ascent_thresholds(
+            1, [Fraction(3, 5)] * 3, rounds=3, grid_size=41, refine_steps=3
+        )
+        # line-search resolution caps the accuracy at ~1e-5
+        assert value >= opt.probability - Fraction(1, 10**4)
+
+    def test_n3_symmetric_optimum_survives_asymmetric_attack(self):
+        """At n = 3, delta = 1 the symmetric optimum is globally
+        optimal within the threshold class: ascent from a skewed start
+        does not exceed it beyond line-search resolution (and the
+        exhaustive (1, a, b) grid tops out at 1/2 < 0.5446)."""
+        opt = optimal_symmetric_threshold(3, 1)
+        thresholds, value = coordinate_ascent_thresholds(
+            1,
+            [Fraction(1, 5), Fraction(1, 2), Fraction(9, 10)],
+            rounds=4,
+            grid_size=41,
+            refine_steps=3,
+        )
+        assert value <= opt.probability + Fraction(1, 10**4)
+
+    def test_paper_discrepancy_d4_split_beats_symmetric_at_n4(self):
+        """Discrepancy D4 (see EXPERIMENTS.md): the optimal threshold
+        profile at the paper's n = 4, delta = 4/3 case is the
+        asymmetric deterministic split (1, 1, 0, 0) worth exactly
+        49/81 ~ 0.605 -- Theorem 5.2's symmetric reduction misses it."""
+        from repro.core.nonoblivious import threshold_winning_probability
+
+        split = threshold_winning_probability(
+            Fraction(4, 3), [1, 1, 0, 0]
+        )
+        assert split == Fraction(49, 81)
+        symmetric = optimal_symmetric_threshold(4, Fraction(4, 3))
+        assert split > symmetric.probability
+        # the two-group grid search finds it (k = 2, betas 1 and 0)
+        value, k, b1, b2 = best_two_group_profile(
+            Fraction(4, 3), 4, grid_size=5
+        )
+        assert value >= Fraction(49, 81)
+        # and coordinate ascent escapes to it from a skewed start
+        thresholds, reached = coordinate_ascent_thresholds(
+            Fraction(4, 3),
+            [Fraction(1, 5), Fraction(2, 5), Fraction(4, 5), Fraction(9, 10)],
+            rounds=3,
+            grid_size=33,
+            refine_steps=2,
+        )
+        assert reached == Fraction(49, 81)
+        assert sorted(thresholds) == [0, 0, 1, 1]
+
+    def test_d4_split_value_by_group_sizes(self):
+        """The split value is F_k(delta) * F_(n-k)(delta); the even
+        split maximises it among splits for the paper's cases."""
+        from repro.core.nonoblivious import threshold_winning_probability
+        from repro.probability.uniform_sums import irwin_hall_cdf
+
+        d = Fraction(4, 3)
+        for k in range(5):
+            profile = [Fraction(1)] * k + [Fraction(0)] * (4 - k)
+            assert threshold_winning_probability(d, profile) == (
+                irwin_hall_cdf(d, 4 - k) * irwin_hall_cdf(d, k)
+            )
+        even = irwin_hall_cdf(d, 2) ** 2
+        uneven = irwin_hall_cdf(d, 1) * irwin_hall_cdf(d, 3)
+        assert even > uneven
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coordinate_ascent_thresholds(1, [], rounds=1)
+        with pytest.raises(ValueError):
+            coordinate_ascent_thresholds(1, [Fraction(1, 2)], rounds=0)
+        with pytest.raises(ValueError):
+            coordinate_ascent_thresholds(
+                1, [Fraction(1, 2)], grid_size=2
+            )

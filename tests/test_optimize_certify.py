@@ -1,0 +1,49 @@
+"""Tests for repro.optimize.certify (certified global optimality)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.optimize.certify import certify_threshold_optimum
+
+
+class TestCertification:
+    def test_paper_case_n3_certifies(self):
+        cert = certify_threshold_optimum(3, 1)
+        assert cert.upper_bound > cert.optimum.probability
+        assert len(cert.certified_pieces) == len(
+            cert.optimum.curve.pieces
+        )
+
+    def test_paper_case_n4_certifies(self):
+        cert = certify_threshold_optimum(4, Fraction(4, 3))
+        assert cert.verify()
+
+    def test_verify_recomputes_from_scratch(self):
+        cert = certify_threshold_optimum(3, 1)
+        assert cert.verify()
+
+    def test_certificate_bound_is_tight(self):
+        """The bound must sit within slack of the true optimum -- the
+        certificate is not a sloppy over-estimate."""
+        slack = Fraction(1, 10**9)
+        cert = certify_threshold_optimum(3, 1, slack=slack)
+        assert cert.upper_bound - cert.optimum.probability == slack
+
+    def test_too_small_slack_fails(self):
+        """With slack below the enclosure error, the gap polynomial
+        genuinely dips negative near the irrational optimum and the
+        certification must refuse."""
+        with pytest.raises(RuntimeError):
+            certify_threshold_optimum(
+                3, 1, slack=Fraction(1, 10**30), max_depth=48
+            )
+
+    def test_slack_validation(self):
+        with pytest.raises(ValueError):
+            certify_threshold_optimum(3, 1, slack=0)
+
+    @pytest.mark.parametrize("n", [2, 5])
+    def test_other_sizes(self, n):
+        cert = certify_threshold_optimum(n, 1)
+        assert cert.verify()

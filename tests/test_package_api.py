@@ -1,0 +1,214 @@
+"""Package-surface tests: exports, docstrings, and layering.
+
+These enforce the repository's quality contract mechanically:
+
+* every name in every ``__all__`` actually exists and is importable;
+* every public module, class and function carries a docstring;
+* the layering rules of docs/architecture.md hold (``symbolic`` has no
+  internal imports; ``model`` never imports ``core``; nothing imports
+  ``experiments`` except ``cli``).
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.baselines",
+    "repro.core",
+    "repro.experiments",
+    "repro.geometry",
+    "repro.model",
+    "repro.optimize",
+    "repro.probability",
+    "repro.simulation",
+    "repro.symbolic",
+]
+
+
+def iter_all_modules():
+    names = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        names.append(package_name)
+        for info in pkgutil.iter_modules(package.__path__):
+            names.append(f"{package_name}.{info.name}")
+    # dedupe, keep order
+    seen = set()
+    ordered = []
+    for name in names:
+        if name not in seen:
+            seen.add(name)
+            ordered.append(name)
+    return ordered
+
+
+ALL_MODULES = iter_all_modules()
+
+
+class TestExports:
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_all_names_exist(self, module_name):
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            return
+        for name in exported:
+            assert hasattr(module, name), (
+                f"{module_name}.__all__ lists {name!r} but the module "
+                "does not define it"
+            )
+
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_no_duplicate_all_entries(self, module_name):
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            return
+        assert len(exported) == len(set(exported)), (
+            f"{module_name}.__all__ has duplicates"
+        )
+
+    def test_top_level_quickstart_names(self):
+        for name in (
+            "DistributedSystem",
+            "MonteCarloEngine",
+            "SingleThresholdRule",
+            "exact_winning_probability",
+            "optimal_symmetric_threshold",
+        ):
+            assert hasattr(repro, name)
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_module_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip(), (
+            f"{module_name} lacks a module docstring"
+        )
+
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_public_callables_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", [])
+        for name in exported:
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__ and obj.__doc__.strip(), (
+                    f"{module_name}.{name} lacks a docstring"
+                )
+
+    @staticmethod
+    def _inherits_doc(cls, attr_name) -> bool:
+        """Whether a base class documents this method (overrides may
+        rely on the inherited contract)."""
+        for base in cls.__mro__[1:]:
+            base_attr = base.__dict__.get(attr_name)
+            if base_attr is not None and (
+                getattr(base_attr, "__doc__", None) or ""
+            ).strip():
+                return True
+        return False
+
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_public_methods_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", [])
+        for name in exported:
+            obj = getattr(module, name)
+            if not inspect.isclass(obj):
+                continue
+            if obj.__module__ != module_name:
+                continue  # re-export; checked at its home module
+            for attr_name, attr in vars(obj).items():
+                if attr_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(attr):
+                    continue
+                documented = bool((attr.__doc__ or "").strip())
+                assert documented or self._inherits_doc(obj, attr_name), (
+                    f"{module_name}.{name}.{attr_name} lacks a "
+                    "docstring (and no base class documents it)"
+                )
+
+
+class TestLayering:
+    """Top-level (module-scope) imports only: deferred function-level
+    imports are permitted -- they express an optional convenience
+    without creating an import-time dependency edge."""
+
+    @staticmethod
+    def _source_of(module_name):
+        module = importlib.import_module(module_name)
+        try:
+            source = inspect.getsource(module)
+        except OSError:
+            return ""
+        # keep only column-0 import lines (module scope)
+        return "\n".join(
+            line
+            for line in source.splitlines()
+            if line.startswith(("from ", "import "))
+        )
+
+    def test_symbolic_is_self_contained(self):
+        for module_name in ALL_MODULES:
+            if not module_name.startswith("repro.symbolic"):
+                continue
+            source = self._source_of(module_name)
+            for layer in (
+                "repro.core",
+                "repro.model",
+                "repro.geometry",
+                "repro.probability",
+                "repro.simulation",
+                "repro.experiments",
+                "repro.baselines",
+                "repro.optimize",
+            ):
+                assert f"from {layer}" not in source, (
+                    f"{module_name} imports {layer}: symbolic must stay "
+                    "dependency-free"
+                )
+
+    def test_model_does_not_import_core(self):
+        for module_name in ALL_MODULES:
+            if not module_name.startswith("repro.model"):
+                continue
+            source = self._source_of(module_name)
+            assert "from repro.core" not in source, (
+                f"{module_name} imports repro.core (layering violation)"
+            )
+
+    def test_simulation_does_not_import_experiments(self):
+        for module_name in ALL_MODULES:
+            if not module_name.startswith("repro.simulation"):
+                continue
+            source = self._source_of(module_name)
+            assert "from repro.experiments" not in source
+
+    def test_geometry_probability_only_use_symbolic(self):
+        for module_name in ALL_MODULES:
+            if not (
+                module_name.startswith("repro.geometry")
+                or module_name.startswith("repro.probability")
+            ):
+                continue
+            source = self._source_of(module_name)
+            for layer in (
+                "repro.core",
+                "repro.model",
+                "repro.simulation",
+                "repro.experiments",
+                "repro.baselines",
+                "repro.optimize",
+            ):
+                assert f"from {layer}" not in source, (
+                    f"{module_name} imports {layer}"
+                )

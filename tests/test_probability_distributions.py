@@ -1,0 +1,116 @@
+"""Tests for repro.probability.distributions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.probability.distributions import SumOfUniforms, Uniform
+from repro.probability.uniform_sums import irwin_hall_cdf, irwin_hall_pdf
+
+
+class TestUniform:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Uniform(1, 1)
+        with pytest.raises(ValueError):
+            Uniform(2, 1)
+
+    def test_cdf(self):
+        u = Uniform(Fraction(1, 4), Fraction(3, 4))
+        assert u.cdf(0) == 0
+        assert u.cdf(Fraction(1, 4)) == 0
+        assert u.cdf(Fraction(1, 2)) == Fraction(1, 2)
+        assert u.cdf(1) == 1
+
+    def test_pdf(self):
+        u = Uniform(0, Fraction(1, 2))
+        assert u.pdf(Fraction(1, 4)) == 2
+        assert u.pdf(Fraction(3, 4)) == 0
+
+    def test_moments(self):
+        u = Uniform(0, 1)
+        assert u.mean == Fraction(1, 2)
+        assert u.variance == Fraction(1, 12)
+
+    def test_conditioning(self):
+        u = Uniform(0, 1)
+        below = u.conditioned_below(Fraction(1, 3))
+        assert (below.lower, below.upper) == (0, Fraction(1, 3))
+        above = u.conditioned_above(Fraction(1, 3))
+        assert (above.lower, above.upper) == (Fraction(1, 3), 1)
+
+    def test_conditioning_validation(self):
+        u = Uniform(0, 1)
+        with pytest.raises(ValueError):
+            u.conditioned_below(0)
+        with pytest.raises(ValueError):
+            u.conditioned_above(1)
+
+    def test_sampling_within_support(self, rng):
+        u = Uniform(Fraction(1, 4), Fraction(1, 2))
+        draws = u.sample(rng, 1000)
+        assert (draws >= 0.25).all() and (draws <= 0.5).all()
+
+
+class TestSumOfUniforms:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SumOfUniforms([])
+
+    def test_iid_unit_matches_irwin_hall(self):
+        s = SumOfUniforms.iid_unit(3)
+        for t in (Fraction(1, 2), 1, Fraction(3, 2), Fraction(5, 2)):
+            assert s.cdf(t) == irwin_hall_cdf(t, 3)
+            assert s.pdf(t) == irwin_hall_pdf(t, 3)
+
+    def test_shift_reduction(self):
+        # U[1/4, 3/4] + U[1/2, 1] == 3/4 + (U[0,1/2] + U[0,1/2])
+        s = SumOfUniforms(
+            [Uniform(Fraction(1, 4), Fraction(3, 4)), Uniform(Fraction(1, 2), 1)]
+        )
+        base = SumOfUniforms(
+            [Uniform(0, Fraction(1, 2)), Uniform(0, Fraction(1, 2))]
+        )
+        t = Fraction(5, 4)
+        assert s.cdf(t) == base.cdf(t - Fraction(3, 4))
+
+    def test_support(self):
+        s = SumOfUniforms(
+            [Uniform(Fraction(1, 4), 1), Uniform(Fraction(1, 2), 1)]
+        )
+        assert s.support == (Fraction(3, 4), Fraction(2))
+        assert s.cdf(Fraction(3, 4)) == 0
+        assert s.cdf(2) == 1
+
+    def test_pdf_outside_support(self):
+        s = SumOfUniforms.iid_unit(2)
+        assert s.pdf(0) == 0
+        assert s.pdf(2) == 0
+
+    def test_moments_add(self):
+        s = SumOfUniforms([Uniform(0, 1), Uniform(0, Fraction(1, 2))])
+        assert s.mean == Fraction(1, 2) + Fraction(1, 4)
+        assert s.variance == Fraction(1, 12) + Fraction(1, 48)
+
+    def test_count(self):
+        assert SumOfUniforms.iid_unit(4).count == 4
+
+    def test_sampling_matches_cdf(self, rng):
+        s = SumOfUniforms(
+            [Uniform(0, 1), Uniform(Fraction(1, 4), Fraction(1, 2))]
+        )
+        t = 0.9
+        empirical = s.empirical_cdf(t, samples=50_000, seed=3)
+        exact = float(s.cdf(Fraction(9, 10)))
+        # z=3.89 normal interval on 50k samples
+        assert abs(empirical - exact) < 3.89 * (0.25 / 50_000) ** 0.5 + 1e-9
+
+    def test_lemma_2_7_agreement(self):
+        # SumOfUniforms on [pi_i, 1] must agree with the direct
+        # Lemma 2.7 implementation
+        from repro.probability.uniform_sums import sum_uniform_tail_cdf
+
+        lowers = [Fraction(1, 5), Fraction(2, 5)]
+        s = SumOfUniforms([Uniform(v, 1) for v in lowers])
+        for t in (Fraction(4, 5), Fraction(5, 4), Fraction(8, 5)):
+            assert s.cdf(t) == sum_uniform_tail_cdf(t, lowers)

@@ -1,0 +1,174 @@
+"""Tests for repro.probability.moments."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.probability.moments import (
+    chebyshev_overflow_bound,
+    expected_overflow_single_bin,
+    hoeffding_overflow_bound,
+    irwin_hall_moment,
+    sum_uniform_central_moment,
+    sum_uniform_moment,
+    uniform_moment,
+)
+
+
+class TestUniformMoment:
+    def test_unit_uniform(self):
+        # E[X^k] = 1/(k+1)
+        for k in range(6):
+            assert uniform_moment(k) == Fraction(1, k + 1)
+
+    def test_shifted(self):
+        # U[1, 2]: mean 3/2, E[X^2] = (8 - 1)/3 = 7/3
+        assert uniform_moment(1, 1, 2) == Fraction(3, 2)
+        assert uniform_moment(2, 1, 2) == Fraction(7, 3)
+
+    def test_zeroth_moment(self):
+        assert uniform_moment(0, Fraction(1, 4), Fraction(3, 4)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_moment(-1)
+        with pytest.raises(ValueError):
+            uniform_moment(1, 1, 1)
+
+
+class TestSumUniformMoment:
+    def test_single_variable(self):
+        assert sum_uniform_moment(2, [(0, 1)]) == Fraction(1, 3)
+
+    def test_mean_adds(self):
+        intervals = [(0, 1), (Fraction(1, 4), Fraction(1, 2)), (0, 2)]
+        mean = sum_uniform_moment(1, intervals)
+        assert mean == Fraction(1, 2) + Fraction(3, 8) + 1
+
+    def test_second_moment_via_variance(self):
+        # Var(S) = sum Var(X_i); E[S^2] = Var + mean^2
+        intervals = [(0, 1), (0, Fraction(1, 2))]
+        mean = Fraction(1, 2) + Fraction(1, 4)
+        variance = Fraction(1, 12) + Fraction(1, 48)
+        assert sum_uniform_moment(2, intervals) == variance + mean**2
+
+    def test_empty_sum(self):
+        assert sum_uniform_moment(0, []) == 1
+        assert sum_uniform_moment(3, []) == 0
+
+    def test_agrees_with_density_integration(self):
+        # E[S^2] = integral t^2 f(t) dt, via a fine Riemann sum
+        from repro.probability.uniform_sums import sum_uniform_pdf
+
+        uppers = [1, Fraction(1, 2)]
+        intervals = [(0, u) for u in uppers]
+        steps = 3000
+        span = Fraction(3, 2)
+        riemann = sum(
+            (span * Fraction(i, steps)) ** 2
+            * sum_uniform_pdf(span * Fraction(i, steps), uppers)
+            for i in range(1, steps)
+        ) * span / steps
+        exact = sum_uniform_moment(2, intervals)
+        assert abs(riemann - exact) < Fraction(1, 300)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sum_uniform_moment(-1, [(0, 1)])
+
+
+class TestCentralMoments:
+    def test_first_central_moment_zero(self):
+        intervals = [(0, 1), (Fraction(1, 3), Fraction(2, 3))]
+        assert sum_uniform_central_moment(1, intervals) == 0
+
+    def test_variance(self):
+        intervals = [(0, 1), (0, 1), (0, 1)]
+        assert sum_uniform_central_moment(2, intervals) == Fraction(3, 12)
+
+    def test_odd_central_moment_of_symmetric_sum(self):
+        # sums of symmetric variables are symmetric: odd central
+        # moments vanish
+        intervals = [(0, 1)] * 4
+        assert sum_uniform_central_moment(3, intervals) == 0
+        assert sum_uniform_central_moment(5, intervals) == 0
+
+
+class TestIrwinHallMoment:
+    def test_known_values(self):
+        assert irwin_hall_moment(1, 3) == Fraction(3, 2)
+        assert irwin_hall_moment(2, 2) == Fraction(2, 12) + 1
+
+    def test_m_zero(self):
+        assert irwin_hall_moment(0, 0) == 1
+        assert irwin_hall_moment(2, 0) == 0
+
+
+class TestExpectedOverflow:
+    def test_no_overflow_when_capacity_exceeds_support(self):
+        assert expected_overflow_single_bin(3, [(0, 1), (0, 1)]) == 0
+
+    def test_single_uniform_closed_form(self):
+        # E[(X - d)^+] = (1 - d)^2 / 2 for X ~ U[0, 1]
+        for d in (Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)):
+            assert expected_overflow_single_bin(d, [(0, 1)]) == (
+                (1 - d) ** 2 / 2
+            )
+
+    def test_capacity_zero_gives_mean(self):
+        # E[(S - 0)^+] = E[S]
+        intervals = [(0, 1), (0, Fraction(1, 2))]
+        assert expected_overflow_single_bin(0, intervals) == Fraction(3, 4)
+
+    def test_two_uniforms_hand_case(self):
+        # S = X + Y, X,Y ~ U[0,1]; E[(S - 1)^+] =
+        # integral_1^2 (1 - F(t)) dt with F(t) = 1 - (2-t)^2/2 on [1,2]
+        # = integral_1^2 (2-t)^2/2 dt = 1/6
+        assert expected_overflow_single_bin(1, [(0, 1), (0, 1)]) == (
+            Fraction(1, 6)
+        )
+
+    def test_monotone_in_capacity(self):
+        intervals = [(0, 1)] * 3
+        values = [
+            expected_overflow_single_bin(Fraction(i, 4), intervals)
+            for i in range(13)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_empty(self):
+        assert expected_overflow_single_bin(1, []) == 0
+
+
+class TestTailBounds:
+    def test_chebyshev_dominates_exact_tail(self):
+        from repro.probability.uniform_sums import sum_uniform_cdf
+
+        intervals = [(0, 1)] * 3
+        for d in (Fraction(2), Fraction(9, 4), Fraction(5, 2)):
+            exact_tail = 1 - sum_uniform_cdf(d, [1, 1, 1])
+            assert chebyshev_overflow_bound(d, intervals) >= exact_tail
+
+    def test_hoeffding_dominates_exact_tail(self):
+        from repro.probability.uniform_sums import sum_uniform_cdf
+
+        intervals = [(0, 1)] * 4
+        for d in (Fraction(3), Fraction(7, 2)):
+            exact_tail = float(1 - sum_uniform_cdf(d, [1] * 4))
+            assert hoeffding_overflow_bound(d, intervals) >= exact_tail
+
+    def test_vacuous_below_mean(self):
+        intervals = [(0, 1)] * 2
+        assert chebyshev_overflow_bound(Fraction(1, 2), intervals) == 1
+        assert hoeffding_overflow_bound(Fraction(1, 2), intervals) == 1.0
+
+    def test_bounds_much_looser_than_exact(self):
+        """The quantitative point of the paper's exact approach: at the
+        n = 3, delta = 1 operating point the generic bounds are useless
+        (both ~1) while the exact overflow probability is ~0.5."""
+        from repro.probability.uniform_sums import sum_uniform_cdf
+
+        exact_tail = 1 - sum_uniform_cdf(1, [1, 1, 1])
+        cheb = chebyshev_overflow_bound(1, [(0, 1)] * 3)
+        assert cheb == 1  # vacuous: capacity below the mean 3/2
+        assert exact_tail == Fraction(5, 6)

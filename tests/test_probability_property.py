@@ -1,0 +1,118 @@
+"""Property-based tests for the probability substrate.
+
+Distribution-function axioms (monotone, 0 at the floor, 1 at the
+ceiling) plus the structural identities connecting the lemmas.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.probability.uniform_sums import (
+    irwin_hall_cdf,
+    joint_sum_below_and_inside_high,
+    joint_sum_below_and_inside_low,
+    sum_uniform_cdf,
+    sum_uniform_tail_cdf,
+)
+
+uppers_lists = st.lists(
+    st.fractions(min_value="1/4", max_value=2, max_denominator=8),
+    min_size=1,
+    max_size=4,
+)
+unit_lists = st.lists(
+    st.fractions(min_value="1/8", max_value="7/8", max_denominator=8),
+    min_size=1,
+    max_size=4,
+)
+t_values = st.fractions(min_value=0, max_value=5, max_denominator=16)
+
+
+class TestCdfAxioms:
+    @settings(max_examples=60, deadline=None)
+    @given(uppers_lists, t_values, t_values)
+    def test_monotone(self, uppers, t1, t2):
+        lo, hi = min(t1, t2), max(t1, t2)
+        assert sum_uniform_cdf(lo, uppers) <= sum_uniform_cdf(hi, uppers)
+
+    @settings(max_examples=60, deadline=None)
+    @given(uppers_lists, t_values)
+    def test_range(self, uppers, t):
+        v = sum_uniform_cdf(t, uppers)
+        assert 0 <= v <= 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(uppers_lists)
+    def test_boundary_values(self, uppers):
+        assert sum_uniform_cdf(0, uppers) == 0
+        assert sum_uniform_cdf(sum(uppers), uppers) == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(unit_lists, t_values)
+    def test_tail_cdf_range_and_floor(self, lowers, t):
+        v = sum_uniform_tail_cdf(t, lowers)
+        assert 0 <= v <= 1
+        assert sum_uniform_tail_cdf(sum(lowers), lowers) == 0
+        assert sum_uniform_tail_cdf(len(lowers), lowers) == 1
+
+
+class TestStructuralIdentities:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=1, max_value=8), t_values)
+    def test_irwin_hall_is_special_case(self, m, t):
+        assert irwin_hall_cdf(t, m) == sum_uniform_cdf(t, [1] * m)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=1, max_value=6), t_values)
+    def test_irwin_hall_reflection(self, m, t):
+        if 0 <= t <= m:
+            assert irwin_hall_cdf(t, m) == 1 - irwin_hall_cdf(
+                Fraction(m) - t, m
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(unit_lists, t_values)
+    def test_joints_bounded_by_box_volumes(self, alphas, t):
+        low = joint_sum_below_and_inside_low(t, alphas)
+        high = joint_sum_below_and_inside_high(t, alphas)
+        box_low = Fraction(1)
+        box_high = Fraction(1)
+        for a in alphas:
+            box_low *= a
+            box_high *= 1 - a
+        assert 0 <= low <= box_low
+        assert 0 <= high <= box_high
+
+    @settings(max_examples=60, deadline=None)
+    @given(unit_lists, t_values)
+    def test_joint_low_is_scaled_cdf(self, alphas, t):
+        product = Fraction(1)
+        for a in alphas:
+            product *= a
+        assert joint_sum_below_and_inside_low(t, alphas) == (
+            sum_uniform_cdf(t, alphas) * product
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(unit_lists, t_values)
+    def test_joint_high_is_scaled_tail_cdf(self, alphas, t):
+        product = Fraction(1)
+        for a in alphas:
+            product *= 1 - a
+        assert joint_sum_below_and_inside_high(t, alphas) == (
+            sum_uniform_tail_cdf(t, alphas) * product
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.fractions(min_value="1/8", max_value="7/8", max_denominator=8),
+        t_values,
+    )
+    def test_single_variable_partition(self, a, t):
+        lhs = irwin_hall_cdf(t, 1)
+        rhs = joint_sum_below_and_inside_low(
+            t, [a]
+        ) + joint_sum_below_and_inside_high(t, [a])
+        assert lhs == rhs

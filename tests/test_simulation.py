@@ -1,0 +1,240 @@
+"""Tests for the simulation substrate (rng, statistics, engine, runner)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.nonoblivious import symmetric_threshold_winning_probability
+from repro.model.algorithms import ObliviousCoin, SingleThresholdRule
+from repro.model.system import DistributedSystem
+from repro.simulation.engine import MonteCarloEngine
+from repro.simulation.rng import SeedSequenceFactory
+from repro.simulation.runner import sweep_players, sweep_thresholds
+from repro.simulation.statistics import (
+    BinomialSummary,
+    required_samples,
+    wilson_interval,
+)
+
+
+class TestSeedSequenceFactory:
+    def test_reproducible(self):
+        a = SeedSequenceFactory(1).generator("stream").random(5)
+        b = SeedSequenceFactory(1).generator("stream").random(5)
+        assert (a == b).all()
+
+    def test_streams_independent_of_request_order(self):
+        f1 = SeedSequenceFactory(1)
+        f1.generator("first")
+        via_second = f1.generator("target").random(3)
+        f2 = SeedSequenceFactory(1)
+        via_first = f2.generator("target").random(3)
+        assert (via_second == via_first).all()
+
+    def test_different_names_differ(self):
+        f = SeedSequenceFactory(1)
+        a = f.generator("a").random(5)
+        b = f.generator("b").random(5)
+        assert not (a == b).all()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            SeedSequenceFactory(1).generator("")
+
+    def test_issue_audit(self):
+        f = SeedSequenceFactory(1)
+        f.generator("x")
+        f.generator("x")
+        f.generator("y")
+        assert f.issued_streams() == {"x": 2, "y": 1}
+
+    def test_unseeded_mode_works(self):
+        gen = SeedSequenceFactory(None).generator("x")
+        assert 0 <= gen.random() < 1
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(40, 100)
+        assert lo <= 0.4 <= hi
+
+    def test_clamped_to_unit_interval(self):
+        lo, hi = wilson_interval(0, 10)
+        assert lo == 0.0
+        lo, hi = wilson_interval(10, 10)
+        assert hi == 1.0
+
+    def test_narrows_with_samples(self):
+        w_small = wilson_interval(50, 100)
+        w_big = wilson_interval(5000, 10000)
+        assert (w_big[1] - w_big[0]) < (w_small[1] - w_small[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, z_score=0)
+
+    def test_coverage_on_simulated_binomials(self, rng):
+        # empirical check: the z=3.89 interval essentially always
+        # covers the true p on 200 replicates
+        p = 0.3
+        misses = 0
+        for _ in range(200):
+            k = rng.binomial(2000, p)
+            lo, hi = wilson_interval(int(k), 2000)
+            if not lo <= p <= hi:
+                misses += 1
+        assert misses == 0
+
+
+class TestRequiredSamples:
+    def test_monotone(self):
+        assert required_samples(0.01) > required_samples(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_samples(0.0)
+        with pytest.raises(ValueError):
+            required_samples(0.6)
+
+    def test_achieves_width(self):
+        n = required_samples(0.02)
+        lo, hi = wilson_interval(n // 2, n)
+        assert (hi - lo) / 2 <= 0.02 * 1.01
+
+
+class TestBinomialSummary:
+    def test_properties(self):
+        s = BinomialSummary(successes=30, trials=100)
+        assert s.estimate == pytest.approx(0.3)
+        assert s.lower <= 0.3 <= s.upper
+        assert s.half_width > 0
+        assert s.covers(0.3)
+        assert not s.covers(0.9)
+        assert "30/100" in str(s)
+
+    def test_validates_on_construction(self):
+        with pytest.raises(ValueError):
+            BinomialSummary(successes=11, trials=10)
+
+
+class TestMonteCarloEngine:
+    def test_reproducibility(self):
+        system = DistributedSystem(
+            [SingleThresholdRule(Fraction(1, 2))] * 3, 1
+        )
+        a = MonteCarloEngine(seed=5).estimate_winning_probability(
+            system, trials=10_000
+        )
+        b = MonteCarloEngine(seed=5).estimate_winning_probability(
+            system, trials=10_000
+        )
+        assert a.successes == b.successes
+
+    def test_covers_exact_value(self):
+        beta = Fraction(3, 5)
+        system = DistributedSystem(
+            [SingleThresholdRule(beta)] * 4, Fraction(4, 3)
+        )
+        exact = symmetric_threshold_winning_probability(
+            beta, 4, Fraction(4, 3)
+        )
+        summary = MonteCarloEngine(seed=11).estimate_winning_probability(
+            system, trials=120_000
+        )
+        assert summary.covers(float(exact))
+
+    def test_batching_boundary(self):
+        # trials not divisible by batch size
+        system = DistributedSystem([ObliviousCoin(Fraction(1, 2))] * 2, 1)
+        engine = MonteCarloEngine(seed=3, batch_size=7)
+        summary = engine.estimate_winning_probability(system, trials=100)
+        assert summary.trials == 100
+
+    def test_scalar_path_for_communicating_system(self):
+        from repro.baselines.centralized import OmniscientPacker
+        from repro.model.communication import FullInformation
+
+        system = DistributedSystem(
+            [OmniscientPacker(i, 2) for i in range(2)],
+            1,
+            pattern=FullInformation(2),
+        )
+        summary = MonteCarloEngine(seed=4).estimate_winning_probability(
+            system, trials=2_000
+        )
+        # two players, capacity 1, greedy packing: always win
+        assert summary.estimate == 1.0
+
+    def test_trials_validation(self):
+        system = DistributedSystem([ObliviousCoin(Fraction(1, 2))], 1)
+        with pytest.raises(ValueError):
+            MonteCarloEngine(seed=1).estimate_winning_probability(
+                system, trials=0
+            )
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            MonteCarloEngine(seed=1, batch_size=0)
+
+    def test_bin_load_distribution(self):
+        system = DistributedSystem(
+            [SingleThresholdRule(Fraction(1, 2))] * 3, 1
+        )
+        loads = MonteCarloEngine(seed=9).estimate_bin_load_distribution(
+            system, trials=500
+        )
+        assert loads.shape == (500, 2)
+        assert (loads >= 0).all()
+        assert (loads.sum(axis=1) <= 3).all()
+
+
+class TestSweeps:
+    def test_threshold_sweep_exact_only(self):
+        result = sweep_thresholds(3, 1, grid_size=5)
+        assert len(result.points) == 5
+        assert result.points[0].exact == Fraction(1, 6)
+        assert result.points[-1].exact == Fraction(1, 6)
+        assert result.points[0].simulated is None
+        assert result.all_consistent()  # vacuously
+
+    def test_threshold_sweep_with_simulation(self):
+        result = sweep_thresholds(
+            3, 1, grid_size=3, simulate=True, trials=40_000, seed=2
+        )
+        assert result.all_consistent()
+        for p in result.points:
+            assert p.interval is not None
+
+    def test_best_point(self):
+        result = sweep_thresholds(3, 1, grid_size=21)
+        best = result.best()
+        # the true optimum 0.6220 is near the 0.6 grid point
+        assert abs(float(best.parameter) - 0.6) <= 0.05
+
+    def test_explicit_grid(self):
+        result = sweep_thresholds(
+            3, 1, grid=[Fraction(1, 4), Fraction(1, 2)]
+        )
+        assert [p.parameter for p in result.points] == [
+            Fraction(1, 4),
+            Fraction(1, 2),
+        ]
+
+    def test_player_sweep_default_is_oblivious_optimum(self):
+        from repro.core.oblivious import (
+            optimal_oblivious_winning_probability,
+        )
+
+        result = sweep_players([2, 3, 4], delta_of_n=lambda n: 1)
+        assert result.points[1].exact == (
+            optimal_oblivious_winning_probability(1, 3)
+        )
+
+    def test_player_sweep_validation(self):
+        with pytest.raises(ValueError):
+            sweep_players([0], delta_of_n=lambda n: 1)

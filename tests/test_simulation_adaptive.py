@@ -1,0 +1,89 @@
+"""Tests for repro.simulation.adaptive."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.nonoblivious import threshold_winning_probability
+from repro.model.algorithms import SingleThresholdRule
+from repro.model.system import DistributedSystem
+from repro.simulation.adaptive import estimate_until_precise
+from repro.simulation.engine import MonteCarloEngine
+
+
+def system():
+    return DistributedSystem(
+        [SingleThresholdRule(Fraction(62, 100))] * 3, 1
+    )
+
+
+class TestEstimateUntilPrecise:
+    def test_reaches_target(self):
+        result = estimate_until_precise(
+            system(),
+            half_width=0.01,
+            engine=MonteCarloEngine(seed=10),
+        )
+        assert result.achieved
+        assert result.summary.half_width <= 0.01
+
+    def test_covers_exact_value(self):
+        result = estimate_until_precise(
+            system(),
+            half_width=0.01,
+            engine=MonteCarloEngine(seed=11),
+        )
+        exact = float(
+            threshold_winning_probability(1, [Fraction(62, 100)] * 3)
+        )
+        assert result.summary.covers(exact)
+
+    def test_tighter_target_needs_more_trials(self):
+        loose = estimate_until_precise(
+            system(), half_width=0.05, engine=MonteCarloEngine(seed=12)
+        )
+        tight = estimate_until_precise(
+            system(), half_width=0.01, engine=MonteCarloEngine(seed=12)
+        )
+        assert tight.total_trials > loose.total_trials
+
+    def test_budget_exhaustion(self):
+        result = estimate_until_precise(
+            system(),
+            half_width=0.001,
+            engine=MonteCarloEngine(seed=13),
+            initial_trials=256,
+            max_trials=2_000,
+        )
+        assert not result.achieved
+        assert result.total_trials <= 2_000
+
+    def test_stage_accounting(self):
+        result = estimate_until_precise(
+            system(),
+            half_width=0.02,
+            engine=MonteCarloEngine(seed=14),
+            initial_trials=1_000,
+        )
+        assert sum(result.stages) == result.total_trials
+        assert len(result.stages) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_until_precise(system(), half_width=0.0)
+        with pytest.raises(ValueError):
+            estimate_until_precise(system(), half_width=0.6)
+        with pytest.raises(ValueError):
+            estimate_until_precise(
+                system(), half_width=0.01, growth=1.0
+            )
+        with pytest.raises(ValueError):
+            estimate_until_precise(
+                system(), half_width=0.01, initial_trials=0
+            )
+
+    def test_str(self):
+        result = estimate_until_precise(
+            system(), half_width=0.05, engine=MonteCarloEngine(seed=15)
+        )
+        assert "stages" in str(result)

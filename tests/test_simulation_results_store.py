@@ -1,0 +1,147 @@
+"""Tests for repro.simulation.results_store."""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.simulation.results_store import (
+    load_sweep,
+    merge_sweeps,
+    save_sweep,
+    sweep_from_dict,
+    sweep_to_dict,
+)
+from repro.simulation.runner import SweepPoint, SweepResult, sweep_thresholds
+
+
+def exact_sweep() -> SweepResult:
+    return sweep_thresholds(3, 1, grid_size=5)
+
+
+def simulated_sweep() -> SweepResult:
+    return sweep_thresholds(
+        3, 1, grid_size=3, simulate=True, trials=5_000, seed=1
+    )
+
+
+class TestRoundTrip:
+    def test_exact_only(self, tmp_path):
+        original = exact_sweep()
+        path = save_sweep(original, tmp_path / "sweep.json")
+        loaded = load_sweep(path)
+        assert loaded.label == original.label
+        assert loaded.parameters == original.parameters
+        assert loaded.exact_values == original.exact_values
+        assert all(p.simulated is None for p in loaded.points)
+
+    def test_with_simulation(self, tmp_path):
+        original = simulated_sweep()
+        loaded = load_sweep(save_sweep(original, tmp_path / "s.json"))
+        for a, b in zip(original.points, loaded.points):
+            assert a.exact == b.exact  # exactness survives the disk
+            assert a.simulated == b.simulated
+            assert a.interval == pytest.approx(b.interval)
+        assert loaded.all_consistent()
+
+    def test_exact_values_stored_as_fractions(self, tmp_path):
+        path = save_sweep(exact_sweep(), tmp_path / "s.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["points"][0]["exact"] == "1/6"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_sweep(exact_sweep(), tmp_path / "deep/nested/s.json")
+        assert path.exists()
+
+
+class TestValidation:
+    def test_wrong_schema_version(self):
+        payload = sweep_to_dict(exact_sweep())
+        payload["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            sweep_from_dict(payload)
+
+    def test_missing_fields(self):
+        with pytest.raises(ValueError):
+            sweep_from_dict({"schema_version": 1})
+
+    def test_malformed_point(self):
+        payload = sweep_to_dict(exact_sweep())
+        payload["points"][0]["exact"] = "not-a-fraction"
+        with pytest.raises(ValueError, match="malformed point 0"):
+            sweep_from_dict(payload)
+
+
+class TestMerge:
+    def test_disjoint_grids(self):
+        a = sweep_thresholds(3, 1, grid=[Fraction(0), Fraction(1, 2)])
+        b = sweep_thresholds(3, 1, grid=[Fraction(1, 4), Fraction(3, 4)])
+        merged = merge_sweeps([a, b])
+        assert merged.parameters == [
+            Fraction(0),
+            Fraction(1, 4),
+            Fraction(1, 2),
+            Fraction(3, 4),
+        ]
+
+    def test_duplicates_deduped(self):
+        a = sweep_thresholds(3, 1, grid=[Fraction(1, 2)])
+        merged = merge_sweeps([a, a])
+        assert len(merged.points) == 1
+
+    def test_simulated_point_wins(self):
+        exact = sweep_thresholds(3, 1, grid=[Fraction(1, 2)])
+        sim = sweep_thresholds(
+            3,
+            1,
+            grid=[Fraction(1, 2)],
+            simulate=True,
+            trials=2_000,
+            seed=2,
+        )
+        merged = merge_sweeps([exact, sim])
+        assert merged.points[0].simulated is not None
+        merged_other_order = merge_sweeps([sim, exact])
+        assert merged_other_order.points[0].simulated is not None
+
+    def test_conflicting_exact_values_rejected(self):
+        a = SweepResult(
+            label="x",
+            points=[SweepPoint(Fraction(1, 2), Fraction(1, 3))],
+        )
+        b = SweepResult(
+            label="x",
+            points=[SweepPoint(Fraction(1, 2), Fraction(1, 4))],
+        )
+        with pytest.raises(ValueError, match="conflicting"):
+            merge_sweeps([a, b])
+
+    def test_label_mismatch_rejected(self):
+        a = sweep_thresholds(3, 1, grid=[Fraction(1, 2)])
+        b = sweep_thresholds(4, 1, grid=[Fraction(1, 2)])
+        with pytest.raises(ValueError, match="labels"):
+            merge_sweeps([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_sweeps([])
+
+    def test_resume_workflow(self, tmp_path):
+        """The intended use: run half the grid, save, run the rest,
+        merge, and get the full sweep back."""
+        first = sweep_thresholds(3, 1, grid=[Fraction(i, 10) for i in range(5)])
+        save_sweep(first, tmp_path / "part1.json")
+        second = sweep_thresholds(
+            3, 1, grid=[Fraction(i, 10) for i in range(5, 11)]
+        )
+        save_sweep(second, tmp_path / "part2.json")
+        merged = merge_sweeps(
+            [
+                load_sweep(tmp_path / "part1.json"),
+                load_sweep(tmp_path / "part2.json"),
+            ]
+        )
+        full = sweep_thresholds(3, 1, grid_size=11)
+        assert merged.parameters == full.parameters
+        assert merged.exact_values == full.exact_values

@@ -1,0 +1,128 @@
+"""Tests for repro.simulation.variance_reduction."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.nonoblivious import threshold_winning_probability
+from repro.model.algorithms import ObliviousCoin, SingleThresholdRule
+from repro.model.system import DistributedSystem
+from repro.simulation.variance_reduction import (
+    antithetic_winning_probability,
+    plain_reference,
+    stratified_threshold_winning_probability,
+)
+
+THRESHOLDS = [Fraction(62, 100)] * 3
+CAPACITY = Fraction(1)
+EXACT = threshold_winning_probability(CAPACITY, THRESHOLDS)
+
+
+def threshold_system():
+    return DistributedSystem(
+        [SingleThresholdRule(a) for a in THRESHOLDS], CAPACITY
+    )
+
+
+class TestAntithetic:
+    def test_unbiased(self):
+        est = antithetic_winning_probability(
+            threshold_system(), trials=100_000, seed=1
+        )
+        assert est.covers(float(EXACT))
+
+    def test_variance_reduction_vs_plain(self):
+        # averaged over several seeds, the antithetic standard error
+        # must be below the plain one at equal budget
+        anti = []
+        plain = []
+        for seed in range(5):
+            anti.append(
+                antithetic_winning_probability(
+                    threshold_system(), trials=40_000, seed=seed
+                ).std_error
+            )
+            plain.append(
+                plain_reference(
+                    THRESHOLDS, CAPACITY, trials=40_000, seed=seed
+                ).std_error
+            )
+        assert sum(anti) < sum(plain)
+
+    def test_rejects_randomized_rules(self):
+        system = DistributedSystem([ObliviousCoin(Fraction(1, 2))] * 2, 1)
+        with pytest.raises(ValueError, match="deterministic"):
+            antithetic_winning_probability(system, trials=100, seed=0)
+
+    def test_trials_validation(self):
+        with pytest.raises(ValueError):
+            antithetic_winning_probability(
+                threshold_system(), trials=1, seed=0
+            )
+
+    def test_str(self):
+        est = antithetic_winning_probability(
+            threshold_system(), trials=1_000, seed=0
+        )
+        assert "antithetic" in str(est)
+
+
+class TestStratified:
+    def test_unbiased(self):
+        est = stratified_threshold_winning_probability(
+            THRESHOLDS, CAPACITY, trials=100_000, seed=2
+        )
+        assert est.covers(float(EXACT))
+
+    def test_variance_reduction_vs_plain(self):
+        strat = []
+        plain = []
+        for seed in range(5):
+            strat.append(
+                stratified_threshold_winning_probability(
+                    THRESHOLDS, CAPACITY, trials=40_000, seed=seed
+                ).std_error
+            )
+            plain.append(
+                plain_reference(
+                    THRESHOLDS, CAPACITY, trials=40_000, seed=seed
+                ).std_error
+            )
+        assert sum(strat) < sum(plain)
+
+    def test_degenerate_thresholds_skip_zero_strata(self):
+        # thresholds 0 and 1 produce deterministic outputs: only one
+        # stratum has mass, and the estimate matches the exact value
+        # up to noise in the conditioned sum
+        thresholds = [Fraction(1), Fraction(0), Fraction(1, 2)]
+        est = stratified_threshold_winning_probability(
+            thresholds, 1, trials=50_000, seed=3
+        )
+        exact = float(threshold_winning_probability(1, thresholds))
+        assert est.covers(exact)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stratified_threshold_winning_probability([], 1)
+        with pytest.raises(ValueError):
+            stratified_threshold_winning_probability(
+                [Fraction(3, 2)], 1
+            )
+        with pytest.raises(ValueError):
+            stratified_threshold_winning_probability(
+                [Fraction(1, 2)] * 5, 1, trials=10
+            )
+
+    def test_interval_shape(self):
+        est = stratified_threshold_winning_probability(
+            THRESHOLDS, CAPACITY, trials=20_000, seed=4
+        )
+        lo, hi = est.interval()
+        assert lo <= est.estimate <= hi
+
+
+class TestPlainReference:
+    def test_matches_exact(self):
+        est = plain_reference(THRESHOLDS, CAPACITY, trials=80_000, seed=5)
+        assert est.covers(float(EXACT))
+        assert est.method == "plain"

@@ -1,0 +1,125 @@
+"""Cross-consistency stress tests at larger sizes.
+
+Every exact quantity has at least two derivations in the package;
+these tests grind the pairs against each other at sizes beyond what
+the per-module tests use, catching subtle condition-boundary bugs in
+the inclusion-exclusion machinery.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.nonoblivious import (
+    symmetric_threshold_breakpoints,
+    symmetric_threshold_winning_polynomial,
+    symmetric_threshold_winning_probability,
+    threshold_winning_probability,
+)
+from repro.core.oblivious import (
+    oblivious_winning_probability,
+    oblivious_winning_probability_enumerated,
+)
+
+
+class TestLargerN:
+    @pytest.mark.parametrize("n", [6, 7, 8])
+    def test_symmetric_evaluator_vs_general_formula(self, n):
+        delta = Fraction(n, 3)
+        for i in (1, 3, 5, 7, 9):
+            beta = Fraction(i, 10)
+            assert symmetric_threshold_winning_probability(
+                beta, n, delta
+            ) == threshold_winning_probability(delta, [beta] * n)
+
+    @pytest.mark.parametrize("n", [6, 7])
+    def test_curve_matches_evaluator_on_dense_grid(self, n):
+        delta = Fraction(3, 2)
+        curve = symmetric_threshold_winning_polynomial(n, delta)
+        for i in range(0, 33):
+            beta = Fraction(i, 32)
+            assert curve(beta) == symmetric_threshold_winning_probability(
+                beta, n, delta
+            )
+
+    @pytest.mark.parametrize("n", [10, 12])
+    def test_oblivious_collapse_vs_enumeration_large(self, n):
+        alphas = [Fraction((k * 7) % 11 + 1, 13) for k in range(n)]
+        t = Fraction(n, 3)
+        assert oblivious_winning_probability(t, alphas) == (
+            oblivious_winning_probability_enumerated(t, alphas)
+        )
+
+
+class TestCurveStructure:
+    @pytest.mark.parametrize(
+        "n, delta",
+        [(5, Fraction(5, 3)), (6, Fraction(3, 2)), (7, Fraction(7, 4))],
+    )
+    def test_continuity_at_every_breakpoint(self, n, delta):
+        curve = symmetric_threshold_winning_polynomial(n, delta)
+        pieces = curve.pieces
+        for left, right in zip(pieces, pieces[1:]):
+            shared = left.upper
+            assert left.polynomial(shared) == right.polynomial(shared), (
+                f"discontinuity at beta={shared} for n={n}, delta={delta}"
+            )
+
+    @pytest.mark.parametrize("n", [5, 6, 7])
+    def test_values_are_probabilities_everywhere(self, n):
+        delta = Fraction(n, 3)
+        curve = symmetric_threshold_winning_polynomial(n, delta)
+        for i in range(0, 65):
+            beta = Fraction(i, 64)
+            value = curve(beta)
+            assert 0 <= value <= 1
+
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_breakpoint_count_is_quadratic_bounded(self, n):
+        bps = symmetric_threshold_breakpoints(n, Fraction(n, 3))
+        # at most 2 (endpoints) + n (A-factor) + n(n+1)/2 (B-factor)
+        assert len(bps) <= 2 + n + n * (n + 1) // 2
+
+    @pytest.mark.parametrize("n", [5, 6])
+    def test_degree_bound(self, n):
+        curve = symmetric_threshold_winning_polynomial(n, Fraction(n, 3))
+        assert all(p.polynomial.degree <= n for p in curve.pieces)
+
+
+class TestCapacityEdgeCases:
+    def test_tiny_capacity(self):
+        # delta below any single input's possible size still gives a
+        # positive probability (all inputs may be tiny)
+        v = symmetric_threshold_winning_probability(
+            Fraction(1, 2), 4, Fraction(1, 10)
+        )
+        assert 0 < v < Fraction(1, 100)
+
+    def test_capacity_just_below_saturation(self):
+        # delta = n - epsilon: losing requires one bin to carry almost
+        # everything; probability near 1
+        n = 4
+        v = symmetric_threshold_winning_probability(
+            Fraction(1, 2), n, Fraction(4 * 16 - 1, 16)
+        )
+        assert v > Fraction(99, 100)
+
+    def test_saturated_capacity(self):
+        assert symmetric_threshold_winning_probability(
+            Fraction(1, 2), 5, 5
+        ) == 1
+
+    @pytest.mark.parametrize("i", range(1, 8))
+    def test_breakpoint_evaluation_agrees_from_both_sides(self, i):
+        """Exactly at a breakpoint the left piece's polynomial is used;
+        its value must equal the direct evaluation (which uses the
+        strict conditions)."""
+        n, delta = 4, Fraction(4, 3)
+        bps = symmetric_threshold_breakpoints(n, delta)
+        if i >= len(bps):
+            pytest.skip("fewer breakpoints")
+        beta = bps[i]
+        curve = symmetric_threshold_winning_polynomial(n, delta)
+        assert curve(beta) == symmetric_threshold_winning_probability(
+            beta, n, delta
+        )

@@ -1,0 +1,143 @@
+"""Tests for repro.symbolic.multivariate."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic.multivariate import MultiPoly
+
+
+def xy_poly() -> MultiPoly:
+    """``2 x y - 3 x + 1/2`` in two variables."""
+    return MultiPoly(
+        2,
+        {
+            (1, 1): 2,
+            (1, 0): -3,
+            (0, 0): Fraction(1, 2),
+        },
+    )
+
+
+class TestConstruction:
+    def test_zero_terms_dropped(self):
+        p = MultiPoly(2, {(1, 0): 0, (0, 1): 3})
+        assert p.terms == {(0, 1): Fraction(3)}
+
+    def test_duplicate_monomials_merged(self):
+        p = MultiPoly(1, [((1,), 2), ((1,), 3)])
+        assert p.terms == {(1,): Fraction(5)}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiPoly(-1)
+        with pytest.raises(ValueError):
+            MultiPoly(2, {(1,): 1})
+        with pytest.raises(ValueError):
+            MultiPoly(1, {(-1,): 1})
+
+    def test_variable_and_constant(self):
+        x = MultiPoly.variable(3, 1)
+        assert x([0, 7, 0]) == 7
+        c = MultiPoly.constant(3, "4/3")
+        assert c([9, 9, 9]) == Fraction(4, 3)
+
+    def test_variable_index_validation(self):
+        with pytest.raises(ValueError):
+            MultiPoly.variable(2, 2)
+
+
+class TestIntrospection:
+    def test_degrees(self):
+        p = xy_poly()
+        assert p.total_degree() == 2
+        assert p.degree_in(0) == 1
+        assert p.degree_in(1) == 1
+        assert MultiPoly.zero(2).total_degree() == -1
+
+    def test_multilinear_detection(self):
+        assert xy_poly().is_multilinear()
+        square = MultiPoly(1, {(2,): 1})
+        assert not square.is_multilinear()
+
+
+class TestArithmetic:
+    def test_add_sub_pointwise(self):
+        p, q = xy_poly(), MultiPoly(2, {(0, 1): 5})
+        pt = [Fraction(1, 3), Fraction(2, 5)]
+        assert (p + q)(pt) == p(pt) + q(pt)
+        assert (p - q)(pt) == p(pt) - q(pt)
+
+    def test_mul_pointwise(self):
+        p, q = xy_poly(), MultiPoly(2, {(1, 0): 1, (0, 0): 1})
+        pt = [Fraction(3, 7), Fraction(1, 2)]
+        assert (p * q)(pt) == p(pt) * q(pt)
+
+    def test_scalar_operations(self):
+        p = xy_poly()
+        assert (p + 1)([0, 0]) == Fraction(3, 2)
+        assert (2 * p)([1, 1]) == 2 * p([1, 1])
+        assert (1 - p)([0, 0]) == Fraction(1, 2)
+
+    def test_nvars_mismatch(self):
+        with pytest.raises(ValueError):
+            xy_poly() + MultiPoly.variable(3, 0)
+
+    def test_negation_cancels(self):
+        p = xy_poly()
+        assert (p + (-p)).is_zero()
+
+
+class TestCalculus:
+    def test_partial_derivative(self):
+        p = xy_poly()  # 2xy - 3x + 1/2
+        dx = p.partial(0)
+        assert dx.terms == {(0, 1): Fraction(2), (0, 0): Fraction(-3)}
+        dy = p.partial(1)
+        assert dy.terms == {(1, 0): Fraction(2)}
+
+    def test_partial_of_power(self):
+        p = MultiPoly(1, {(3,): 1})
+        assert p.partial(0).terms == {(2,): Fraction(3)}
+
+    def test_mixed_partials_commute(self):
+        p = xy_poly() * xy_poly()
+        assert p.partial(0).partial(1) == p.partial(1).partial(0)
+
+    def test_index_validation(self):
+        with pytest.raises(ValueError):
+            xy_poly().partial(2)
+
+
+class TestSubstitution:
+    def test_substitute(self):
+        p = xy_poly()
+        fixed = p.substitute(0, Fraction(1, 2))
+        # 2*(1/2)*y - 3/2 + 1/2 = y - 1
+        assert fixed.terms == {(0, 1): Fraction(1), (0, 0): Fraction(-1)}
+
+    def test_substitute_then_evaluate(self):
+        p = xy_poly()
+        assert p.substitute(1, 3)([5, 999]) == p([5, 3])
+
+    def test_swap_variables(self):
+        p = MultiPoly(2, {(2, 1): 7})
+        swapped = p.swap_variables(0, 1)
+        assert swapped.terms == {(1, 2): Fraction(7)}
+
+    def test_evaluation_validation(self):
+        with pytest.raises(ValueError):
+            xy_poly()([1])
+
+
+class TestRendering:
+    def test_pretty(self):
+        text = xy_poly().pretty(["x", "y"])
+        assert "2*x*y" in text
+        assert "3*x" in text
+        assert MultiPoly.zero(2).pretty() == "0"
+
+    def test_equality_and_hash(self):
+        assert xy_poly() == xy_poly()
+        assert hash(xy_poly()) == hash(xy_poly())
+        assert MultiPoly.constant(2, 3) == 3

@@ -1,0 +1,200 @@
+"""Tests for repro.symbolic.piecewise."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic.piecewise import Piece, PiecewisePolynomial
+from repro.symbolic.polynomial import Polynomial
+
+
+def make_hat() -> PiecewisePolynomial:
+    """The tent function: x on [0, 1/2], 1 - x on [1/2, 1]."""
+    return PiecewisePolynomial.from_breakpoints(
+        [0, Fraction(1, 2), 1],
+        [Polynomial([0, 1]), Polynomial([1, -1])],
+    )
+
+
+class TestPiece:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Piece(Fraction(1), Fraction(0), Polynomial.one())
+
+    def test_contains_and_width(self):
+        p = Piece(Fraction(0), Fraction(1, 2), Polynomial.one())
+        assert p.contains(Fraction(1, 4))
+        assert p.contains(Fraction(1, 2))
+        assert not p.contains(Fraction(3, 4))
+        assert p.width() == Fraction(1, 2)
+
+
+class TestConstruction:
+    def test_from_breakpoints(self):
+        hat = make_hat()
+        assert len(hat.pieces) == 2
+        assert hat.lower == 0 and hat.upper == 1
+
+    def test_breakpoints_polynomials_length_mismatch(self):
+        with pytest.raises(ValueError):
+            PiecewisePolynomial.from_breakpoints(
+                [0, 1], [Polynomial.one(), Polynomial.one()]
+            )
+
+    def test_non_contiguous_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewisePolynomial(
+                [
+                    Piece(Fraction(0), Fraction(1, 3), Polynomial.one()),
+                    Piece(Fraction(1, 2), Fraction(1), Polynomial.one()),
+                ]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewisePolynomial([])
+
+    def test_from_sampler(self):
+        # the sampler sees midpoints 1/4 and 3/4
+        seen = []
+
+        def builder(mid):
+            seen.append(mid)
+            return Polynomial.constant(mid)
+
+        pw = PiecewisePolynomial.from_sampler(
+            builder, [0, Fraction(1, 2), 1]
+        )
+        assert seen == [Fraction(1, 4), Fraction(3, 4)]
+        assert pw(Fraction(1, 10)) == Fraction(1, 4)
+
+    def test_from_sampler_dedupes_breakpoints(self):
+        pw = PiecewisePolynomial.from_sampler(
+            lambda mid: Polynomial.one(), [0, 0, 1, 1, Fraction(1, 2)]
+        )
+        assert len(pw.pieces) == 2
+
+    def test_from_sampler_needs_two_points(self):
+        with pytest.raises(ValueError):
+            PiecewisePolynomial.from_sampler(
+                lambda mid: Polynomial.one(), [0]
+            )
+
+
+class TestEvaluation:
+    def test_values(self):
+        hat = make_hat()
+        assert hat(Fraction(1, 4)) == Fraction(1, 4)
+        assert hat(Fraction(3, 4)) == Fraction(1, 4)
+        assert hat(Fraction(1, 2)) == Fraction(1, 2)
+
+    def test_outside_domain_rejected(self):
+        with pytest.raises(ValueError):
+            make_hat()(Fraction(3, 2))
+
+    def test_piece_at_breakpoint_prefers_left(self):
+        hat = make_hat()
+        assert hat.piece_at(Fraction(1, 2)).lower == 0
+
+    def test_float_evaluation(self):
+        assert make_hat().evaluate_float(0.25) == pytest.approx(0.25)
+
+    def test_sample(self):
+        pts = make_hat().sample(5)
+        assert len(pts) == 5
+        assert pts[0] == (Fraction(0), Fraction(0))
+        assert pts[-1] == (Fraction(1), Fraction(0))
+
+
+class TestTransformations:
+    def test_derivative(self):
+        d = make_hat().derivative()
+        assert d(Fraction(1, 4)) == 1
+        assert d(Fraction(3, 4)) == -1
+
+    def test_simplify_merges_equal_pieces(self):
+        pw = PiecewisePolynomial.from_breakpoints(
+            [0, Fraction(1, 2), 1],
+            [Polynomial([2]), Polynomial([2])],
+        )
+        assert len(pw.simplify().pieces) == 1
+
+    def test_simplify_keeps_distinct_pieces(self):
+        assert len(make_hat().simplify().pieces) == 2
+
+    def test_addition_merges_breakpoints(self):
+        hat = make_hat()
+        other = PiecewisePolynomial.from_breakpoints(
+            [0, Fraction(1, 3), 1],
+            [Polynomial([1]), Polynomial([0])],
+        )
+        total = hat + other
+        assert set(total.breakpoints) >= {
+            Fraction(0),
+            Fraction(1, 3),
+            Fraction(1, 2),
+            Fraction(1),
+        }
+        assert total(Fraction(1, 4)) == Fraction(1, 4) + 1
+
+    def test_subtraction_and_multiplication(self):
+        hat = make_hat()
+        assert (hat - hat)(Fraction(1, 3)) == 0
+        assert (hat * hat)(Fraction(1, 4)) == Fraction(1, 16)
+
+    def test_domain_mismatch_rejected(self):
+        hat = make_hat()
+        other = PiecewisePolynomial.from_breakpoints(
+            [0, 2], [Polynomial.one()]
+        )
+        with pytest.raises(ValueError):
+            hat + other
+
+    def test_scale(self):
+        assert make_hat().scale(4)(Fraction(1, 4)) == 1
+
+
+class TestOptimisation:
+    def test_maximize_hat(self):
+        x, v = make_hat().maximize()
+        assert x == Fraction(1, 2)
+        assert v == Fraction(1, 2)
+
+    def test_minimize_hat(self):
+        x, v = make_hat().minimize()
+        assert v == 0
+        assert x in (Fraction(0), Fraction(1))
+
+    def test_interior_stationary_point(self):
+        # -(x - 1/3)^2 has its max at 1/3, inside the piece
+        bump = PiecewisePolynomial.from_breakpoints(
+            [0, 1],
+            [Polynomial([Fraction(-1, 9), Fraction(2, 3), -1])],
+        )
+        x, v = bump.maximize()
+        # 1/3 is not hit exactly by binary bisection; the enclosure is
+        # within the default 1e-12 tolerance.
+        assert abs(x - Fraction(1, 3)) <= Fraction(1, 10**12)
+        assert -Fraction(1, 10**24) <= v <= 0
+
+    def test_critical_points_include_breakpoints(self):
+        pts = make_hat().critical_points()
+        assert Fraction(0) in pts
+        assert Fraction(1, 2) in pts
+        assert Fraction(1) in pts
+
+    def test_maximize_ties_break_to_smallest(self):
+        flat = PiecewisePolynomial.from_breakpoints(
+            [0, 1], [Polynomial([7])]
+        )
+        x, v = flat.maximize()
+        assert x == 0 and v == 7
+
+
+class TestRendering:
+    def test_repr_and_pretty(self):
+        hat = make_hat()
+        assert "2 pieces" in repr(hat)
+        text = hat.pretty("b")
+        assert "[0, 1/2]" in text
+        assert "b" in text

@@ -1,0 +1,241 @@
+"""Tests for repro.symbolic.polynomial."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic.polynomial import Polynomial
+
+
+class TestConstruction:
+    def test_trailing_zeros_stripped(self):
+        assert Polynomial([1, 2, 0, 0]) == Polynomial([1, 2])
+
+    def test_zero(self):
+        z = Polynomial.zero()
+        assert z.is_zero()
+        assert z.degree == -1
+        assert not z
+
+    def test_one_and_constant(self):
+        assert Polynomial.one()(Fraction(17)) == 1
+        assert Polynomial.constant("3/7").coefficients == (Fraction(3, 7),)
+
+    def test_x(self):
+        assert Polynomial.x()(Fraction(9)) == 9
+
+    def test_monomial(self):
+        p = Polynomial.monomial(3, 2)
+        assert p(Fraction(2)) == 16
+        with pytest.raises(ValueError):
+            Polynomial.monomial(-1)
+
+    def test_linear(self):
+        p = Polynomial.linear(1, -2)  # 1 - 2x
+        assert p(Fraction(1, 2)) == 0
+
+    def test_from_roots(self):
+        p = Polynomial.from_roots([1, 2, 3])
+        for r in (1, 2, 3):
+            assert p(r) == 0
+        assert p.leading_coefficient == 1
+        assert p.degree == 3
+
+    def test_coercion_of_mixed_inputs(self):
+        p = Polynomial([1, "1/2", Fraction(3, 4)])
+        assert p.coefficients == (
+            Fraction(1),
+            Fraction(1, 2),
+            Fraction(3, 4),
+        )
+
+
+class TestEvaluation:
+    def test_horner_exact(self):
+        p = Polynomial([Fraction(1, 6), 0, Fraction(3, 2), Fraction(-1, 2)])
+        # the paper's n=3 cubic at beta = 1/3
+        assert p(Fraction(1, 3)) == (
+            Fraction(1, 6)
+            + Fraction(3, 2) * Fraction(1, 9)
+            - Fraction(1, 2) * Fraction(1, 27)
+        )
+
+    def test_float_matches_exact(self):
+        p = Polynomial([1, -3, Fraction(5, 2)])
+        x = 0.375
+        assert p.evaluate_float(x) == pytest.approx(
+            float(p(Fraction(x))), abs=1e-14
+        )
+
+    def test_zero_poly_evaluates_to_zero(self):
+        assert Polynomial.zero()(Fraction(5)) == 0
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        p = Polynomial([1, 2])
+        q = Polynomial([0, 1, 4])
+        assert p + q == Polynomial([1, 3, 4])
+        assert (p + q) - q == p
+
+    def test_scalar_ops(self):
+        p = Polynomial([1, 1])
+        assert p + 1 == Polynomial([2, 1])
+        assert 1 + p == Polynomial([2, 1])
+        assert 2 - p == Polynomial([1, -1])
+        assert p * 3 == Polynomial([3, 3])
+        assert p / 2 == Polynomial([Fraction(1, 2), Fraction(1, 2)])
+
+    def test_divide_by_zero_scalar(self):
+        with pytest.raises(ZeroDivisionError):
+            Polynomial([1]) / 0
+
+    def test_multiplication(self):
+        p = Polynomial([1, 1])  # 1 + x
+        assert p * p == Polynomial([1, 2, 1])
+
+    def test_multiplication_by_zero(self):
+        assert Polynomial([1, 2]) * Polynomial.zero() == Polynomial.zero()
+
+    def test_negation(self):
+        p = Polynomial([1, -2])
+        assert -p == Polynomial([-1, 2])
+        assert p + (-p) == Polynomial.zero()
+
+    def test_power(self):
+        p = Polynomial([1, 1])
+        assert p**0 == Polynomial.one()
+        assert p**3 == Polynomial([1, 3, 3, 1])
+
+    def test_power_validation(self):
+        with pytest.raises(ValueError):
+            Polynomial([1, 1]) ** -1
+        with pytest.raises(TypeError):
+            Polynomial([1, 1]) ** 1.5  # type: ignore[operator]
+
+    def test_divmod_exact(self):
+        p = Polynomial.from_roots([1, 2, 3])
+        d = Polynomial.from_roots([2])
+        q, r = p.divmod(d)
+        assert r.is_zero()
+        assert q == Polynomial.from_roots([1, 3])
+
+    def test_divmod_with_remainder(self):
+        p = Polynomial([1, 0, 1])  # x^2 + 1
+        d = Polynomial([1, 1])  # x + 1
+        q, r = p.divmod(d)
+        assert q * d + r == p
+        assert r.degree < d.degree
+
+    def test_divmod_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            Polynomial([1]).divmod(Polynomial.zero())
+
+    def test_mod_and_floordiv_operators(self):
+        p = Polynomial([5, 3, 1])
+        d = Polynomial([1, 1])
+        assert (p // d) * d + (p % d) == p
+
+
+class TestCalculus:
+    def test_derivative(self):
+        p = Polynomial([Fraction(-11, 6), 9, Fraction(-21, 2), Fraction(7, 2)])
+        assert p.derivative() == Polynomial([9, -21, Fraction(21, 2)])
+
+    def test_higher_order_derivative(self):
+        p = Polynomial([0, 0, 0, 1])  # x^3
+        assert p.derivative(2) == Polynomial([0, 6])
+        assert p.derivative(4).is_zero()
+
+    def test_derivative_validation(self):
+        with pytest.raises(ValueError):
+            Polynomial([1]).derivative(-1)
+
+    def test_antiderivative_roundtrip(self):
+        p = Polynomial([1, 2, 3])
+        assert p.antiderivative().derivative() == p
+
+    def test_antiderivative_constant(self):
+        assert Polynomial([2]).antiderivative(5)(Fraction(0)) == 5
+
+    def test_definite_integral(self):
+        # integral of x^2 on [0, 1] = 1/3
+        assert Polynomial([0, 0, 1]).integrate(0, 1) == Fraction(1, 3)
+
+    def test_integral_orientation(self):
+        p = Polynomial([1])
+        assert p.integrate(1, 0) == -1
+
+
+class TestTransforms:
+    def test_compose(self):
+        p = Polynomial([0, 0, 1])  # x^2
+        inner = Polynomial([1, 1])  # x + 1
+        assert p.compose(inner) == Polynomial([1, 2, 1])
+
+    def test_shift(self):
+        p = Polynomial([0, 1])  # x
+        assert p.shift(3) == Polynomial([3, 1])
+
+    def test_scale_argument(self):
+        p = Polynomial([1, 1, 1])
+        q = p.scale_argument(Fraction(1, 2))
+        assert q(Fraction(2)) == p(Fraction(1))
+
+    def test_primitive_part_scales_to_integers(self):
+        p = Polynomial([Fraction(1, 6), Fraction(1, 3)])
+        prim = p.primitive_part()
+        assert prim == Polynomial([1, 2])
+
+    def test_primitive_part_default_positive_lead(self):
+        p = Polynomial([2, -4])
+        assert p.primitive_part().leading_coefficient > 0
+
+    def test_primitive_part_keep_sign_preserves_evaluation_sign(self):
+        p = Polynomial([Fraction(2, 3), Fraction(-4, 3)])
+        prim = p.primitive_part(keep_sign=True)
+        for x in (Fraction(0), Fraction(1), Fraction(-1)):
+            assert (prim(x) > 0) == (p(x) > 0)
+            assert (prim(x) == 0) == (p(x) == 0)
+
+    def test_gcd(self):
+        a = Polynomial.from_roots([1, 2])
+        b = Polynomial.from_roots([2, 3])
+        g = a.gcd(b)
+        assert g == Polynomial.from_roots([2])
+
+    def test_gcd_coprime_is_constant(self):
+        a = Polynomial.from_roots([1])
+        b = Polynomial.from_roots([2])
+        assert a.gcd(b).is_constant()
+
+    def test_squarefree_part_removes_multiplicity(self):
+        p = Polynomial.from_roots([1, 1, 2])
+        sf = p.squarefree_part()
+        assert sf(1) == 0 and sf(2) == 0
+        assert sf.degree == 2
+
+
+class TestDunder:
+    def test_equality_with_scalars(self):
+        assert Polynomial([3]) == 3
+        assert Polynomial([3]) == Fraction(3)
+        assert Polynomial([3, 1]) != 3
+
+    def test_hash_consistency(self):
+        assert hash(Polynomial([1, 2])) == hash(Polynomial([1, 2, 0]))
+
+    def test_iteration_and_len(self):
+        p = Polynomial([1, 2, 3])
+        assert list(p) == [1, 2, 3]
+        assert len(p) == 3
+
+    def test_repr_and_pretty(self):
+        p = Polynomial([Fraction(1, 6), 0, Fraction(3, 2)])
+        assert "1/6" in repr(p)
+        assert p.pretty("b") == "3/2*b^2 + 1/6"
+        assert Polynomial.zero().pretty() == "0"
+
+    def test_pretty_signs_and_unit_coefficients(self):
+        p = Polynomial([-1, 1, 0, -1])
+        assert p.pretty() == "- x^3 + x - 1".replace("- x^3", "-x^3")

@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) for the symbolic substrate.
+
+These pin down the algebraic laws the rest of the package silently
+relies on: ring axioms for polynomials, the division identity, the
+derivative rules, and correctness of Sturm root counting against brute
+force on polynomials with known rational roots.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic.polynomial import Polynomial
+from repro.symbolic.roots import count_real_roots, real_roots
+
+fractions = st.fractions(
+    min_value=-10, max_value=10, max_denominator=20
+)
+
+polynomials = st.lists(fractions, min_size=0, max_size=6).map(Polynomial)
+nonzero_polynomials = polynomials.filter(lambda p: not p.is_zero())
+points = st.fractions(min_value=-5, max_value=5, max_denominator=50)
+
+
+class TestRingLaws:
+    @given(polynomials, polynomials, points)
+    def test_addition_is_pointwise(self, p, q, x):
+        assert (p + q)(x) == p(x) + q(x)
+
+    @given(polynomials, polynomials, points)
+    def test_multiplication_is_pointwise(self, p, q, x):
+        assert (p * q)(x) == p(x) * q(x)
+
+    @given(polynomials, polynomials)
+    def test_addition_commutes(self, p, q):
+        assert p + q == q + p
+
+    @given(polynomials, polynomials)
+    def test_multiplication_commutes(self, p, q):
+        assert p * q == q * p
+
+    @given(polynomials, polynomials, polynomials)
+    def test_distributivity(self, p, q, r):
+        assert p * (q + r) == p * q + p * r
+
+    @given(polynomials)
+    def test_additive_inverse(self, p):
+        assert (p + (-p)).is_zero()
+
+    @given(nonzero_polynomials, nonzero_polynomials)
+    def test_degree_of_product(self, p, q):
+        assert (p * q).degree == p.degree + q.degree
+
+
+class TestDivisionIdentity:
+    @given(polynomials, nonzero_polynomials)
+    def test_quotient_remainder(self, p, d):
+        q, r = p.divmod(d)
+        assert q * d + r == p
+        assert r.is_zero() or r.degree < d.degree
+
+
+class TestCalculusLaws:
+    @given(polynomials, polynomials)
+    def test_derivative_is_linear(self, p, q):
+        assert (p + q).derivative() == p.derivative() + q.derivative()
+
+    @given(polynomials, polynomials)
+    def test_product_rule(self, p, q):
+        lhs = (p * q).derivative()
+        rhs = p.derivative() * q + p * q.derivative()
+        assert lhs == rhs
+
+    @given(polynomials)
+    def test_antiderivative_inverts_derivative(self, p):
+        assert p.antiderivative().derivative() == p
+
+    @given(polynomials, points, points)
+    def test_integral_additivity(self, p, a, b):
+        mid = (a + b) / 2
+        assert p.integrate(a, mid) + p.integrate(mid, b) == p.integrate(a, b)
+
+
+class TestComposition:
+    @given(polynomials, polynomials, points)
+    def test_compose_is_pointwise(self, p, inner, x):
+        assert p.compose(inner)(x) == p(inner(x))
+
+
+class TestSturmAgainstKnownRoots:
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.fractions(min_value=0, max_value=1, max_denominator=8),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_count_matches_distinct_roots(self, roots):
+        p = Polynomial.from_roots(roots)
+        distinct_in_window = {r for r in roots if 0 < r <= 1}
+        assert count_real_roots(p, 0, 1) == len(distinct_in_window)
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.fractions(min_value=0, max_value=1, max_denominator=8),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    def test_real_roots_recovers_rational_roots(self, roots):
+        p = Polynomial.from_roots(roots)
+        found = real_roots(p, -1, 2, Fraction(1, 10**12))
+        assert len(found) == len(roots)
+        for expected, got in zip(sorted(roots), found):
+            assert abs(expected - got) <= Fraction(1, 10**12)
+
+
+class TestPrimitivePart:
+    @given(nonzero_polynomials)
+    def test_keep_sign_preserves_signs_everywhere(self, p):
+        prim = p.primitive_part(keep_sign=True)
+        for x in (Fraction(-3), Fraction(0), Fraction(1, 3), Fraction(7)):
+            assert (p(x) > 0) == (prim(x) > 0)
+            assert (p(x) == 0) == (prim(x) == 0)
+
+    @given(nonzero_polynomials)
+    def test_same_roots_as_original(self, p):
+        prim = p.primitive_part()
+        assert prim.degree == p.degree
+        # proportionality: cross-multiplying coefficients agree
+        lead_p = p.leading_coefficient
+        lead_q = prim.leading_coefficient
+        for cp, cq in zip(p.coefficients, prim.coefficients):
+            assert cp * lead_q == cq * lead_p

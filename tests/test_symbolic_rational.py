@@ -1,0 +1,167 @@
+"""Tests for repro.symbolic.rational."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic.rational import (
+    as_fraction,
+    binomial,
+    factorial,
+    falling_factorial,
+    integer_power,
+    is_rational_like,
+    rational_range,
+    sign,
+)
+
+
+class TestAsFraction:
+    def test_int(self):
+        assert as_fraction(3) == Fraction(3)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(4, 3)
+        assert as_fraction(f) is f
+
+    def test_string_ratio(self):
+        assert as_fraction("4/3") == Fraction(4, 3)
+
+    def test_string_decimal(self):
+        assert as_fraction("0.25") == Fraction(1, 4)
+
+    def test_float_exact_binary(self):
+        assert as_fraction(0.5) == Fraction(1, 2)
+
+    def test_float_binary_representation_is_exact(self):
+        # 0.1 is NOT 1/10 in binary; the conversion must be exact, not
+        # "helpfully" rounded.
+        assert as_fraction(0.1) != Fraction(1, 10)
+        assert as_fraction(0.1) == Fraction(*(0.1).as_integer_ratio())
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            as_fraction(float("nan"))
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            as_fraction(float("inf"))
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction([1, 2])  # type: ignore[arg-type]
+
+    def test_negative(self):
+        assert as_fraction("-7/2") == Fraction(-7, 2)
+
+
+class TestIsRationalLike:
+    def test_accepts_int_fraction_float_str(self):
+        assert is_rational_like(5)
+        assert is_rational_like(Fraction(1, 3))
+        assert is_rational_like(2.5)
+        assert is_rational_like("3/4")
+
+    def test_rejects_bad_string(self):
+        assert not is_rational_like("not a number")
+
+    def test_rejects_nan(self):
+        assert not is_rational_like(float("nan"))
+
+    def test_rejects_division_by_zero_string(self):
+        assert not is_rational_like("1/0")
+
+    def test_rejects_other_objects(self):
+        assert not is_rational_like(object())
+
+
+class TestFactorial:
+    def test_small_values(self):
+        assert factorial(0) == 1
+        assert factorial(1) == 1
+        assert factorial(5) == 120
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            factorial(-1)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            factorial(2.0)  # type: ignore[arg-type]
+
+
+class TestBinomial:
+    def test_pascal_row(self):
+        assert [binomial(4, k) for k in range(5)] == [1, 4, 6, 4, 1]
+
+    def test_out_of_range_is_zero(self):
+        assert binomial(4, 5) == 0
+        assert binomial(4, -1) == 0
+        assert binomial(-1, 0) == 0
+
+    def test_symmetry(self):
+        for n in range(8):
+            for k in range(n + 1):
+                assert binomial(n, k) == binomial(n, n - k)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            binomial(4.0, 2)  # type: ignore[arg-type]
+
+
+class TestFallingFactorial:
+    def test_values(self):
+        assert falling_factorial(5, 0) == 1
+        assert falling_factorial(5, 2) == 20
+        assert falling_factorial(5, 5) == 120
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            falling_factorial(5, -1)
+
+    def test_relation_to_factorial(self):
+        assert falling_factorial(7, 7) == factorial(7)
+
+
+class TestIntegerPower:
+    def test_zero_exponent_is_one(self):
+        assert integer_power(Fraction(0), 0) == 1
+        assert integer_power(Fraction(5, 3), 0) == 1
+
+    def test_positive(self):
+        assert integer_power(Fraction(2, 3), 3) == Fraction(8, 27)
+
+    def test_negative_exponent(self):
+        assert integer_power(Fraction(2), -2) == Fraction(1, 4)
+
+    def test_zero_to_negative_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            integer_power(Fraction(0), -1)
+
+
+class TestSign:
+    def test_all_cases(self):
+        assert sign(Fraction(3, 7)) == 1
+        assert sign(Fraction(-1, 9)) == -1
+        assert sign(Fraction(0)) == 0
+
+
+class TestRationalRange:
+    def test_endpoints_included(self):
+        grid = rational_range(0, 1, 5)
+        assert grid[0] == 0
+        assert grid[-1] == 1
+        assert len(grid) == 5
+
+    def test_even_spacing(self):
+        grid = rational_range(0, 1, 5)
+        steps = {b - a for a, b in zip(grid, grid[1:])}
+        assert steps == {Fraction(1, 4)}
+
+    def test_exact_rational_grid(self):
+        grid = rational_range("1/3", "2/3", 3)
+        assert grid == [Fraction(1, 3), Fraction(1, 2), Fraction(2, 3)]
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            rational_range(0, 1, 1)

@@ -1,0 +1,181 @@
+"""Tests for repro.symbolic.roots (Sturm isolation, bisection)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic.polynomial import Polynomial
+from repro.symbolic.roots import (
+    cauchy_root_bound,
+    count_real_roots,
+    isolate_real_roots,
+    real_roots,
+    refine_root,
+    sign_variations,
+    sturm_sequence,
+)
+
+
+class TestSturmSequence:
+    def test_chain_starts_with_poly_and_derivative_signs(self):
+        p = Polynomial.from_roots([0, 1])
+        chain = sturm_sequence(p)
+        # sign-preserving scaling: evaluations keep the sign of p and p'
+        x = Fraction(2)
+        assert (chain[0](x) > 0) == (p(x) > 0)
+        assert (chain[1](x) > 0) == (p.derivative()(x) > 0)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            sturm_sequence(Polynomial.zero())
+
+    def test_constant_poly_chain(self):
+        assert len(sturm_sequence(Polynomial([5]))) == 1
+
+    def test_sign_preservation_negative_lead(self):
+        # regression: forcing positive leads corrupted variation counts
+        # (observed on the n=5 threshold derivative).
+        p = Polynomial(
+            [
+                Fraction(-75, 4),
+                Fraction(1085, 6),
+                Fraction(-2465, 4),
+                Fraction(5335, 6),
+                Fraction(-11015, 24),
+            ]
+        )
+        # this quartic has NO roots in (1/3, 1/2]
+        assert count_real_roots(p, Fraction(1, 3), Fraction(1, 2)) == 0
+
+
+class TestSignVariations:
+    def test_simple(self):
+        chain = sturm_sequence(Polynomial.from_roots([0]))
+        assert sign_variations(chain, -1) - sign_variations(chain, 1) == 1
+
+    def test_zeros_in_chain_are_skipped(self):
+        p = Polynomial.from_roots([0, 2])
+        chain = sturm_sequence(p)
+        # evaluation exactly at a root of a chain element must not crash
+        sign_variations(chain, 0)
+
+
+class TestCountRealRoots:
+    def test_counts_on_subintervals(self):
+        p = Polynomial.from_roots([Fraction(1, 4), Fraction(3, 4)])
+        assert count_real_roots(p, 0, 1) == 2
+        assert count_real_roots(p, 0, Fraction(1, 2)) == 1
+        assert count_real_roots(p, Fraction(1, 2), 1) == 1
+
+    def test_half_open_convention(self):
+        p = Polynomial.from_roots([Fraction(1, 2)])
+        # root at upper endpoint is counted, at lower endpoint is not
+        assert count_real_roots(p, 0, Fraction(1, 2)) == 1
+        assert count_real_roots(p, Fraction(1, 2), 1) == 0
+
+    def test_multiple_roots_counted_once(self):
+        p = Polynomial.from_roots([Fraction(1, 2), Fraction(1, 2)])
+        assert count_real_roots(p, 0, 1) == 1
+
+    def test_no_real_roots(self):
+        p = Polynomial([1, 0, 1])  # x^2 + 1
+        assert count_real_roots(p, -10, 10) == 0
+
+    def test_empty_interval(self):
+        p = Polynomial.from_roots([0])
+        assert count_real_roots(p, 1, 1) == 0
+        with pytest.raises(ValueError):
+            count_real_roots(p, 2, 1)
+
+
+class TestCauchyBound:
+    def test_bounds_all_roots(self):
+        roots = [Fraction(-7), Fraction(2), Fraction(5)]
+        p = Polynomial.from_roots(roots)
+        bound = cauchy_root_bound(p)
+        assert all(abs(r) <= bound for r in roots)
+
+    def test_constant_gets_default(self):
+        assert cauchy_root_bound(Polynomial([5])) == 1
+
+
+class TestIsolateRealRoots:
+    def test_each_interval_has_one_root(self):
+        roots = [Fraction(1, 7), Fraction(1, 2), Fraction(6, 7)]
+        p = Polynomial.from_roots(roots)
+        intervals = isolate_real_roots(p, 0, 1)
+        assert len(intervals) == 3
+        for (a, b), r in zip(intervals, roots):
+            assert a <= r <= b
+
+    def test_root_exactly_at_bisection_point(self):
+        # 1/2 is the first midpoint of [0, 1]
+        p = Polynomial.from_roots([Fraction(1, 4), Fraction(1, 2)])
+        intervals = isolate_real_roots(p, 0, 1)
+        assert len(intervals) == 2
+        assert (Fraction(1, 2), Fraction(1, 2)) in intervals
+
+    def test_unbounded_search_uses_cauchy(self):
+        p = Polynomial.from_roots([-3, 11])
+        intervals = isolate_real_roots(p)
+        assert len(intervals) == 2
+
+    def test_no_roots(self):
+        assert isolate_real_roots(Polynomial([1, 0, 1])) == []
+
+    def test_constant(self):
+        assert isolate_real_roots(Polynomial([2])) == []
+
+
+class TestRefineRoot:
+    def test_rational_root_found_exactly_or_within_tolerance(self):
+        p = Polynomial.from_roots([Fraction(1, 3)])
+        r = refine_root(p, 0, 1, Fraction(1, 10**12))
+        assert abs(r - Fraction(1, 3)) <= Fraction(1, 10**12)
+
+    def test_irrational_root_enclosure(self):
+        p = Polynomial([-2, 0, 1])  # x^2 - 2
+        r = refine_root(p, 1, 2, Fraction(1, 10**15))
+        assert abs(float(r) - 2**0.5) < 1e-14
+
+    def test_root_at_upper_endpoint(self):
+        p = Polynomial.from_roots([1])
+        assert refine_root(p, 0, 1) == 1
+
+    def test_no_sign_change_rejected(self):
+        p = Polynomial([1, 0, 1])
+        with pytest.raises(ValueError):
+            refine_root(p, 0, 1)
+
+    def test_tolerance_validation(self):
+        p = Polynomial.from_roots([Fraction(1, 2)])
+        with pytest.raises(ValueError):
+            refine_root(p, 0, 1, 0)
+
+
+class TestRealRoots:
+    def test_paper_quadratic(self):
+        # the paper's optimality quadratic: beta^2 - 2 beta + 6/7
+        p = Polynomial([Fraction(6, 7), -2, 1])
+        roots = real_roots(p, 0, 1, Fraction(1, 10**15))
+        assert len(roots) == 1
+        assert abs(float(roots[0]) - (1 - (1 / 7) ** 0.5)) < 1e-14
+
+    def test_sorted_output(self):
+        p = Polynomial.from_roots([Fraction(3, 4), Fraction(1, 4)])
+        roots = real_roots(p, 0, 1)
+        assert roots == sorted(roots)
+
+    def test_multiplicities_collapsed(self):
+        p = Polynomial.from_roots([Fraction(1, 2)] * 3)
+        roots = real_roots(p, 0, 1)
+        assert len(roots) == 1
+
+    def test_restricted_window(self):
+        p = Polynomial.from_roots([Fraction(1, 4), Fraction(3, 4)])
+        roots = real_roots(p, Fraction(1, 2), 1)
+        assert len(roots) == 1
+        assert abs(roots[0] - Fraction(3, 4)) < Fraction(1, 10**9)
+
+    def test_degree_zero_and_zero(self):
+        assert real_roots(Polynomial([3])) == []
