@@ -1,0 +1,114 @@
+"""Serial vs sharded-parallel throughput of the Monte Carlo engine.
+
+The record lines quote trials/second for the scalar (communicating)
+path -- the path the parallel executor exists for -- with 1 and 4
+workers, plus the speedup ratio.  Correctness is asserted
+unconditionally: the sharded results must be bit-identical for every
+worker count.  The >= 2.5x speedup target is asserted only when the
+machine actually has >= 4 CPUs (a single-core CI runner cannot speed
+anything up, but it still exercises the multiprocessing path).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from fractions import Fraction
+
+from conftest import record
+
+from repro.baselines.centralized import OmniscientPacker
+from repro.model.algorithms import SingleThresholdRule
+from repro.model.communication import FullInformation
+from repro.model.system import DistributedSystem
+from repro.simulation.engine import MonteCarloEngine
+
+SCALAR_TRIALS = 40_000
+VECTOR_TRIALS = 2_000_000
+SPEEDUP_TARGET = 2.5
+
+
+def scalar_system(n: int = 3) -> DistributedSystem:
+    """Full-information packing: every trial runs the message machinery."""
+    return DistributedSystem(
+        [OmniscientPacker(i, n) for i in range(n)],
+        Fraction(3, 2),
+        pattern=FullInformation(n),
+    )
+
+
+def _timed_estimate(system, trials, workers):
+    engine = MonteCarloEngine(seed=2024)
+    start = time.perf_counter()
+    summary = engine.estimate_winning_probability(
+        system, trials=trials, workers=workers
+    )
+    elapsed = time.perf_counter() - start
+    return summary, elapsed
+
+
+def test_bench_scalar_path_parallel_speedup():
+    """The acceptance workload: communicating system, 1 vs 4 workers."""
+    system = scalar_system()
+    serial, t_serial = _timed_estimate(system, SCALAR_TRIALS, workers=1)
+    parallel, t_parallel = _timed_estimate(system, SCALAR_TRIALS, workers=4)
+
+    assert serial == parallel  # bit-identical regardless of worker count
+
+    speedup = t_serial / t_parallel
+    cpus = os.cpu_count() or 1
+    record(
+        "parallel scalar path",
+        trials=SCALAR_TRIALS,
+        serial_tps=f"{SCALAR_TRIALS / t_serial:,.0f}",
+        workers4_tps=f"{SCALAR_TRIALS / t_parallel:,.0f}",
+        speedup=f"{speedup:.2f}x",
+        cpus=cpus,
+    )
+    if cpus >= 4:
+        assert speedup >= SPEEDUP_TARGET, (
+            f"4-worker speedup {speedup:.2f}x below the "
+            f"{SPEEDUP_TARGET}x target on a {cpus}-CPU machine"
+        )
+
+
+def test_bench_vectorised_path_parallel():
+    """The vectorised path shards too; already fast, must not regress."""
+    system = DistributedSystem(
+        [SingleThresholdRule(Fraction(3, 5))] * 4, Fraction(4, 3)
+    )
+    serial, t_serial = _timed_estimate(system, VECTOR_TRIALS, workers=1)
+    parallel, t_parallel = _timed_estimate(system, VECTOR_TRIALS, workers=4)
+
+    assert serial == parallel
+
+    record(
+        "parallel vectorised path",
+        trials=VECTOR_TRIALS,
+        serial_tps=f"{VECTOR_TRIALS / t_serial:,.0f}",
+        workers4_tps=f"{VECTOR_TRIALS / t_parallel:,.0f}",
+        speedup=f"{t_serial / t_parallel:.2f}x",
+    )
+
+
+def test_bench_shard_overhead_serial():
+    """Sharding alone (workers=1) must cost little over the legacy loop."""
+    system = scalar_system()
+    engine = MonteCarloEngine(seed=7)
+    start = time.perf_counter()
+    engine.estimate_winning_probability(system, trials=SCALAR_TRIALS)
+    t_legacy = time.perf_counter() - start
+
+    start = time.perf_counter()
+    engine.estimate_winning_probability(
+        system, trials=SCALAR_TRIALS, workers=1
+    )
+    t_sharded = time.perf_counter() - start
+
+    record(
+        "shard overhead (workers=1)",
+        legacy_s=f"{t_legacy:.3f}",
+        sharded_s=f"{t_sharded:.3f}",
+        overhead=f"{(t_sharded / t_legacy - 1) * 100:+.1f}%",
+    )
+    assert t_sharded < t_legacy * 1.5

@@ -135,6 +135,15 @@ def _build_parser() -> argparse.ArgumentParser:
     val.add_argument("--grid-size", type=int, default=11)
     val.add_argument("--trials", type=int, default=100_000)
     val.add_argument("--seed", type=int, default=0)
+    val.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "shard each grid point across this many worker processes "
+            "(results are identical for any worker count)"
+        ),
+    )
 
     return parser
 
@@ -219,6 +228,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             simulate=True,
             trials=args.trials,
             seed=args.seed,
+            workers=args.workers,
         )
         for point in result.points:
             status = "ok" if point.consistent else "MISMATCH"
@@ -227,7 +237,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"exact={float(point.exact):.6f}  "
                 f"simulated={point.simulated:.6f}  [{status}]"
             )
-        if not result.all_consistent():
+        # all_consistent() is None when nothing simulated -- that is a
+        # failed validation too, not a vacuous pass.
+        if result.all_consistent() is not True:
             print("VALIDATION FAILED", file=sys.stderr)
             return 1
         print(f"all {len(result.points)} grid points consistent")

@@ -12,10 +12,21 @@ protocol on sampled inputs:
   system's winning probability, vectorised where possible.
 * :mod:`repro.simulation.runner` -- parameter sweeps (threshold grids,
   player counts) producing experiment records.
+* :mod:`repro.simulation.parallel` -- the sharded executor: split a
+  trial budget into per-shard named seed streams and run them across a
+  process pool, bit-identically for any worker count.
 """
 
 from repro.simulation.adaptive import AdaptiveResult, estimate_until_precise
 from repro.simulation.engine import MonteCarloEngine
+from repro.simulation.parallel import (
+    ShardedEstimate,
+    ShardOutcome,
+    count_wins,
+    estimate_winning_probability_sharded,
+    plan_shards,
+    shard_stream_name,
+)
 from repro.simulation.results_store import (
     load_sweep,
     merge_sweeps,
@@ -33,12 +44,18 @@ from repro.simulation.variance_reduction import (
 __all__ = [
     "AdaptiveResult",
     "BinomialSummary",
+    "ShardOutcome",
+    "ShardedEstimate",
     "VarianceReducedEstimate",
     "antithetic_winning_probability",
+    "count_wins",
     "estimate_until_precise",
+    "estimate_winning_probability_sharded",
     "load_sweep",
     "merge_sweeps",
+    "plan_shards",
     "save_sweep",
+    "shard_stream_name",
     "stratified_threshold_winning_probability",
     "MonteCarloEngine",
     "SeedSequenceFactory",

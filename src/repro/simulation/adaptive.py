@@ -56,6 +56,8 @@ def estimate_until_precise(
     growth: float = 2.0,
     max_trials: int = 5_000_000,
     z_score: float = 3.89,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> AdaptiveResult:
     """Sample in growing stages until the Wilson half-width <= *half_width*.
 
@@ -64,6 +66,11 @@ def estimate_until_precise(
     requirement when that is already below *max_trials*, so easy
     targets finish in one stage.  Stops early once the target is met;
     gives up (with ``achieved == False``) at *max_trials*.
+
+    *workers* and *shards* are forwarded to every stage's
+    :meth:`MonteCarloEngine.estimate_winning_probability` call; the
+    stage schedule itself is deterministic, so the whole sequential
+    procedure stays reproducible under parallel execution.
     """
     if not 0 < half_width < 0.5:
         raise ValueError(
@@ -92,6 +99,8 @@ def estimate_until_precise(
             trials=batch,
             stream=f"adaptive-stage-{len(stages)}",
             z_score=z_score,
+            workers=workers,
+            shards=shards,
         )
         successes += summary.successes
         trials += batch

@@ -9,6 +9,12 @@ counting wins.  Two execution paths:
 * a **scalar** path (communicating systems): one protocol execution per
   trial, exercising the full message-visibility machinery.
 
+Both paths live in :func:`repro.simulation.parallel.count_wins`, which
+is also what every shard of the parallel executor runs -- pass
+``workers=`` to split the budget across a process pool (see
+:mod:`repro.simulation.parallel` for the seed-derivation scheme that
+keeps the result independent of the worker count).
+
 The engine never invents randomness: callers supply either a generator
 or a :class:`SeedSequenceFactory`, keeping experiments reproducible.
 """
@@ -23,6 +29,10 @@ from repro.model.system import DistributedSystem
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.model.inputs import InputDistribution
+from repro.simulation.parallel import (
+    count_wins,
+    estimate_winning_probability_sharded,
+)
 from repro.simulation.rng import SeedSequenceFactory
 from repro.simulation.statistics import BinomialSummary
 
@@ -56,6 +66,8 @@ class MonteCarloEngine:
         stream: str = "winning-probability",
         z_score: float = 3.89,
         inputs: Optional["InputDistribution"] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> BinomialSummary:
         """Estimate ``P_A(delta)`` over *trials* independent executions.
 
@@ -63,50 +75,69 @@ class MonteCarloEngine:
         is the paper's ``U[0, 1]``.  Pass any
         :class:`repro.model.inputs.InputDistribution` to study the
         Section 6 extensions (Beta inputs, mixtures, scaled uniforms).
+
+        *workers* selects the execution mode.  ``None`` (the default)
+        keeps the historical single-stream serial loop, so existing
+        seeded experiments reproduce unchanged.  Any integer ``>= 1``
+        switches to the sharded executor: the budget is split into
+        *shards* chunks (default
+        :data:`repro.simulation.parallel.DEFAULT_SHARDS`), each drawing
+        from its own named child stream, and the summary is
+        bit-identical for every worker count -- ``workers=1`` simply
+        runs the shards in-process.
         """
         if trials < 1:
             raise ValueError(f"trials must be >= 1, got {trials}")
-        rng = self._factory.generator(stream)
-        vectorised = all(alg.is_local for alg in system.algorithms)
-        wins = 0
-        if vectorised:
-            remaining = trials
-            while remaining > 0:
-                batch = min(remaining, self._batch_size)
-                if inputs is None:
-                    matrix = rng.random((batch, system.n))
-                else:
-                    matrix = inputs.sample(rng, batch, system.n)
-                wins += int(system.run_batch(matrix, rng).sum())
-                remaining -= batch
-        else:
-            for _ in range(trials):
-                if inputs is None:
-                    vector = rng.random(system.n)
-                else:
-                    vector = inputs.sample(rng, 1, system.n)[0]
-                if system.run(vector, rng).won:
-                    wins += 1
-        return BinomialSummary(successes=wins, trials=trials, z_score=z_score)
+        if workers is None and shards is None:
+            rng = self._factory.generator(stream)
+            wins = count_wins(
+                system,
+                trials,
+                rng,
+                inputs=inputs,
+                batch_size=self._batch_size,
+            )
+            return BinomialSummary(
+                successes=wins, trials=trials, z_score=z_score
+            )
+        return estimate_winning_probability_sharded(
+            system,
+            trials,
+            self._factory,
+            stream=stream,
+            shards=shards,
+            workers=1 if workers is None else workers,
+            inputs=inputs,
+            batch_size=self._batch_size,
+            z_score=z_score,
+        ).summary
 
     def estimate_bin_load_distribution(
         self,
         system: DistributedSystem,
         trials: int = 100_000,
         stream: str = "bin-loads",
+        inputs: Optional["InputDistribution"] = None,
     ) -> np.ndarray:
         """Sample the pair ``(Sigma_0, Sigma_1)`` -- returns ``(trials, 2)``.
 
         Used to validate the conditional-distribution lemmas: given the
         output vector, the bin loads are sums of conditioned uniforms.
         Scalar path only (it needs per-trial outcomes).
+
+        *inputs* selects the per-player input distribution exactly as in
+        :meth:`estimate_winning_probability`; the default is ``U[0, 1]``.
         """
         if trials < 1:
             raise ValueError(f"trials must be >= 1, got {trials}")
         rng = self._factory.generator(stream)
         loads = np.empty((trials, 2))
         for t in range(trials):
-            outcome = system.run(rng.random(system.n), rng)
+            if inputs is None:
+                vector = rng.random(system.n)
+            else:
+                vector = inputs.sample(rng, 1, system.n)[0]
+            outcome = system.run(vector, rng)
             loads[t, 0] = outcome.load_bin0
             loads[t, 1] = outcome.load_bin1
         return loads

@@ -1,0 +1,244 @@
+"""Sharded, parallel Monte Carlo execution.
+
+The fixed-budget engine runs one trial loop on one stream.  At the
+trial counts the balls-into-bins literature calls for (10^7-10^9 to
+resolve tail probabilities), a single process is the bottleneck --
+especially on the scalar path, where every trial executes the full
+message-visibility machinery.  This module splits a trial budget into
+**shards**, runs the shards across a process pool, and reduces the
+per-shard win counts into the usual :class:`BinomialSummary`.
+
+Reproducibility is the design constraint, not an afterthought:
+
+* The shard plan depends only on ``(trials, shards)`` -- never on the
+  worker count.  ``plan_shards(10**6, 16)`` is the same list whether it
+  is executed by 1 worker or 64.
+* Shard ``i`` of stream ``s`` draws from the named child stream
+  ``f"{s}/shard-{i}"`` of the caller's :class:`SeedSequenceFactory`.
+  Streams are keyed by name (SHA-256, see :mod:`repro.simulation.rng`),
+  so a fixed root seed yields **bit-identical results regardless of
+  worker count or scheduling order**.
+* The reduction is a plain integer sum, which is associative and
+  exact; no floating-point reduction order can perturb the summary.
+
+Execution falls back to the serial in-process path when ``workers <= 1``,
+when the system or input distribution cannot be pickled, or when the
+platform refuses to start a process pool -- the result is bit-identical
+either way, only the wall-clock changes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.system import DistributedSystem
+from repro.simulation.rng import SeedSequenceFactory
+from repro.simulation.statistics import BinomialSummary
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.model.inputs import InputDistribution
+
+__all__ = [
+    "DEFAULT_SHARDS",
+    "ShardOutcome",
+    "ShardedEstimate",
+    "count_wins",
+    "estimate_winning_probability_sharded",
+    "plan_shards",
+    "resolve_shard_count",
+    "shard_stream_name",
+]
+
+#: Default number of shards when the caller does not choose one.  A
+#: fixed constant (not ``os.cpu_count()``) so that results never depend
+#: on the machine executing them; 16 shards keep 2-16 workers busy
+#: while costing nothing when run serially.
+DEFAULT_SHARDS = 16
+
+
+def count_wins(
+    system: DistributedSystem,
+    trials: int,
+    rng: np.random.Generator,
+    inputs: Optional["InputDistribution"] = None,
+    batch_size: int = 262_144,
+) -> int:
+    """Run *trials* executions of *system* and return the win count.
+
+    This is the single trial loop shared by the serial engine and every
+    shard worker: vectorised when all algorithms are local, scalar (one
+    protocol execution per trial) otherwise.  Keeping one implementation
+    is what makes "serial fallback" and "worker process" bit-identical.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    vectorised = all(alg.is_local for alg in system.algorithms)
+    wins = 0
+    if vectorised:
+        remaining = trials
+        while remaining > 0:
+            batch = min(remaining, batch_size)
+            if inputs is None:
+                matrix = rng.random((batch, system.n))
+            else:
+                matrix = inputs.sample(rng, batch, system.n)
+            wins += int(system.run_batch(matrix, rng).sum())
+            remaining -= batch
+    else:
+        for _ in range(trials):
+            if inputs is None:
+                vector = rng.random(system.n)
+            else:
+                vector = inputs.sample(rng, 1, system.n)[0]
+            if system.run(vector, rng).won:
+                wins += 1
+    return wins
+
+
+def shard_stream_name(stream: str, index: int) -> str:
+    """The derived stream name for shard *index* of *stream*."""
+    return f"{stream}/shard-{index}"
+
+
+def resolve_shard_count(trials: int, shards: Optional[int]) -> int:
+    """The effective shard count: the requested (or default) count,
+    capped so no shard is empty.  Independent of the worker count by
+    construction."""
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if shards is None:
+        shards = DEFAULT_SHARDS
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return min(shards, trials)
+
+
+def plan_shards(trials: int, shards: Optional[int] = None) -> List[int]:
+    """Per-shard trial counts summing to *trials*.
+
+    The remainder of ``trials / shards`` is spread one trial at a time
+    over the leading shards, so the plan is a pure function of its
+    arguments -- the invariant the determinism suite pins down.
+    """
+    count = resolve_shard_count(trials, shards)
+    base, extra = divmod(trials, count)
+    return [base + (1 if i < extra else 0) for i in range(count)]
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """The result of one shard: which stream it drew from and what it saw."""
+
+    index: int
+    stream: str
+    trials: int
+    wins: int
+
+
+@dataclass(frozen=True)
+class ShardedEstimate:
+    """A :class:`BinomialSummary` plus the per-shard breakdown and how
+    the shards were actually executed."""
+
+    summary: BinomialSummary
+    shard_outcomes: Tuple[ShardOutcome, ...]
+    workers_used: int
+
+    @property
+    def shards(self) -> int:
+        return len(self.shard_outcomes)
+
+
+def _run_shard(
+    args: Tuple[DistributedSystem, int, str, int, Optional["InputDistribution"], int],
+) -> int:
+    """Worker entry point: rebuild the shard's generator from (root
+    seed, stream name) and run its trial loop.  Module-level so it is
+    picklable by every multiprocessing start method."""
+    system, trials, stream, root_seed, inputs, batch_size = args
+    rng = SeedSequenceFactory(root_seed).generator(stream)
+    return count_wins(
+        system, trials, rng, inputs=inputs, batch_size=batch_size
+    )
+
+
+def _is_picklable(*objects) -> bool:
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def estimate_winning_probability_sharded(
+    system: DistributedSystem,
+    trials: int,
+    factory: SeedSequenceFactory,
+    stream: str = "winning-probability",
+    shards: Optional[int] = None,
+    workers: int = 1,
+    inputs: Optional["InputDistribution"] = None,
+    batch_size: int = 262_144,
+    z_score: float = 3.89,
+) -> ShardedEstimate:
+    """Estimate the winning probability over a sharded trial budget.
+
+    The budget is split by :func:`plan_shards`; shard ``i`` draws from
+    the child stream ``shard_stream_name(stream, i)``.  With a seeded
+    *factory* the returned summary is bit-identical for every value of
+    *workers* (including the serial fallback), because neither the plan
+    nor the per-shard streams depend on how shards are scheduled.
+
+    An unseeded factory first materialises a root seed from OS entropy
+    so that all shards of *this call* still draw from disjoint streams
+    of one (unreproducible) root.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    plan = plan_shards(trials, shards)
+    root_seed = factory.root_seed
+    if root_seed is None:
+        root_seed = int(np.random.SeedSequence().entropy)
+    names = [shard_stream_name(stream, i) for i in range(len(plan))]
+    for name in names:
+        factory.record_issue(name)
+
+    tasks = [
+        (system, shard_trials, name, root_seed, inputs, batch_size)
+        for shard_trials, name in zip(plan, names)
+    ]
+
+    workers_used = min(workers, len(plan))
+    wins_per_shard: Optional[List[int]] = None
+    if workers_used > 1 and _is_picklable(system, inputs):
+        try:
+            with ProcessPoolExecutor(max_workers=workers_used) as pool:
+                wins_per_shard = list(pool.map(_run_shard, tasks))
+        except (OSError, PermissionError, RuntimeError):
+            # Sandboxes and restricted platforms may refuse to fork;
+            # the serial path below produces the identical result.
+            wins_per_shard = None
+    if wins_per_shard is None:
+        workers_used = 1
+        wins_per_shard = [_run_shard(task) for task in tasks]
+
+    outcomes = tuple(
+        ShardOutcome(index=i, stream=name, trials=shard_trials, wins=wins)
+        for i, (shard_trials, name, wins) in enumerate(
+            zip(plan, names, wins_per_shard)
+        )
+    )
+    summary = BinomialSummary(
+        successes=sum(wins_per_shard), trials=trials, z_score=z_score
+    )
+    return ShardedEstimate(
+        summary=summary, shard_outcomes=outcomes, workers_used=workers_used
+    )

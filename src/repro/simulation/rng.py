@@ -8,16 +8,37 @@ independent, named child streams derived from one root seed, so:
   for bit;
 * adding a new consumer does not perturb the streams of existing ones
   (streams are keyed by name, not by creation order).
+
+Stream keying uses the full SHA-256 digest of the name, folded into a
+``spawn_key`` tuple of 32-bit words.  An earlier revision keyed streams
+by ``zlib.crc32(name)``; two names with colliding 32-bit CRCs (e.g.
+``"plumless"`` / ``"buckeroo"``) then received *identical* generators,
+which is exactly the failure mode a sharded executor with thousands of
+derived stream names would amplify.  The 256-bit key makes accidental
+collisions cryptographically implausible.
 """
 
 from __future__ import annotations
 
-import zlib
-from typing import Dict, Optional
+import hashlib
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["SeedSequenceFactory"]
+__all__ = ["SeedSequenceFactory", "stream_spawn_key"]
+
+
+def stream_spawn_key(name: str) -> Tuple[int, ...]:
+    """The ``spawn_key`` tuple for a stream *name*: the SHA-256 digest
+    of the UTF-8 name split into eight 32-bit big-endian words.
+
+    Collision-free in practice (256 bits), unlike a 32-bit CRC, and
+    stable across platforms and Python versions (unlike ``hash()``).
+    """
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return tuple(
+        int.from_bytes(digest[i : i + 4], "big") for i in range(0, 32, 4)
+    )
 
 
 class SeedSequenceFactory:
@@ -31,6 +52,24 @@ class SeedSequenceFactory:
     def root_seed(self) -> Optional[int]:
         return self._root_seed
 
+    def seed_sequence(self, name: str) -> np.random.SeedSequence:
+        """The :class:`numpy.random.SeedSequence` underlying stream *name*.
+
+        Only meaningful in seeded mode; raises otherwise.  Exposed so
+        the parallel executor can ship compact, picklable seed material
+        to worker processes instead of generator objects.
+        """
+        if self._root_seed is None:
+            raise ValueError(
+                "seed_sequence() requires a root seed; "
+                "unseeded factories draw from OS entropy"
+            )
+        if not name:
+            raise ValueError("stream name must be non-empty")
+        return np.random.SeedSequence(
+            entropy=self._root_seed, spawn_key=stream_spawn_key(name)
+        )
+
     def generator(self, name: str) -> np.random.Generator:
         """A generator for the stream *name*.
 
@@ -43,16 +82,23 @@ class SeedSequenceFactory:
         """
         if not name:
             raise ValueError("stream name must be non-empty")
-        key = zlib.crc32(name.encode("utf-8"))
+        key = stream_spawn_key(name)
         self._issued[name] = self._issued.get(name, 0) + 1
         if self._root_seed is None:
-            # Non-reproducible mode: fall back to OS entropy but still
-            # separate streams by name.
+            # Non-reproducible mode: fresh OS entropy, but still keyed
+            # by the full name so distinct names can never alias.
             return np.random.default_rng(
-                np.random.SeedSequence().spawn(1)[0].entropy ^ key
+                np.random.SeedSequence(spawn_key=key)
             )
-        seq = np.random.SeedSequence(entropy=self._root_seed, spawn_key=(key,))
+        seq = np.random.SeedSequence(entropy=self._root_seed, spawn_key=key)
         return np.random.default_rng(seq)
+
+    def record_issue(self, name: str) -> None:
+        """Note that stream *name* was consumed outside :meth:`generator`
+        (e.g. inside a worker process), keeping the audit complete."""
+        if not name:
+            raise ValueError("stream name must be non-empty")
+        self._issued[name] = self._issued.get(name, 0) + 1
 
     def issued_streams(self) -> Dict[str, int]:
         """How many times each named stream was requested (for audits)."""

@@ -5,6 +5,10 @@ against the common threshold ``beta`` (Figures 1-2) or against the
 player count ``n`` (the uniformity table).  These helpers run such
 sweeps through either the exact formulas, the Monte Carlo engine, or
 both, and return plain records that the reporting layer renders.
+
+Both sweeps accept ``workers=`` and forward it to the engine, so large
+validation grids shard across a process pool without changing their
+results (see :mod:`repro.simulation.parallel`).
 """
 
 from __future__ import annotations
@@ -58,8 +62,22 @@ class SweepResult:
     def exact_values(self) -> List[Fraction]:
         return [p.exact for p in self.points]
 
-    def all_consistent(self) -> bool:
-        """True when every simulated point covers its exact value."""
+    @property
+    def any_simulated(self) -> bool:
+        """Whether at least one point carries a Monte Carlo check."""
+        return any(p.consistent is not None for p in self.points)
+
+    def all_consistent(self) -> Optional[bool]:
+        """Whether every simulated point covers its exact value.
+
+        Returns ``None`` when *no* point was simulated at all -- an
+        exact-only sweep carries no Monte Carlo evidence, so it must
+        not read as a passed validation.  (An earlier revision returned
+        ``True`` here, letting a sweep "pass" vacuously.)  Points
+        without intervals in a partially-simulated sweep are skipped.
+        """
+        if not self.any_simulated:
+            return None
         return all(p.consistent is not False for p in self.points)
 
     def best(self) -> SweepPoint:
@@ -75,13 +93,16 @@ def sweep_thresholds(
     simulate: bool = False,
     trials: int = 100_000,
     seed: Optional[int] = None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> SweepResult:
     """Winning probability of the symmetric threshold rule over a ``beta`` grid.
 
     Exact values come from Theorem 5.1; with ``simulate=True`` each grid
     point is also estimated by Monte Carlo and the Wilson interval
     recorded (this is the validation mode used by the integration
-    tests and benchmark harness).
+    tests and benchmark harness).  *workers* and *shards* are forwarded
+    to :meth:`MonteCarloEngine.estimate_winning_probability`.
     """
     d = as_fraction(delta)
     betas = (
@@ -100,7 +121,11 @@ def sweep_thresholds(
                 [SingleThresholdRule(beta) for _ in range(n)], d
             )
             summary = engine.estimate_winning_probability(
-                system, trials=trials, stream=f"beta={beta}"
+                system,
+                trials=trials,
+                stream=f"beta={beta}",
+                workers=workers,
+                shards=shards,
             )
             simulated = summary.estimate
             interval = summary.interval
@@ -122,18 +147,51 @@ def sweep_players(
         lambda n, d: optimal_oblivious_winning_probability(d, n)
     ),
     label: str = "optimal oblivious",
+    system_of_n: Optional[
+        Callable[[int, Fraction], DistributedSystem]
+    ] = None,
+    simulate: bool = False,
+    trials: int = 100_000,
+    seed: Optional[int] = None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> SweepResult:
     """Sweep a per-``n`` exact quantity (default: the Theorem 4.3 optimum).
 
     *delta_of_n* maps the player count to the capacity (e.g. constant 1,
     or the scaled ``n/3`` used in Section 5.2.2).
+
+    With ``simulate=True``, *system_of_n* must build the executable
+    system for each ``(n, delta)`` pair; every point then also records
+    a Monte Carlo estimate (stream ``f"n={n}"``), with *workers* and
+    *shards* forwarded to the engine.
     """
+    if simulate and system_of_n is None:
+        raise ValueError("simulate=True requires system_of_n")
+    engine = MonteCarloEngine(seed=seed) if simulate else None
     points = []
     for n in ns:
         if n < 1:
             raise ValueError(f"player counts must be >= 1, got {n}")
         d = as_fraction(delta_of_n(n))
+        simulated = None
+        interval = None
+        if engine is not None:
+            summary = engine.estimate_winning_probability(
+                system_of_n(n, d),
+                trials=trials,
+                stream=f"n={n}",
+                workers=workers,
+                shards=shards,
+            )
+            simulated = summary.estimate
+            interval = summary.interval
         points.append(
-            SweepPoint(parameter=Fraction(n), exact=value_of_n(n, d))
+            SweepPoint(
+                parameter=Fraction(n),
+                exact=value_of_n(n, d),
+                simulated=simulated,
+                interval=interval,
+            )
         )
     return SweepResult(label=label, points=points)

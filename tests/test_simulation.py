@@ -38,6 +38,34 @@ class TestSeedSequenceFactory:
         b = f.generator("b").random(5)
         assert not (a == b).all()
 
+    def test_crc32_colliding_names_get_distinct_streams(self):
+        # "plumless" and "buckeroo" share one 32-bit CRC -- the classic
+        # collision pair.  The old crc32-keyed derivation handed both
+        # names the *same* generator; the full-digest keying must not.
+        import zlib
+
+        assert zlib.crc32(b"plumless") == zlib.crc32(b"buckeroo")
+        f = SeedSequenceFactory(1)
+        a = f.generator("plumless").random(8)
+        b = f.generator("buckeroo").random(8)
+        assert not (a == b).all()
+
+    def test_unseeded_crc32_colliding_names_distinct(self):
+        # Unseeded mode must also key by the full name, not a 32-bit
+        # reduction XORed into fresh entropy.
+        f = SeedSequenceFactory(None)
+        a = f.generator("plumless").random(8)
+        b = f.generator("buckeroo").random(8)
+        assert not (a == b).all()
+
+    def test_spawn_key_is_full_digest(self):
+        from repro.simulation.rng import stream_spawn_key
+
+        key = stream_spawn_key("winning-probability")
+        assert len(key) == 8
+        assert all(0 <= word < 2**32 for word in key)
+        assert stream_spawn_key("plumless") != stream_spawn_key("buckeroo")
+
     def test_empty_name_rejected(self):
         with pytest.raises(ValueError):
             SeedSequenceFactory(1).generator("")
@@ -192,6 +220,34 @@ class TestMonteCarloEngine:
         assert (loads >= 0).all()
         assert (loads.sum(axis=1) <= 3).all()
 
+    def test_bin_load_distribution_honours_inputs(self):
+        # Regression: the loads sampler used to hardcode U[0, 1] and
+        # silently ignore non-uniform input distributions.  With
+        # Beta(40, 2) inputs (mean ~0.95) and every player forced into
+        # bin 0, the mean total load must sit near 0.95 n, far above
+        # the uniform 0.5 n.
+        from repro.model.inputs import BetaInputs
+
+        system = DistributedSystem([SingleThresholdRule(1)] * 3, 10)
+        engine = MonteCarloEngine(seed=21)
+        loads = engine.estimate_bin_load_distribution(
+            system, trials=2_000, inputs=BetaInputs(40, 2)
+        )
+        mean_total = float(loads.sum(axis=1).mean())
+        assert mean_total > 2.7  # uniform inputs give ~1.5
+
+    def test_bin_load_distribution_default_is_uniform(self):
+        system = DistributedSystem([SingleThresholdRule(1)] * 3, 10)
+        a = MonteCarloEngine(seed=22).estimate_bin_load_distribution(
+            system, trials=200
+        )
+        from repro.model.inputs import UniformInputs
+
+        b = MonteCarloEngine(seed=22).estimate_bin_load_distribution(
+            system, trials=200, inputs=UniformInputs()
+        )
+        assert (a == b).all()
+
 
 class TestSweeps:
     def test_threshold_sweep_exact_only(self):
@@ -200,13 +256,17 @@ class TestSweeps:
         assert result.points[0].exact == Fraction(1, 6)
         assert result.points[-1].exact == Fraction(1, 6)
         assert result.points[0].simulated is None
-        assert result.all_consistent()  # vacuously
+        # Regression: an exact-only sweep used to "pass validation"
+        # vacuously (all_consistent() == True with zero simulations).
+        assert result.all_consistent() is None
+        assert not result.any_simulated
 
     def test_threshold_sweep_with_simulation(self):
         result = sweep_thresholds(
             3, 1, grid_size=3, simulate=True, trials=40_000, seed=2
         )
-        assert result.all_consistent()
+        assert result.all_consistent() is True
+        assert result.any_simulated
         for p in result.points:
             assert p.interval is not None
 
@@ -238,3 +298,25 @@ class TestSweeps:
     def test_player_sweep_validation(self):
         with pytest.raises(ValueError):
             sweep_players([0], delta_of_n=lambda n: 1)
+
+    def test_player_sweep_with_simulation(self):
+        beta = Fraction(1, 2)
+        result = sweep_players(
+            [2, 3],
+            delta_of_n=lambda n: 1,
+            value_of_n=lambda n, d: (
+                symmetric_threshold_winning_probability(beta, n, d)
+            ),
+            system_of_n=lambda n, d: DistributedSystem(
+                [SingleThresholdRule(beta) for _ in range(n)], d
+            ),
+            simulate=True,
+            trials=40_000,
+            seed=5,
+        )
+        assert result.all_consistent() is True
+        assert result.any_simulated
+
+    def test_player_sweep_simulate_requires_system(self):
+        with pytest.raises(ValueError):
+            sweep_players([2], delta_of_n=lambda n: 1, simulate=True)
