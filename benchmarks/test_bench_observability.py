@@ -1,0 +1,130 @@
+"""Overhead of the observability subsystem on the simulation hot path.
+
+The contract the subsystem advertises: **off by default, near-zero
+overhead when off**.  The record lines quote the engine's throughput
+with instrumentation absent, disabled-but-instrumented (the branch
+cost every call site pays), and fully enabled -- and the test asserts
+the disabled overhead stays within a few percent of the raw trial
+loop.  Timings are medians over several repetitions so one scheduler
+hiccup cannot fail the build; the enabled cost is recorded but not
+bounded (it buys the span tree and per-shard metrics).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from fractions import Fraction
+
+from conftest import record
+
+from repro.model.algorithms import SingleThresholdRule
+from repro.model.system import DistributedSystem
+from repro.observability import use_instrumentation
+from repro.simulation.engine import MonteCarloEngine
+from repro.simulation.parallel import count_wins
+from repro.simulation.rng import SeedSequenceFactory
+
+TRIALS = 1_500_000
+REPEATS = 5
+#: Disabled instrumentation may cost at most this fraction over the
+#: raw loop (the ISSUE target is ~5%; the margin absorbs CI jitter).
+DISABLED_OVERHEAD_LIMIT = 0.05
+
+
+def vector_system(n: int = 4) -> DistributedSystem:
+    """A vectorised workload: amortises everything but the hot loop."""
+    return DistributedSystem(
+        [SingleThresholdRule(Fraction(3, 5))] * n, Fraction(4, 3)
+    )
+
+
+def _interleaved_medians(fn_a, fn_b, repeats: int = REPEATS):
+    """Median times of two workloads measured in alternation.
+
+    Back-to-back blocks of the same workload mis-measure: the first
+    block pays every warm-up cost (page faults, allocator growth, CPU
+    frequency ramp) and the comparison reads as overhead that is not
+    there.  One unmeasured warm-up call each, then A/B pairs, keeps
+    slow drift out of the ratio.
+    """
+    fn_a()
+    fn_b()
+    times_a, times_b = [], []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn_a()
+        times_a.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_b()
+        times_b.append(time.perf_counter() - start)
+    return statistics.median(times_a), statistics.median(times_b)
+
+
+def test_bench_disabled_overhead():
+    """Engine with no active instrumentation vs the raw trial loop."""
+    system = vector_system()
+
+    def raw_loop():
+        rng = SeedSequenceFactory(42).generator("bench")
+        count_wins(system, TRIALS, rng)
+
+    def engine_disabled():
+        MonteCarloEngine(seed=42).estimate_winning_probability(
+            system, trials=TRIALS
+        )
+
+    t_raw, t_disabled = _interleaved_medians(raw_loop, engine_disabled)
+    overhead = t_disabled / t_raw - 1
+
+    record(
+        "observability disabled overhead",
+        trials=TRIALS,
+        raw_tps=f"{TRIALS / t_raw:,.0f}",
+        disabled_tps=f"{TRIALS / t_disabled:,.0f}",
+        overhead=f"{overhead * 100:+.2f}%",
+    )
+    assert overhead < DISABLED_OVERHEAD_LIMIT, (
+        f"disabled instrumentation costs {overhead * 100:.2f}% over the "
+        f"raw loop; the contract is < {DISABLED_OVERHEAD_LIMIT * 100:.0f}%"
+    )
+
+
+def test_bench_enabled_overhead_recorded():
+    """Enabled instrumentation: measured and recorded, not bounded.
+
+    Correctness *is* asserted: the instrumented run must count exactly
+    the same wins as the uninstrumented one.
+    """
+    system = vector_system()
+
+    plain_summary = {}
+
+    def engine_plain():
+        plain_summary["s"] = MonteCarloEngine(
+            seed=43
+        ).estimate_winning_probability(system, trials=TRIALS)
+
+    enabled_summary = {}
+
+    def engine_enabled():
+        with use_instrumentation():
+            enabled_summary["s"] = MonteCarloEngine(
+                seed=43
+            ).estimate_winning_probability(system, trials=TRIALS)
+
+    t_plain, t_enabled = _interleaved_medians(
+        engine_plain, engine_enabled
+    )
+
+    assert (
+        enabled_summary["s"].successes == plain_summary["s"].successes
+    ), "instrumentation changed the simulated win count"
+
+    record(
+        "observability enabled overhead",
+        trials=TRIALS,
+        plain_tps=f"{TRIALS / t_plain:,.0f}",
+        enabled_tps=f"{TRIALS / t_enabled:,.0f}",
+        overhead=f"{(t_enabled / t_plain - 1) * 100:+.2f}%",
+    )

@@ -8,6 +8,13 @@ Commands map one-to-one onto the paper's evaluation artefacts:
 * ``repro uniformity`` -- the Theorem 4.3 table across player counts.
 * ``repro tradeoff`` -- oblivious vs threshold vs centralized.
 * ``repro validate`` -- Monte Carlo validation of the exact formulas.
+
+Every subcommand additionally accepts the instrumentation flags
+``--profile`` (print a metrics/span report to stderr after the run),
+``--metrics-out PATH`` (write the metrics snapshot as JSONL) and
+``--trace-out PATH`` (write a Chrome/Perfetto-loadable trace).  The
+flags only observe: simulated results are bit-identical with and
+without them (see :mod:`repro.observability`).
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 from fractions import Fraction
+from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments.figures import figure1, figure2, render_figure
@@ -25,6 +33,12 @@ from repro.experiments.tables import (
     render_uniformity_table,
     tradeoff_table,
     uniformity_table,
+)
+from repro.observability import Instrumentation, use_instrumentation
+from repro.observability.reporting import (
+    render_report,
+    write_chrome_trace,
+    write_metrics_jsonl,
 )
 from repro.simulation.runner import sweep_thresholds
 
@@ -40,6 +54,39 @@ def _parse_fraction(text: str) -> Fraction:
         ) from exc
 
 
+def _observability_parent() -> argparse.ArgumentParser:
+    """The shared ``--profile/--metrics-out/--trace-out`` flag group.
+
+    Built as an ``add_help=False`` parent so every subcommand gains the
+    same three flags without each declaration being repeated.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("instrumentation")
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect metrics and spans; print a report to stderr",
+    )
+    group.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the metrics snapshot as JSONL (implies --profile)",
+    )
+    group.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write spans in Chrome trace-event JSON, loadable in "
+            "chrome://tracing or Perfetto (implies --profile)"
+        ),
+    )
+    return parent
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -50,9 +97,12 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    obs = _observability_parent()
 
     fig1 = sub.add_parser(
-        "figure1", help="winning probability curves, fixed delta"
+        "figure1",
+        help="winning probability curves, fixed delta",
+        parents=[obs],
     )
     fig1.add_argument(
         "--delta", type=_parse_fraction, default=Fraction(1)
@@ -62,20 +112,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     fig2 = sub.add_parser(
-        "figure2", help="winning probability curves, scaled delta = n/3"
+        "figure2",
+        help="winning probability curves, scaled delta = n/3",
+        parents=[obs],
     )
     fig2.add_argument(
         "--ns", type=int, nargs="+", default=[3, 4, 5]
     )
 
     case = sub.add_parser(
-        "case", help="a Section 5.2 worked optimisation"
+        "case",
+        help="a Section 5.2 worked optimisation",
+        parents=[obs],
     )
     case.add_argument("--n", type=int, required=True)
     case.add_argument("--delta", type=_parse_fraction, required=True)
 
     uni = sub.add_parser(
-        "uniformity", help="oblivious vs threshold optima across n"
+        "uniformity",
+        help="oblivious vs threshold optima across n",
+        parents=[obs],
     )
     uni.add_argument(
         "--ns", type=int, nargs="+", default=[2, 3, 4, 5, 6, 7, 8]
@@ -90,7 +146,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     trade = sub.add_parser(
-        "tradeoff", help="fair coin vs threshold vs centralized"
+        "tradeoff",
+        help="fair coin vs threshold vs centralized",
+        parents=[obs],
     )
     trade.add_argument(
         "--ns", type=int, nargs="+", default=[2, 3, 4, 5, 6]
@@ -104,6 +162,7 @@ def _build_parser() -> argparse.ArgumentParser:
     everything = sub.add_parser(
         "all",
         help="run every headline check and print the reproduction report",
+        parents=[obs],
     )
     everything.add_argument(
         "--exact-only",
@@ -115,6 +174,7 @@ def _build_parser() -> argparse.ArgumentParser:
     mixture = sub.add_parser(
         "mixture",
         help="the oblivious/non-oblivious continuum (extension E8)",
+        parents=[obs],
     )
     mixture.add_argument("--n", type=int, required=True)
     mixture.add_argument("--delta", type=_parse_fraction, required=True)
@@ -122,6 +182,7 @@ def _build_parser() -> argparse.ArgumentParser:
     export = sub.add_parser(
         "export",
         help="write all experiment records as CSV + manifest.json",
+        parents=[obs],
     )
     export.add_argument("--out", default="results")
     export.add_argument("--grid-size", type=int, default=101)
@@ -129,6 +190,7 @@ def _build_parser() -> argparse.ArgumentParser:
     val = sub.add_parser(
         "validate",
         help="Monte Carlo validation of the exact threshold curve",
+        parents=[obs],
     )
     val.add_argument("--n", type=int, default=3)
     val.add_argument("--delta", type=_parse_fraction, default=Fraction(1))
@@ -148,10 +210,12 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of the ``repro`` command; returns the exit code."""
-    args = _build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run one subcommand; returns its exit code.
 
+    Pure command logic: instrumentation setup/teardown lives in
+    :func:`main` so every command is profiled the same way.
+    """
     if args.command == "figure1":
         series = figure1(ns=args.ns, delta=args.delta)
         print(
@@ -244,6 +308,46 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
         print(f"all {len(result.points)} grid points consistent")
     return 0
+
+
+def _emit_instrumentation(
+    instr: Instrumentation, args: argparse.Namespace
+) -> None:
+    """Write the requested observability artefacts after a profiled run.
+
+    The report goes to stderr so stdout stays exactly the command's
+    artefact (tables/CSV announcements), pipeable as before.
+    """
+    if args.profile:
+        print(
+            render_report(instr, title=f"repro {args.command}"),
+            file=sys.stderr,
+        )
+    if args.metrics_out is not None:
+        write_metrics_jsonl(
+            args.metrics_out,
+            instr.metrics.snapshot(),
+            label=f"repro {args.command}",
+        )
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    if args.trace_out is not None:
+        write_chrome_trace(args.trace_out, instr.tracer)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro`` command; returns the exit code."""
+    args = _build_parser().parse_args(argv)
+    profiled = bool(
+        args.profile or args.metrics_out or args.trace_out
+    )
+    if not profiled:
+        return _dispatch(args)
+    with use_instrumentation() as instr:
+        with instr.span(f"repro.{args.command}"):
+            code = _dispatch(args)
+    _emit_instrumentation(instr, args)
+    return code
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.baselines.centralized import centralized_winning_probability
 from repro.core.oblivious import optimal_oblivious_winning_probability
 from repro.experiments.report import format_table
+from repro.optimize.oblivious_opt import solve_oblivious_optimum
 from repro.optimize.threshold_opt import ThresholdOptimum, optimal_symmetric_threshold
 from repro.symbolic.polynomial import Polynomial
 from repro.symbolic.rational import RationalLike, as_fraction
@@ -42,10 +43,17 @@ __all__ = [
 
 @dataclass(frozen=True)
 class CaseStudy:
-    """A fully worked Section 5.2-style optimisation for one ``(n, delta)``."""
+    """A fully worked Section 5.2-style optimisation for one ``(n, delta)``.
+
+    ``oblivious_alpha`` is the *solved* symmetric oblivious optimiser,
+    not an assumed ``1/2``: Theorem 4.3 says it equals ``1/2`` for
+    every ``(n, delta)``, and deriving it keeps downstream artifacts
+    (the uniformity table and CSV) honest if an asymmetric optimum
+    ever lands."""
 
     optimum: ThresholdOptimum
     oblivious_value: Fraction
+    oblivious_alpha: Fraction
 
     @property
     def n(self) -> int:
@@ -66,11 +74,20 @@ class CaseStudy:
 
 
 def case_study(n: int, delta: RationalLike) -> CaseStudy:
-    """Run the full Section 5.2 pipeline for ``(n, delta)``."""
+    """Run the full Section 5.2 pipeline for ``(n, delta)``.
+
+    The oblivious side is solved (stationary points isolated exactly),
+    not assumed: ``oblivious_alpha`` comes out of
+    :func:`repro.optimize.oblivious_opt.solve_oblivious_optimum`, and
+    its value cross-checks Theorem 4.3's closed form internally."""
     d = as_fraction(delta)
     optimum = optimal_symmetric_threshold(n, d)
-    oblivious = optimal_oblivious_winning_probability(d, n)
-    return CaseStudy(optimum=optimum, oblivious_value=oblivious)
+    oblivious = solve_oblivious_optimum(d, n)
+    return CaseStudy(
+        optimum=optimum,
+        oblivious_value=oblivious.probability,
+        oblivious_alpha=oblivious.alpha,
+    )
 
 
 def render_case_study(study: CaseStudy) -> str:
@@ -114,7 +131,7 @@ def render_uniformity_table(studies: Sequence[CaseStudy]) -> str:
             [
                 s.n,
                 s.delta,
-                "1/2",
+                str(s.oblivious_alpha),
                 f"{float(s.oblivious_value):.6f}",
                 f"{float(s.optimum.beta):.6f}",
                 f"{float(s.optimum.probability):.6f}",

@@ -1,0 +1,131 @@
+"""Throughput tracking and per-shard progress reporting.
+
+Two small tools for long-running trial campaigns:
+
+* :class:`ThroughputTracker` -- accumulates ``(units, seconds)`` pairs
+  and reports an aggregate rate (trials per second, for the engine).
+* :class:`ShardProgress` -- the value handed to the optional per-shard
+  callback of the sharded executor as each shard's result arrives, so
+  a caller can render a progress bar or stream shard telemetry without
+  waiting for the whole estimate.
+
+The callback is invoked in the parent process, in shard-index order
+(the executor preserves submission order), and receives exact trial
+and win counts -- summing them over all callbacks reconciles with the
+final :class:`~repro.simulation.statistics.BinomialSummary`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = [
+    "ProgressCallback",
+    "ShardProgress",
+    "ThroughputTracker",
+    "format_rate",
+]
+
+
+@dataclass(frozen=True)
+class ShardProgress:
+    """One completed shard, as seen by a progress callback."""
+
+    index: int
+    trials: int
+    wins: int
+    elapsed_seconds: Optional[float]
+    completed_shards: int
+    total_shards: int
+
+    @property
+    def trials_per_second(self) -> Optional[float]:
+        """This shard's throughput (None when timing is unavailable)."""
+        if not self.elapsed_seconds:
+            return None
+        return self.trials / self.elapsed_seconds
+
+    @property
+    def fraction_done(self) -> float:
+        """Completed shards over total shards, in ``[0, 1]``."""
+        return self.completed_shards / self.total_shards
+
+    def __str__(self) -> str:
+        rate = self.trials_per_second
+        rate_text = "" if rate is None else f" ({rate:,.0f} trials/s)"
+        return (
+            f"shard {self.index}: {self.wins}/{self.trials} wins"
+            f"{rate_text} [{self.completed_shards}/{self.total_shards}]"
+        )
+
+
+#: Signature of the per-shard progress hook accepted by the sharded
+#: executor: called once per shard, in index order, with exact counts.
+ProgressCallback = Callable[[ShardProgress], None]
+
+
+class ThroughputTracker:
+    """Thread-safe accumulator of work-per-time observations.
+
+    Disabled trackers are no-ops, mirroring
+    :class:`repro.observability.metrics.MetricsRegistry`.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self._enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._units = 0
+        self._seconds = 0.0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this tracker records anything."""
+        return self._enabled
+
+    def record(self, units: int, seconds: float) -> None:
+        """Fold in *units* of work done in *seconds* of wall clock."""
+        if not self._enabled:
+            return
+        if units < 0 or seconds < 0:
+            raise ValueError(
+                f"units and seconds must be >= 0, got {units}, {seconds}"
+            )
+        with self._lock:
+            self._units += int(units)
+            self._seconds += float(seconds)
+
+    @property
+    def units(self) -> int:
+        """Total units of work recorded."""
+        with self._lock:
+            return self._units
+
+    @property
+    def seconds(self) -> float:
+        """Total wall-clock seconds recorded."""
+        with self._lock:
+            return self._seconds
+
+    @property
+    def rate(self) -> Optional[float]:
+        """Aggregate units per second (None while nothing is recorded)."""
+        with self._lock:
+            if self._seconds <= 0:
+                return None
+            return self._units / self._seconds
+
+    def __repr__(self) -> str:
+        state = "enabled" if self._enabled else "disabled"
+        return (
+            f"ThroughputTracker({state}, {self.units} units, "
+            f"{self.seconds:.3f} s)"
+        )
+
+
+def format_rate(rate: Optional[float], unit: str = "trials/s") -> str:
+    """Human-readable rate string (``"n/a"`` when unknown)."""
+    if rate is None:
+        return "n/a"
+    return f"{rate:,.0f} {unit}"

@@ -1,0 +1,224 @@
+"""Render and export collected telemetry.
+
+Three outputs from one instrumented run:
+
+* :func:`render_report` -- the human-readable run report printed by
+  every CLI subcommand's ``--profile`` flag: counters, gauges, timing
+  histograms, aggregate throughput, and the span tree;
+* :func:`write_metrics_jsonl` -- one JSON object per line (a ``meta``
+  header line, then one line per counter/gauge/timing), the format
+  behind ``--metrics-out``;
+* :func:`write_chrome_trace` -- the span forest as a Chrome trace-event
+  file (``{"traceEvents": [...]}``), the format behind ``--trace-out``,
+  loadable in ``chrome://tracing`` or Perfetto.
+
+Only the rendering lives here; all collection is in
+:mod:`~repro.observability.metrics` and
+:mod:`~repro.observability.tracing`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Optional, Union
+
+from repro.observability.metrics import MetricsSnapshot
+from repro.observability.progress import format_rate
+from repro.observability.tracing import Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.observability import Instrumentation
+
+__all__ = [
+    "METRICS_JSONL_SCHEMA_VERSION",
+    "render_report",
+    "render_span_tree",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+]
+
+METRICS_JSONL_SCHEMA_VERSION = 1
+
+
+def render_span_tree(
+    tracer: Tracer, max_depth: int = 6, max_children: int = 12
+) -> str:
+    """Indented text rendering of the tracer's span forest.
+
+    Depth and sibling counts are clamped (with an elision marker) so a
+    fine sweep cannot turn the report into a thousand-line dump.
+    """
+    lines: List[str] = []
+
+    def visit(span: Span, depth: int) -> None:
+        duration = (
+            "?" if span.duration_us is None
+            else f"{span.duration_us / 1e6:.4f} s"
+        )
+        meta = ""
+        if span.meta:
+            rendered = ", ".join(
+                f"{key}={value}" for key, value in sorted(span.meta.items())
+            )
+            meta = f"  [{rendered}]"
+        lines.append(f"{'  ' * depth}{span.name}  {duration}{meta}")
+        if depth + 1 >= max_depth and span.children:
+            lines.append(
+                f"{'  ' * (depth + 1)}... {len(span.children)} nested "
+                "span(s) elided"
+            )
+            return
+        for child in span.children[:max_children]:
+            visit(child, depth + 1)
+        if len(span.children) > max_children:
+            lines.append(
+                f"{'  ' * (depth + 1)}... "
+                f"{len(span.children) - max_children} more sibling(s)"
+            )
+
+    for root in tracer.roots():
+        visit(root, 0)
+    if tracer.dropped:
+        lines.append(f"... {tracer.dropped} span(s) dropped at cap")
+    return "\n".join(lines)
+
+
+def render_report(
+    instrumentation: "Instrumentation",
+    title: str = "instrumentation report",
+) -> str:
+    """The human-readable run report for one instrumented run."""
+    snapshot = instrumentation.metrics.snapshot()
+    lines = [f"== {title} =="]
+
+    if snapshot.counters:
+        lines.append("counters:")
+        width = max(len(name) for name in snapshot.counters)
+        for name in sorted(snapshot.counters):
+            lines.append(
+                f"  {name:<{width}}  {snapshot.counters[name]:>14,}"
+            )
+
+    if snapshot.gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in snapshot.gauges)
+        for name in sorted(snapshot.gauges):
+            lines.append(
+                f"  {name:<{width}}  {snapshot.gauges[name]:>14,.6g}"
+            )
+
+    if snapshot.timings:
+        lines.append(
+            "timings (seconds):"
+        )
+        width = max(len(name) for name in snapshot.timings)
+        header = (
+            f"  {'name':<{width}}  {'count':>8}  {'total':>10}  "
+            f"{'mean':>10}  {'min':>10}  {'max':>10}"
+        )
+        lines.append(header)
+        for name in sorted(snapshot.timings):
+            stats = snapshot.timings[name]
+            lines.append(
+                f"  {name:<{width}}  {stats.count:>8,}  "
+                f"{stats.total_seconds:>10.4f}  "
+                f"{stats.mean_seconds:>10.6f}  "
+                f"{stats.min_seconds:>10.6f}  "
+                f"{stats.max_seconds:>10.6f}"
+            )
+
+    throughput = instrumentation.throughput
+    if throughput.units:
+        lines.append(
+            f"throughput: {format_rate(throughput.rate)} "
+            f"({throughput.units:,} trials in {throughput.seconds:.3f} s "
+            "of engine wall-clock)"
+        )
+
+    tree = render_span_tree(instrumentation.tracer)
+    if tree:
+        lines.append("spans:")
+        lines.append(tree)
+
+    if len(lines) == 1:
+        lines.append("(nothing recorded)")
+    return "\n".join(lines)
+
+
+def write_metrics_jsonl(
+    path: Union[str, Path],
+    snapshot: MetricsSnapshot,
+    label: Optional[str] = None,
+) -> Path:
+    """Write a snapshot as JSONL; returns the path written.
+
+    Line 1 is a ``{"type": "meta", ...}`` header; every further line is
+    one metric.  Timing durations are exported in integer nanoseconds,
+    exactly as accumulated.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w") as handle:
+        header = {
+            "type": "meta",
+            "schema_version": METRICS_JSONL_SCHEMA_VERSION,
+        }
+        if label is not None:
+            header["label"] = label
+        handle.write(json.dumps(header) + "\n")
+        for name in sorted(snapshot.counters):
+            handle.write(
+                json.dumps(
+                    {
+                        "type": "counter",
+                        "name": name,
+                        "value": snapshot.counters[name],
+                    }
+                )
+                + "\n"
+            )
+        for name in sorted(snapshot.gauges):
+            handle.write(
+                json.dumps(
+                    {
+                        "type": "gauge",
+                        "name": name,
+                        "value": snapshot.gauges[name],
+                    }
+                )
+                + "\n"
+            )
+        for name in sorted(snapshot.timings):
+            stats = snapshot.timings[name]
+            handle.write(
+                json.dumps(
+                    {
+                        "type": "timing",
+                        "name": name,
+                        "count": stats.count,
+                        "total_ns": stats.total_ns,
+                        "min_ns": stats.min_ns,
+                        "max_ns": stats.max_ns,
+                        "bucket_bounds_ns": list(stats.bucket_bounds_ns),
+                        "bucket_counts": list(stats.bucket_counts),
+                    }
+                )
+                + "\n"
+            )
+    return target
+
+
+def write_chrome_trace(
+    path: Union[str, Path], tracer: Tracer
+) -> Path:
+    """Write the span forest as a Chrome trace-event JSON file."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "traceEvents": tracer.chrome_trace_events(),
+        "displayTimeUnit": "ms",
+    }
+    with target.open("w") as handle:
+        json.dump(payload, handle, indent=2)
+    return target

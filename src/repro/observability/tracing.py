@@ -1,0 +1,239 @@
+"""Hierarchical wall-clock spans with JSON and Chrome-trace export.
+
+A span measures one region of the pipeline (`perf_counter`-based, so
+durations are monotonic and sub-microsecond-accurate); spans opened
+while another span is active nest under it, producing a tree whose
+shape mirrors the call structure: a sweep span containing one span per
+grid point, each containing the engine's sharded-estimate span.
+
+Two export formats:
+
+* :meth:`Tracer.to_json` -- the span tree as plain nested dicts, for
+  programmatic consumption;
+* :meth:`Tracer.chrome_trace_events` -- the flat ``"ph": "X"``
+  (complete-event) list of the Chrome trace-event format, loadable in
+  ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_.
+
+The span stack is thread-local (concurrent threads build disjoint
+subtrees; the completed roots interleave in one shared list), and a
+disabled tracer hands out a shared no-op context manager, keeping the
+off-by-default fast path allocation-free.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer", "traced"]
+
+#: Soft cap on recorded spans; beyond it new spans are counted but
+#: dropped, so a runaway loop cannot exhaust memory via telemetry.
+_MAX_SPANS = 100_000
+
+
+@dataclass
+class Span:
+    """One timed region: name, offsets from the tracer's origin, and
+    nested children.  Times are microseconds, Chrome-trace native."""
+
+    name: str
+    start_us: float
+    duration_us: Optional[float] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+    tid: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The span subtree as JSON-ready nested dicts."""
+        return {
+            "name": self.name,
+            "start_us": self.start_us,
+            "duration_us": self.duration_us,
+            "meta": dict(self.meta),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _NullSpanContext:
+    """Shared no-op context manager for disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class _SpanContext:
+    """Context manager recording one span on enter/exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Builds the span tree; one origin, thread-local open-span stacks.
+
+    All completed *root* spans (spans opened with no active parent on
+    their thread) accumulate in a shared list; child spans live inside
+    their parent.  A disabled tracer records nothing and returns a
+    shared no-op context from :meth:`span`.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self._enabled = bool(enabled)
+        self._origin = time.perf_counter()
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: List[Span] = []
+        self._recorded = 0
+        self._dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this tracer records spans."""
+        return self._enabled
+
+    @property
+    def dropped(self) -> int:
+        """Spans discarded after the recording cap was reached."""
+        return self._dropped
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **meta: Any):
+        """Open a span named *name*; use as a context manager.
+
+        Keyword arguments become the span's ``meta`` mapping (keep the
+        values JSON-serialisable -- they are exported verbatim as
+        Chrome-trace ``args``).
+        """
+        if not self._enabled:
+            return _NULL_SPAN_CONTEXT
+        with self._lock:
+            if self._recorded >= _MAX_SPANS:
+                self._dropped += 1
+                return _NULL_SPAN_CONTEXT
+            self._recorded += 1
+        now = time.perf_counter()
+        span = Span(
+            name=name,
+            start_us=(now - self._origin) * 1e6,
+            meta=dict(meta),
+            tid=threading.get_ident(),
+        )
+        return _SpanContext(self, span)
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        now = time.perf_counter()
+        span.duration_us = (now - self._origin) * 1e6 - span.start_us
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+
+    def roots(self) -> List[Span]:
+        """The completed root spans, in completion order."""
+        with self._lock:
+            return list(self._roots)
+
+    def to_json(self) -> List[Dict[str, Any]]:
+        """The whole forest as JSON-ready nested dicts."""
+        return [span.to_dict() for span in self.roots()]
+
+    def chrome_trace_events(self) -> List[Dict[str, Any]]:
+        """Flat Chrome trace-event list (``"ph": "X"`` complete events).
+
+        Wrap as ``{"traceEvents": [...]}`` (see
+        :func:`repro.observability.reporting.write_chrome_trace`) or
+        load the bare list -- Perfetto accepts both.
+        """
+        events: List[Dict[str, Any]] = []
+
+        def visit(span: Span) -> None:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": span.start_us,
+                    "dur": (
+                        0.0
+                        if span.duration_us is None
+                        else span.duration_us
+                    ),
+                    "pid": 1,
+                    "tid": span.tid,
+                    "args": dict(span.meta),
+                }
+            )
+            for child in span.children:
+                visit(child)
+
+        for root in self.roots():
+            visit(root)
+        return events
+
+    def __repr__(self) -> str:
+        state = "enabled" if self._enabled else "disabled"
+        return f"Tracer({state}, {len(self.roots())} root spans)"
+
+
+def traced(
+    name: Optional[str] = None, **meta: Any
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator: run the function inside a span on the *active* tracer.
+
+    The tracer is resolved at call time from the active
+    :class:`repro.observability.Instrumentation`, so decorated library
+    functions stay zero-overhead until a caller turns instrumentation
+    on.  *name* defaults to the function's qualified name.
+    """
+
+    def decorate(function: Callable[..., Any]) -> Callable[..., Any]:
+        span_name = name or function.__qualname__
+
+        @functools.wraps(function)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            from repro.observability import get_instrumentation
+
+            tracer = get_instrumentation().tracer
+            if not tracer.enabled:
+                return function(*args, **kwargs)
+            with tracer.span(span_name, **meta):
+                return function(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -38,6 +38,7 @@ from repro.core.oblivious import (
 )
 from repro.core.optimality import oblivious_gradient
 from repro.core.phi import phi_table
+from repro.observability import get_instrumentation
 from repro.symbolic.polynomial import Polynomial
 from repro.symbolic.rational import RationalLike, as_fraction, binomial
 from repro.symbolic.roots import real_roots
@@ -115,17 +116,25 @@ def solve_oblivious_optimum(
     stationary points are isolated exactly.
     """
     tt = as_fraction(t)
-    profile = symmetric_oblivious_polynomial(tt, n)
-    derivative = profile.derivative()
-    if derivative.is_zero():
-        # Constant profile (t >= n or t <= 0): every alpha is optimal.
-        stationary: List[Fraction] = []
-        best_alpha = Fraction(1, 2)
-    else:
-        stationary = real_roots(derivative, 0, 1, tolerance)
-        candidates = [Fraction(0), Fraction(1)] + stationary
-        best_alpha = max(candidates, key=profile)
-    probability = profile(best_alpha)
+    instr = get_instrumentation()
+    with instr.span(
+        "optimize.oblivious", n=n, t=str(tt)
+    ), instr.metrics.timer("optimize.oblivious_seconds"):
+        profile = symmetric_oblivious_polynomial(tt, n)
+        derivative = profile.derivative()
+        if derivative.is_zero():
+            # Constant profile (t >= n or t <= 0): every alpha is optimal.
+            stationary: List[Fraction] = []
+            best_alpha = Fraction(1, 2)
+        else:
+            stationary = real_roots(derivative, 0, 1, tolerance)
+            candidates = [Fraction(0), Fraction(1)] + stationary
+            best_alpha = max(candidates, key=profile)
+        probability = profile(best_alpha)
+        instr.increment("optimize.oblivious_searches")
+        instr.increment(
+            "optimize.candidates_probed", 2 + len(stationary)
+        )
     # Cross-check against the closed form of Theorem 4.3 when the
     # optimum is the fair coin.
     if best_alpha == Fraction(1, 2):

@@ -24,6 +24,7 @@ from fractions import Fraction
 from typing import List, Tuple
 
 from repro.core.nonoblivious import symmetric_threshold_winning_polynomial
+from repro.observability import get_instrumentation
 from repro.symbolic.piecewise import Piece, PiecewisePolynomial
 from repro.symbolic.polynomial import Polynomial
 from repro.symbolic.rational import RationalLike, as_fraction
@@ -82,9 +83,15 @@ def optimal_symmetric_threshold(
     d = as_fraction(delta)
     if d <= 0:
         raise ValueError(f"delta must be positive, got {d}")
-    curve = symmetric_threshold_winning_polynomial(n, d)
-    beta, probability = curve.maximize(tolerance)
-    piece = curve.piece_at(beta)
+    instr = get_instrumentation()
+    with instr.span(
+        "optimize.symmetric_threshold", n=n, delta=str(d)
+    ), instr.metrics.timer("optimize.threshold_seconds"):
+        curve = symmetric_threshold_winning_polynomial(n, d)
+        beta, probability = curve.maximize(tolerance)
+        piece = curve.piece_at(beta)
+        instr.increment("optimize.threshold_searches")
+        instr.increment("optimize.pieces_searched", len(curve.pieces))
     return ThresholdOptimum(
         n=n,
         delta=d,
@@ -107,14 +114,17 @@ def local_maxima(
     boundary).  Used by the ablation benchmarks to show the landscape
     is not unimodal in general.
     """
-    curve = symmetric_threshold_winning_polynomial(n, as_fraction(delta))
-    tol = as_fraction(tolerance)
-    probe = max(tol * 1000, Fraction(1, 10**6))
-    maxima = []
-    for x in curve.critical_points(tol):
-        value = curve(x)
-        left = max(curve.lower, x - probe)
-        right = min(curve.upper, x + probe)
-        if curve(left) <= value and curve(right) <= value:
-            maxima.append((x, value))
+    instr = get_instrumentation()
+    with instr.span("optimize.local_maxima", n=n, delta=str(delta)):
+        curve = symmetric_threshold_winning_polynomial(n, as_fraction(delta))
+        tol = as_fraction(tolerance)
+        probe = max(tol * 1000, Fraction(1, 10**6))
+        maxima = []
+        for x in curve.critical_points(tol):
+            value = curve(x)
+            left = max(curve.lower, x - probe)
+            right = min(curve.upper, x + probe)
+            if curve(left) <= value and curve(right) <= value:
+                maxima.append((x, value))
+            instr.increment("optimize.candidates_probed")
     return maxima

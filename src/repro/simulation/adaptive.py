@@ -4,8 +4,11 @@ The fixed-budget engine asks "what can I say after N trials?"; this
 module asks the operational question "how many trials until the
 winning probability is known to within ``±h``?"  It runs the engine in
 growing stages and stops when the Wilson half-width drops below the
-target, reporting the full trajectory so tests can assert the stopping
-rule's behaviour.
+target, reporting the full trajectory -- per-stage batch sizes *and*
+the Wilson half-width reached after each stage -- so tests can assert
+the stopping rule's behaviour.  With instrumentation active (see
+:mod:`repro.observability`) every stage is wrapped in a span carrying
+its batch size and achieved half-width.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.model.system import DistributedSystem
+from repro.observability import get_instrumentation
 from repro.simulation.engine import MonteCarloEngine
 from repro.simulation.statistics import (
     BinomialSummary,
@@ -26,25 +30,40 @@ __all__ = ["AdaptiveResult", "estimate_until_precise"]
 
 @dataclass
 class AdaptiveResult:
-    """Outcome of a sequential estimation."""
+    """Outcome of a sequential estimation.
+
+    ``stages[i]`` is the number of trials run in stage ``i``;
+    ``half_widths[i]`` is the Wilson half-width of the *cumulative*
+    estimate after that stage completed, so the two lists together are
+    the full convergence trajectory of the stopping rule.
+    """
 
     summary: BinomialSummary
     target_half_width: float
     stages: List[int] = field(default_factory=list)
+    half_widths: List[float] = field(default_factory=list)
 
     @property
     def achieved(self) -> bool:
+        """Whether the target precision was reached within budget."""
         return self.summary.half_width <= self.target_half_width
 
     @property
     def total_trials(self) -> int:
+        """Total trials over all stages."""
         return self.summary.trials
 
     def __str__(self) -> str:
         status = "achieved" if self.achieved else "budget exhausted"
+        trajectory = ""
+        if self.half_widths:
+            rendered = " -> ".join(
+                f"±{width:.4g}" for width in self.half_widths
+            )
+            trajectory = f"; half-widths {rendered}"
         return (
             f"{self.summary} after {len(self.stages)} stages "
-            f"({status}; target ±{self.target_half_width})"
+            f"({status}; target ±{self.target_half_width}{trajectory})"
         )
 
 
@@ -83,6 +102,7 @@ def estimate_until_precise(
             f"initial_trials must be >= 1, got {initial_trials}"
         )
     engine = engine or MonteCarloEngine(seed=0)
+    instr = engine.instrumentation
 
     worst_case = required_samples(half_width, z_score)
     stage = min(max(initial_trials, worst_case // 4), max_trials)
@@ -90,25 +110,39 @@ def estimate_until_precise(
     successes = 0
     trials = 0
     stages: List[int] = []
-    while True:
-        batch = min(stage, max_trials - trials)
-        if batch <= 0:
-            break
-        summary = engine.estimate_winning_probability(
-            system,
-            trials=batch,
-            stream=f"adaptive-stage-{len(stages)}",
-            z_score=z_score,
-            workers=workers,
-            shards=shards,
-        )
-        successes += summary.successes
-        trials += batch
-        stages.append(batch)
-        lo, hi = wilson_interval(successes, trials, z_score)
-        if (hi - lo) / 2 <= half_width:
-            break
-        stage = int(stage * growth)
+    half_widths: List[float] = []
+    with instr.span(
+        "adaptive.estimate",
+        target_half_width=half_width,
+        max_trials=max_trials,
+    ):
+        while True:
+            batch = min(stage, max_trials - trials)
+            if batch <= 0:
+                break
+            with instr.span(
+                "adaptive.stage", stage=len(stages), batch=batch
+            ):
+                summary = engine.estimate_winning_probability(
+                    system,
+                    trials=batch,
+                    stream=f"adaptive-stage-{len(stages)}",
+                    z_score=z_score,
+                    workers=workers,
+                    shards=shards,
+                )
+                successes += summary.successes
+                trials += batch
+                stages.append(batch)
+                lo, hi = wilson_interval(successes, trials, z_score)
+                achieved_width = (hi - lo) / 2
+                half_widths.append(achieved_width)
+            if instr.enabled:
+                instr.increment("adaptive.stages")
+                instr.set_gauge("adaptive.half_width", achieved_width)
+            if achieved_width <= half_width:
+                break
+            stage = int(stage * growth)
     final = BinomialSummary(
         successes=successes, trials=trials, z_score=z_score
     )
@@ -116,4 +150,5 @@ def estimate_until_precise(
         summary=final,
         target_half_width=half_width,
         stages=stages,
+        half_widths=half_widths,
     )

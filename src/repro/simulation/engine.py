@@ -21,14 +21,17 @@ or a :class:`SeedSequenceFactory`, keeping experiments reproducible.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
 from repro.model.system import DistributedSystem
+from repro.observability import Instrumentation, get_instrumentation
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.model.inputs import InputDistribution
+    from repro.observability.progress import ProgressCallback
 from repro.simulation.parallel import (
     count_wins,
     estimate_winning_probability_sharded,
@@ -46,6 +49,7 @@ class MonteCarloEngine:
         self,
         seed: Union[int, SeedSequenceFactory, None] = None,
         batch_size: int = 262_144,
+        instrumentation: Optional[Instrumentation] = None,
     ):
         if isinstance(seed, SeedSequenceFactory):
             self._factory = seed
@@ -54,10 +58,21 @@ class MonteCarloEngine:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self._batch_size = batch_size
+        self._instrumentation = instrumentation
 
     @property
     def factory(self) -> SeedSequenceFactory:
         return self._factory
+
+    @property
+    def instrumentation(self) -> Instrumentation:
+        """The instrument this engine records into: the one passed at
+        construction, else the currently active one (a no-op unless a
+        caller activated instrumentation).  Never touches any random
+        stream, so results are identical with it on or off."""
+        if self._instrumentation is not None:
+            return self._instrumentation
+        return get_instrumentation()
 
     def estimate_winning_probability(
         self,
@@ -68,6 +83,7 @@ class MonteCarloEngine:
         inputs: Optional["InputDistribution"] = None,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
+        progress: Optional["ProgressCallback"] = None,
     ) -> BinomialSummary:
         """Estimate ``P_A(delta)`` over *trials* independent executions.
 
@@ -85,22 +101,41 @@ class MonteCarloEngine:
         from its own named child stream, and the summary is
         bit-identical for every worker count -- ``workers=1`` simply
         runs the shards in-process.
+
+        *progress* (sharded mode only) is invoked once per completed
+        shard; see :func:`estimate_winning_probability_sharded`.  When
+        instrumentation is active (see :mod:`repro.observability`),
+        the call is wrapped in a span and contributes trial/win
+        counters, timing histograms, and trials/sec throughput --
+        without consuming any randomness, so the summary is unchanged.
         """
         if trials < 1:
             raise ValueError(f"trials must be >= 1, got {trials}")
+        instr = self.instrumentation
         if workers is None and shards is None:
-            rng = self._factory.generator(stream)
-            wins = count_wins(
-                system,
-                trials,
-                rng,
-                inputs=inputs,
-                batch_size=self._batch_size,
-            )
+            with instr.span(
+                "engine.estimate", stream=stream, trials=trials
+            ):
+                rng = self._factory.generator(stream)
+                start = time.perf_counter()
+                wins = count_wins(
+                    system,
+                    trials,
+                    rng,
+                    inputs=inputs,
+                    batch_size=self._batch_size,
+                )
+                elapsed = time.perf_counter() - start
+            if instr.enabled:
+                instr.increment("engine.serial_calls")
+                instr.increment("engine.trials", trials)
+                instr.increment("engine.wins", wins)
+                instr.observe("engine.serial_seconds", elapsed)
+                instr.throughput.record(trials, elapsed)
             return BinomialSummary(
                 successes=wins, trials=trials, z_score=z_score
             )
-        return estimate_winning_probability_sharded(
+        estimate = estimate_winning_probability_sharded(
             system,
             trials,
             self._factory,
@@ -110,7 +145,13 @@ class MonteCarloEngine:
             inputs=inputs,
             batch_size=self._batch_size,
             z_score=z_score,
-        ).summary
+            instrumentation=instr,
+            progress=progress,
+        )
+        if instr.enabled:
+            instr.increment("engine.trials", trials)
+            instr.increment("engine.wins", estimate.summary.successes)
+        return estimate.summary
 
     def estimate_bin_load_distribution(
         self,
@@ -130,17 +171,20 @@ class MonteCarloEngine:
         """
         if trials < 1:
             raise ValueError(f"trials must be >= 1, got {trials}")
-        rng = self._factory.generator(stream)
-        loads = np.empty((trials, 2))
-        for t in range(trials):
-            if inputs is None:
-                vector = rng.random(system.n)
-            else:
-                vector = inputs.sample(rng, 1, system.n)[0]
-            outcome = system.run(vector, rng)
-            loads[t, 0] = outcome.load_bin0
-            loads[t, 1] = outcome.load_bin1
-        return loads
+        with self.instrumentation.span(
+            "engine.bin_loads", stream=stream, trials=trials
+        ):
+            rng = self._factory.generator(stream)
+            loads = np.empty((trials, 2))
+            for t in range(trials):
+                if inputs is None:
+                    vector = rng.random(system.n)
+                else:
+                    vector = inputs.sample(rng, 1, system.n)[0]
+                outcome = system.run(vector, rng)
+                loads[t, 0] = outcome.load_bin0
+                loads[t, 1] = outcome.load_bin1
+            return loads
 
     def __repr__(self) -> str:
         return (

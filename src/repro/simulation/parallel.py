@@ -30,13 +30,17 @@ either way, only the wall-clock changes.
 from __future__ import annotations
 
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
 from repro.model.system import DistributedSystem
+from repro.observability import Instrumentation, get_instrumentation
+from repro.observability.metrics import MetricsRegistry, MetricsSnapshot
+from repro.observability.progress import ProgressCallback, ShardProgress
 from repro.simulation.rng import SeedSequenceFactory
 from repro.simulation.statistics import BinomialSummary
 
@@ -132,12 +136,28 @@ def plan_shards(trials: int, shards: Optional[int] = None) -> List[int]:
 
 @dataclass(frozen=True)
 class ShardOutcome:
-    """The result of one shard: which stream it drew from and what it saw."""
+    """The result of one shard: which stream it drew from and what it saw.
+
+    ``elapsed_seconds`` is the shard's own wall-clock as measured
+    inside the worker; it is observability, not outcome identity, so
+    it is excluded from equality (two runs with different timings but
+    identical counts compare equal, which is what the determinism
+    suite asserts)."""
 
     index: int
     stream: str
     trials: int
     wins: int
+    elapsed_seconds: Optional[float] = field(
+        default=None, compare=False, repr=False
+    )
+
+    @property
+    def trials_per_second(self) -> Optional[float]:
+        """This shard's throughput (None when timing is unavailable)."""
+        if not self.elapsed_seconds:
+            return None
+        return self.trials / self.elapsed_seconds
 
 
 @dataclass(frozen=True)
@@ -155,16 +175,41 @@ class ShardedEstimate:
 
 
 def _run_shard(
-    args: Tuple[DistributedSystem, int, str, int, Optional["InputDistribution"], int],
-) -> int:
+    args: Tuple[
+        DistributedSystem,
+        int,
+        str,
+        int,
+        Optional["InputDistribution"],
+        int,
+        bool,
+    ],
+) -> Tuple[int, float, Optional[MetricsSnapshot]]:
     """Worker entry point: rebuild the shard's generator from (root
-    seed, stream name) and run its trial loop.  Module-level so it is
-    picklable by every multiprocessing start method."""
-    system, trials, stream, root_seed, inputs, batch_size = args
+    seed, stream name), run its trial loop, and time it.  Module-level
+    so it is picklable by every multiprocessing start method.
+
+    Returns ``(wins, elapsed_seconds, metrics_snapshot)``; the snapshot
+    is ``None`` unless *collect_metrics* was requested, and crosses the
+    process boundary by pickling so the parent can merge per-shard
+    metrics exactly.  Nothing measured here touches the shard's random
+    stream, so the win count is identical with metrics on or off."""
+    system, trials, stream, root_seed, inputs, batch_size, collect = args
     rng = SeedSequenceFactory(root_seed).generator(stream)
-    return count_wins(
+    start = time.perf_counter()
+    wins = count_wins(
         system, trials, rng, inputs=inputs, batch_size=batch_size
     )
+    elapsed = time.perf_counter() - start
+    snapshot: Optional[MetricsSnapshot] = None
+    if collect:
+        registry = MetricsRegistry(enabled=True)
+        registry.increment("shard.count")
+        registry.increment("shard.trials", trials)
+        registry.increment("shard.wins", wins)
+        registry.observe("shard.seconds", elapsed)
+        snapshot = registry.snapshot()
+    return wins, elapsed, snapshot
 
 
 def _is_picklable(*objects) -> bool:
@@ -186,6 +231,8 @@ def estimate_winning_probability_sharded(
     inputs: Optional["InputDistribution"] = None,
     batch_size: int = 262_144,
     z_score: float = 3.89,
+    instrumentation: Optional[Instrumentation] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> ShardedEstimate:
     """Estimate the winning probability over a sharded trial budget.
 
@@ -198,11 +245,25 @@ def estimate_winning_probability_sharded(
     An unseeded factory first materialises a root seed from OS entropy
     so that all shards of *this call* still draw from disjoint streams
     of one (unreproducible) root.
+
+    *instrumentation* (default: the active instrument, a no-op unless
+    activated) receives per-shard timing histograms, trial/win counters
+    and the sharded-estimate span; per-shard metrics collected inside
+    worker processes travel back as pickled snapshots and merge exactly.
+    *progress*, when given, is called once per shard in index order
+    with a :class:`~repro.observability.progress.ShardProgress` as each
+    result arrives (if the pool dies mid-run and the serial fallback
+    takes over, the callback restarts from shard 0).  Neither touches
+    any random stream: the estimate is bit-identical with
+    instrumentation on or off.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    instr = (
+        get_instrumentation() if instrumentation is None else instrumentation
+    )
     plan = plan_shards(trials, shards)
     root_seed = factory.root_seed
     if root_seed is None:
@@ -211,31 +272,83 @@ def estimate_winning_probability_sharded(
     for name in names:
         factory.record_issue(name)
 
+    collect = instr.enabled
     tasks = [
-        (system, shard_trials, name, root_seed, inputs, batch_size)
+        (system, shard_trials, name, root_seed, inputs, batch_size, collect)
         for shard_trials, name in zip(plan, names)
     ]
 
-    workers_used = min(workers, len(plan))
-    wins_per_shard: Optional[List[int]] = None
-    if workers_used > 1 and _is_picklable(system, inputs):
-        try:
-            with ProcessPoolExecutor(max_workers=workers_used) as pool:
-                wins_per_shard = list(pool.map(_run_shard, tasks))
-        except (OSError, PermissionError, RuntimeError):
-            # Sandboxes and restricted platforms may refuse to fork;
-            # the serial path below produces the identical result.
-            wins_per_shard = None
-    if wins_per_shard is None:
-        workers_used = 1
-        wins_per_shard = [_run_shard(task) for task in tasks]
+    def fire_progress(
+        index: int,
+        result: Tuple[int, float, Optional[MetricsSnapshot]],
+    ) -> None:
+        if progress is None:
+            return
+        wins, elapsed, _ = result
+        progress(
+            ShardProgress(
+                index=index,
+                trials=plan[index],
+                wins=wins,
+                elapsed_seconds=elapsed,
+                completed_shards=index + 1,
+                total_shards=len(plan),
+            )
+        )
 
+    workers_used = min(workers, len(plan))
+    results: Optional[
+        List[Tuple[int, float, Optional[MetricsSnapshot]]]
+    ] = None
+    with instr.span(
+        "simulation.sharded_estimate",
+        stream=stream,
+        trials=trials,
+        shards=len(plan),
+        workers=workers,
+    ):
+        start = time.perf_counter()
+        if workers_used > 1 and _is_picklable(system, inputs):
+            try:
+                with ProcessPoolExecutor(max_workers=workers_used) as pool:
+                    results = []
+                    for i, result in enumerate(pool.map(_run_shard, tasks)):
+                        results.append(result)
+                        fire_progress(i, result)
+            except (OSError, PermissionError, RuntimeError):
+                # Sandboxes and restricted platforms may refuse to fork;
+                # the serial path below produces the identical result.
+                results = None
+        if results is None:
+            workers_used = 1
+            results = []
+            for i, task in enumerate(tasks):
+                result = _run_shard(task)
+                results.append(result)
+                fire_progress(i, result)
+        wall_seconds = time.perf_counter() - start
+
+    wins_per_shard = [wins for wins, _, _ in results]
     outcomes = tuple(
-        ShardOutcome(index=i, stream=name, trials=shard_trials, wins=wins)
-        for i, (shard_trials, name, wins) in enumerate(
-            zip(plan, names, wins_per_shard)
+        ShardOutcome(
+            index=i,
+            stream=name,
+            trials=shard_trials,
+            wins=wins,
+            elapsed_seconds=elapsed,
+        )
+        for i, (shard_trials, name, (wins, elapsed, _)) in enumerate(
+            zip(plan, names, results)
         )
     )
+    if collect:
+        for _, _, snapshot in results:
+            if snapshot is not None:
+                instr.metrics.merge(snapshot)
+        instr.increment("engine.sharded_calls")
+        instr.set_gauge("engine.workers_used", workers_used)
+        instr.observe("engine.sharded_wall_seconds", wall_seconds)
+        instr.throughput.record(trials, wall_seconds)
     summary = BinomialSummary(
         successes=sum(wins_per_shard), trials=trials, z_score=z_score
     )

@@ -72,8 +72,63 @@ def sweep_to_dict(result: SweepResult) -> Dict:
     }
 
 
+def _validate_interval(interval, i: int, entry: Dict) -> tuple:
+    """Check an ``interval`` field is a 2-element numeric ``[lo, hi]``.
+
+    A malformed interval (wrong length, non-numeric entries, or
+    ``lo > hi``) used to pass straight through as an arbitrary tuple
+    and only blow up much later, inside consistency checks -- now it
+    is rejected at load time with the offending point identified.
+    """
+    if (
+        not isinstance(interval, (list, tuple))
+        or len(interval) != 2
+        or not all(
+            isinstance(edge, (int, float)) and not isinstance(edge, bool)
+            for edge in interval
+        )
+    ):
+        raise ValueError(
+            f"malformed point {i}: interval must be a 2-element numeric "
+            f"[lo, hi], got {entry!r}"
+        )
+    lo, hi = float(interval[0]), float(interval[1])
+    if lo > hi:
+        raise ValueError(
+            f"malformed point {i}: interval lower edge {lo} exceeds "
+            f"upper edge {hi} in {entry!r}"
+        )
+    return (lo, hi)
+
+
+def _validate_simulated(simulated, i: int, entry: Dict):
+    """Check a ``simulated`` field is a probability (or ``None``)."""
+    if simulated is None:
+        return None
+    if isinstance(simulated, bool) or not isinstance(
+        simulated, (int, float)
+    ):
+        raise ValueError(
+            f"malformed point {i}: simulated must be numeric or null, "
+            f"got {entry!r}"
+        )
+    if not 0.0 <= float(simulated) <= 1.0:
+        raise ValueError(
+            f"malformed point {i}: simulated estimate {simulated} is "
+            f"outside [0, 1] in {entry!r}"
+        )
+    return simulated
+
+
 def sweep_from_dict(payload: Dict) -> SweepResult:
-    """Inverse of :func:`sweep_to_dict`, with schema validation."""
+    """Inverse of :func:`sweep_to_dict`, with schema validation.
+
+    Beyond the fraction fields, ``interval`` must be a 2-element
+    numeric ``[lo, hi]`` with ``lo <= hi`` (or ``null``) and
+    ``simulated`` a number in ``[0, 1]`` (or ``null``); anything else
+    raises :class:`ValueError` naming the offending point, instead of
+    smuggling a corrupt record into downstream consistency checks.
+    """
     version = payload.get("schema_version")
     if version != SCHEMA_VERSION:
         raise ValueError(
@@ -90,12 +145,15 @@ def sweep_from_dict(payload: Dict) -> SweepResult:
         except (KeyError, ValueError, ZeroDivisionError) as exc:
             raise ValueError(f"malformed point {i}: {entry!r}") from exc
         interval = entry.get("interval")
+        if interval is not None:
+            interval = _validate_interval(interval, i, entry)
+        simulated = _validate_simulated(entry.get("simulated"), i, entry)
         points.append(
             SweepPoint(
                 parameter=parameter,
                 exact=exact,
-                simulated=entry.get("simulated"),
-                interval=tuple(interval) if interval else None,
+                simulated=simulated,
+                interval=interval,
             )
         )
     return SweepResult(label=payload["label"], points=points)

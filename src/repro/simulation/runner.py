@@ -8,7 +8,10 @@ both, and return plain records that the reporting layer renders.
 
 Both sweeps accept ``workers=`` and forward it to the engine, so large
 validation grids shard across a process pool without changing their
-results (see :mod:`repro.simulation.parallel`).
+results (see :mod:`repro.simulation.parallel`).  With instrumentation
+active (see :mod:`repro.observability`) each sweep wraps itself and
+every grid point in spans and counts points simulated -- without
+touching any random stream.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from repro.core.nonoblivious import symmetric_threshold_winning_probability
 from repro.core.oblivious import optimal_oblivious_winning_probability
 from repro.model.algorithms import SingleThresholdRule
 from repro.model.system import DistributedSystem
+from repro.observability import get_instrumentation
 from repro.simulation.engine import MonteCarloEngine
 from repro.symbolic.rational import RationalLike, as_fraction, rational_range
 
@@ -111,32 +115,43 @@ def sweep_thresholds(
         else rational_range(0, 1, grid_size)
     )
     engine = MonteCarloEngine(seed=seed) if simulate else None
+    instr = get_instrumentation()
     points = []
-    for beta in betas:
-        exact = symmetric_threshold_winning_probability(beta, n, d)
-        simulated = None
-        interval = None
-        if engine is not None:
-            system = DistributedSystem(
-                [SingleThresholdRule(beta) for _ in range(n)], d
+    with instr.span(
+        "sweep.thresholds",
+        n=n,
+        delta=str(d),
+        grid_points=len(betas),
+        simulate=simulate,
+    ):
+        for beta in betas:
+            with instr.span("sweep.point", beta=str(beta)):
+                exact = symmetric_threshold_winning_probability(beta, n, d)
+                simulated = None
+                interval = None
+                if engine is not None:
+                    system = DistributedSystem(
+                        [SingleThresholdRule(beta) for _ in range(n)], d
+                    )
+                    summary = engine.estimate_winning_probability(
+                        system,
+                        trials=trials,
+                        stream=f"beta={beta}",
+                        workers=workers,
+                        shards=shards,
+                    )
+                    simulated = summary.estimate
+                    interval = summary.interval
+                    instr.increment("sweep.points_simulated")
+                instr.increment("sweep.points")
+            points.append(
+                SweepPoint(
+                    parameter=beta,
+                    exact=exact,
+                    simulated=simulated,
+                    interval=interval,
+                )
             )
-            summary = engine.estimate_winning_probability(
-                system,
-                trials=trials,
-                stream=f"beta={beta}",
-                workers=workers,
-                shards=shards,
-            )
-            simulated = summary.estimate
-            interval = summary.interval
-        points.append(
-            SweepPoint(
-                parameter=beta,
-                exact=exact,
-                simulated=simulated,
-                interval=interval,
-            )
-        )
     return SweepResult(label=f"n={n}, delta={d}", points=points)
 
 
@@ -169,29 +184,40 @@ def sweep_players(
     if simulate and system_of_n is None:
         raise ValueError("simulate=True requires system_of_n")
     engine = MonteCarloEngine(seed=seed) if simulate else None
+    instr = get_instrumentation()
+    ns = list(ns)
     points = []
-    for n in ns:
-        if n < 1:
-            raise ValueError(f"player counts must be >= 1, got {n}")
-        d = as_fraction(delta_of_n(n))
-        simulated = None
-        interval = None
-        if engine is not None:
-            summary = engine.estimate_winning_probability(
-                system_of_n(n, d),
-                trials=trials,
-                stream=f"n={n}",
-                workers=workers,
-                shards=shards,
+    with instr.span(
+        "sweep.players",
+        label=label,
+        grid_points=len(ns),
+        simulate=simulate,
+    ):
+        for n in ns:
+            if n < 1:
+                raise ValueError(f"player counts must be >= 1, got {n}")
+            d = as_fraction(delta_of_n(n))
+            with instr.span("sweep.point", n=n, delta=str(d)):
+                simulated = None
+                interval = None
+                if engine is not None:
+                    summary = engine.estimate_winning_probability(
+                        system_of_n(n, d),
+                        trials=trials,
+                        stream=f"n={n}",
+                        workers=workers,
+                        shards=shards,
+                    )
+                    simulated = summary.estimate
+                    interval = summary.interval
+                    instr.increment("sweep.points_simulated")
+                instr.increment("sweep.points")
+            points.append(
+                SweepPoint(
+                    parameter=Fraction(n),
+                    exact=value_of_n(n, d),
+                    simulated=simulated,
+                    interval=interval,
+                )
             )
-            simulated = summary.estimate
-            interval = summary.interval
-        points.append(
-            SweepPoint(
-                parameter=Fraction(n),
-                exact=value_of_n(n, d),
-                simulated=simulated,
-                interval=interval,
-            )
-        )
     return SweepResult(label=label, points=points)

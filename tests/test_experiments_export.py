@@ -40,6 +40,23 @@ class TestUniformityCsv:
         assert float(n3[3]) == float(Fraction(5, 12))
         assert abs(float(n3[4]) - 0.62204) < 1e-4
 
+    def test_alpha_star_is_derived_not_hardcoded(self, tmp_path):
+        """The alpha_star column carries the *solved* oblivious
+        optimiser from each case study (an earlier revision wrote a
+        literal 0.5 regardless of the study's contents)."""
+        from repro.experiments.tables import case_study
+
+        studies = [case_study(3, 1), case_study(4, Fraction(4, 3))]
+        path = tmp_path / "uni.csv"
+        write_uniformity_csv(path, studies)
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][2] == "alpha_star"
+        for row, study in zip(rows[1:], studies):
+            assert float(row[2]) == float(study.oblivious_alpha)
+        # Theorem 4.3: the solved optimiser is the fair coin.
+        assert all(float(r[2]) == 0.5 for r in rows[1:])
+
 
 class TestExportAll:
     def test_writes_everything(self, tmp_path):

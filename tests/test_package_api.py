@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.geometry",
     "repro.model",
+    "repro.observability",
     "repro.optimize",
     "repro.probability",
     "repro.simulation",
@@ -192,6 +193,29 @@ class TestLayering:
                 continue
             source = self._source_of(module_name)
             assert "from repro.experiments" not in source
+
+    def test_observability_is_dependency_free(self):
+        """Observability sits at the bottom of the stack: anything may
+        instrument itself, so it must import no other repro layer."""
+        for module_name in ALL_MODULES:
+            if not module_name.startswith("repro.observability"):
+                continue
+            source = self._source_of(module_name)
+            for layer in (
+                "repro.symbolic",
+                "repro.core",
+                "repro.model",
+                "repro.geometry",
+                "repro.probability",
+                "repro.simulation",
+                "repro.experiments",
+                "repro.baselines",
+                "repro.optimize",
+            ):
+                assert f"from {layer}" not in source, (
+                    f"{module_name} imports {layer}: observability must "
+                    "stay dependency-free"
+                )
 
     def test_geometry_probability_only_use_symbolic(self):
         for module_name in ALL_MODULES:

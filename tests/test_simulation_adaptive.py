@@ -87,3 +87,48 @@ class TestEstimateUntilPrecise:
             system(), half_width=0.05, engine=MonteCarloEngine(seed=15)
         )
         assert "stages" in str(result)
+
+
+class TestHalfWidthTrajectory:
+    def test_one_half_width_per_stage(self):
+        result = estimate_until_precise(
+            system(),
+            half_width=0.02,
+            engine=MonteCarloEngine(seed=16),
+            initial_trials=1_000,
+        )
+        assert len(result.half_widths) == len(result.stages)
+
+    def test_final_half_width_matches_summary(self):
+        result = estimate_until_precise(
+            system(), half_width=0.02, engine=MonteCarloEngine(seed=17)
+        )
+        assert result.half_widths[-1] == pytest.approx(
+            result.summary.half_width
+        )
+
+    def test_trajectory_shrinks(self):
+        """Cumulative Wilson half-widths shrink as trials accumulate
+        (strictly monotone: each stage adds trials to the pool)."""
+        result = estimate_until_precise(
+            system(),
+            half_width=0.005,
+            engine=MonteCarloEngine(seed=18),
+            initial_trials=512,
+        )
+        assert len(result.half_widths) >= 2
+        for earlier, later in zip(
+            result.half_widths, result.half_widths[1:]
+        ):
+            assert later < earlier
+
+    def test_trajectory_rendered_in_str(self):
+        result = estimate_until_precise(
+            system(),
+            half_width=0.01,
+            engine=MonteCarloEngine(seed=19),
+            initial_trials=512,
+        )
+        text = str(result)
+        assert "half-widths" in text
+        assert "±" in text

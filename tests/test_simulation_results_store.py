@@ -72,6 +72,51 @@ class TestValidation:
         with pytest.raises(ValueError, match="malformed point 0"):
             sweep_from_dict(payload)
 
+    @pytest.mark.parametrize(
+        "interval",
+        [
+            [0.1],  # too short
+            [0.1, 0.2, 0.3],  # too long
+            ["lo", "hi"],  # non-numeric
+            [0.1, None],  # non-numeric edge
+            [True, False],  # bools are not measurements
+            0.5,  # not a list at all
+        ],
+    )
+    def test_malformed_interval_rejected(self, interval):
+        payload = sweep_to_dict(simulated_sweep())
+        payload["points"][1]["interval"] = interval
+        with pytest.raises(ValueError, match="malformed point 1"):
+            sweep_from_dict(payload)
+
+    def test_inverted_interval_rejected(self):
+        payload = sweep_to_dict(simulated_sweep())
+        payload["points"][0]["interval"] = [0.9, 0.1]
+        with pytest.raises(ValueError, match="malformed point 0"):
+            sweep_from_dict(payload)
+
+    def test_degenerate_interval_accepted(self):
+        """lo == hi is a legal (zero-width) interval."""
+        payload = sweep_to_dict(simulated_sweep())
+        payload["points"][0]["interval"] = [0.5, 0.5]
+        loaded = sweep_from_dict(payload)
+        assert loaded.points[0].interval == (0.5, 0.5)
+
+    @pytest.mark.parametrize("simulated", [-0.01, 1.5, "0.4", True])
+    def test_bad_simulated_rejected(self, simulated):
+        payload = sweep_to_dict(simulated_sweep())
+        payload["points"][2]["simulated"] = simulated
+        with pytest.raises(ValueError, match="malformed point 2"):
+            sweep_from_dict(payload)
+
+    def test_boundary_simulated_accepted(self):
+        payload = sweep_to_dict(simulated_sweep())
+        payload["points"][0]["simulated"] = 0.0
+        payload["points"][1]["simulated"] = 1.0
+        loaded = sweep_from_dict(payload)
+        assert loaded.points[0].simulated == 0.0
+        assert loaded.points[1].simulated == 1.0
+
 
 class TestMerge:
     def test_disjoint_grids(self):
