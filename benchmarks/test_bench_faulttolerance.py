@@ -1,0 +1,104 @@
+"""Overhead and recovery cost of the fault-tolerant executor.
+
+Two questions, answered with record lines:
+
+1. What does the fault-tolerance machinery cost when nothing fails?
+   The submit/wait loop with retry bookkeeping replaced a bare
+   ``pool.map``; a clean run should pay (almost) nothing for the
+   insurance.  Asserted: the default-config sharded run stays within
+   ``OVERHEAD_FACTOR`` of itself with an explicit no-retry config --
+   i.e. the config plumbing is free -- and checkpointing a clean run
+   costs bounded extra wall-clock.
+2. What does a recovery cost?  A run that survives one injected crash
+   pays roughly one extra shard execution plus the backoff, never a
+   from-scratch rerun.  Asserted: the chaotic run stays bit-identical
+   and under ``RECOVERY_FACTOR`` times the clean wall-clock.
+
+Both assertions are deliberately loose (CI machines are noisy); the
+interesting numbers are in the record lines.
+"""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction
+
+from conftest import record
+
+from repro.model.algorithms import SingleThresholdRule
+from repro.model.system import DistributedSystem
+from repro.simulation.faulttolerance import (
+    FaultPlan,
+    FaultToleranceConfig,
+    RetryPolicy,
+)
+from repro.simulation.parallel import estimate_winning_probability_sharded
+from repro.simulation.rng import SeedSequenceFactory
+
+TRIALS = 1_000_000
+SHARDS = 8
+OVERHEAD_FACTOR = 1.5
+RECOVERY_FACTOR = 3.0
+
+
+def vector_system(n: int = 3) -> DistributedSystem:
+    return DistributedSystem(
+        [SingleThresholdRule(Fraction(3, 5))] * n, 1
+    )
+
+
+def _timed(fault_tolerance=None, workers=2):
+    start = time.perf_counter()
+    estimate = estimate_winning_probability_sharded(
+        vector_system(),
+        TRIALS,
+        SeedSequenceFactory(2024),
+        shards=SHARDS,
+        workers=workers,
+        fault_tolerance=fault_tolerance,
+    )
+    return estimate, time.perf_counter() - start
+
+
+def test_bench_clean_run_overhead(tmp_path):
+    """Fault-tolerance plumbing on a failure-free run."""
+    baseline, t_baseline = _timed()
+    explicit, t_explicit = _timed(FaultToleranceConfig())
+    checkpointed, t_checkpointed = _timed(
+        FaultToleranceConfig(checkpoint_path=tmp_path / "ckpt.jsonl")
+    )
+
+    assert explicit.summary == baseline.summary
+    assert checkpointed.summary == baseline.summary
+
+    record(
+        "faulttolerance clean-run overhead",
+        baseline_s=f"{t_baseline:.3f}",
+        explicit_config_s=f"{t_explicit:.3f}",
+        checkpointed_s=f"{t_checkpointed:.3f}",
+    )
+    # the config object itself must cost nothing measurable
+    assert t_explicit <= OVERHEAD_FACTOR * t_baseline + 0.5
+
+
+def test_bench_crash_recovery_cost():
+    """One injected crash + retry vs the clean run."""
+    clean, t_clean = _timed()
+    chaotic, t_chaotic = _timed(
+        FaultToleranceConfig(
+            retry=RetryPolicy(max_retries=2, backoff_base=0.0),
+            fault_plan=FaultPlan.single("crash", shard=3),
+        )
+    )
+
+    assert chaotic.summary == clean.summary
+    assert chaotic.salvaged_shards == SHARDS - 1
+
+    record(
+        "faulttolerance crash recovery",
+        clean_s=f"{t_clean:.3f}",
+        with_crash_s=f"{t_chaotic:.3f}",
+        retried_shards=chaotic.retried_shards,
+        salvaged_shards=chaotic.salvaged_shards,
+    )
+    assert t_chaotic <= RECOVERY_FACTOR * t_clean + 1.0

@@ -15,6 +15,15 @@ Every subcommand additionally accepts the instrumentation flags
 ``--trace-out PATH`` (write a Chrome/Perfetto-loadable trace).  The
 flags only observe: simulated results are bit-identical with and
 without them (see :mod:`repro.observability`).
+
+``repro validate`` further exposes the fault-tolerance machinery of
+:mod:`repro.simulation.faulttolerance`: ``--max-retries`` /
+``--shard-timeout`` harden long runs, ``--checkpoint`` /``--resume``
+survive interruption, and ``--chaos-crash`` deterministically crashes
+one shard to exercise recovery.  Predictable failures map to distinct
+exit codes (3: checkpoint belongs to a different run; 4: checkpoint
+unusable; 5: a shard exhausted its retry budget) with a one-line
+message instead of a traceback.
 """
 
 from __future__ import annotations
@@ -40,9 +49,23 @@ from repro.observability.reporting import (
     write_chrome_trace,
     write_metrics_jsonl,
 )
+from repro.simulation.faulttolerance import (
+    CheckpointError,
+    CheckpointFingerprintError,
+    FaultPlan,
+    FaultToleranceConfig,
+    RetryPolicy,
+    ShardRetriesExhaustedError,
+)
 from repro.simulation.runner import sweep_thresholds
 
 __all__ = ["main"]
+
+#: Exit codes for predictable failures (0 = success, 1 = validation or
+#: reproduction mismatch, 2 = argparse usage error).
+EXIT_FINGERPRINT_MISMATCH = 3
+EXIT_CHECKPOINT_ERROR = 4
+EXIT_RETRIES_EXHAUSTED = 5
 
 
 def _parse_fraction(text: str) -> Fraction:
@@ -206,8 +229,88 @@ def _build_parser() -> argparse.ArgumentParser:
             "(results are identical for any worker count)"
         ),
     )
+    fault = val.add_argument_group("fault tolerance")
+    fault.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "re-run a failed shard up to K times with exponential "
+            "backoff; a retried shard replays its own seed stream, so "
+            "results are identical to a failure-free run"
+        ),
+    )
+    fault.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock limit per shard attempt; a timed-out shard "
+            "counts against its retry budget"
+        ),
+    )
+    fault.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "stream completed shards to a JSONL checkpoint file "
+            "(atomic appends, per-record checksums)"
+        ),
+    )
+    fault.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "load matching shards from --checkpoint before running; "
+            "only missing or corrupt shards are re-executed"
+        ),
+    )
+    fault.add_argument(
+        "--chaos-crash",
+        type=int,
+        default=None,
+        metavar="SHARD",
+        help=(
+            "chaos mode: deterministically crash the first attempt of "
+            "shard SHARD in every grid point (use with --max-retries "
+            ">= 1 to exercise recovery; the output must be identical "
+            "to a clean run)"
+        ),
+    )
 
     return parser
+
+
+def _fault_tolerance_config(
+    args: argparse.Namespace,
+) -> Optional[FaultToleranceConfig]:
+    """The ``FaultToleranceConfig`` implied by the validate flags
+    (``None`` when no fault-tolerance flag was given, keeping the
+    historical serial/sharded dispatch untouched)."""
+    if (
+        args.max_retries is None
+        and args.shard_timeout is None
+        and args.checkpoint is None
+        and not args.resume
+        and args.chaos_crash is None
+    ):
+        return None
+    fault_plan = None
+    if args.chaos_crash is not None:
+        fault_plan = FaultPlan.single("crash", shard=args.chaos_crash)
+    return FaultToleranceConfig(
+        retry=RetryPolicy(
+            max_retries=0 if args.max_retries is None else args.max_retries,
+            shard_timeout=args.shard_timeout,
+        ),
+        fault_plan=fault_plan,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+    )
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -285,6 +388,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"wrote {', '.join(manifest['files'].values())} and "
               f"manifest.json to {args.out}/")
     elif args.command == "validate":
+        if args.resume and args.checkpoint is None:
+            print(
+                "repro validate: --resume requires --checkpoint PATH",
+                file=sys.stderr,
+            )
+            return 2
         result = sweep_thresholds(
             args.n,
             args.delta,
@@ -293,6 +402,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             trials=args.trials,
             seed=args.seed,
             workers=args.workers,
+            fault_tolerance=_fault_tolerance_config(args),
         )
         for point in result.points:
             status = "ok" if point.consistent else "MISMATCH"
@@ -335,17 +445,44 @@ def _emit_instrumentation(
         print(f"trace written to {args.trace_out}", file=sys.stderr)
 
 
+def _dispatch_mapped(args: argparse.Namespace) -> int:
+    """Run :func:`_dispatch`, mapping predictable fault-tolerance
+    failures to distinct exit codes with a one-line message -- an
+    operator resuming an overnight run should see *which* kind of
+    failure occurred, not a traceback."""
+    try:
+        return _dispatch(args)
+    except CheckpointFingerprintError as exc:
+        print(
+            f"repro: checkpoint belongs to a different run: {exc}",
+            file=sys.stderr,
+        )
+        return EXIT_FINGERPRINT_MISMATCH
+    except CheckpointError as exc:
+        print(f"repro: checkpoint unusable: {exc}", file=sys.stderr)
+        return EXIT_CHECKPOINT_ERROR
+    except ShardRetriesExhaustedError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_RETRIES_EXHAUSTED
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of the ``repro`` command; returns the exit code."""
+    """Entry point of the ``repro`` command; returns the exit code.
+
+    Exit codes: 0 success; 1 validation/reproduction mismatch; 2 usage
+    error; 3 ``--resume`` against a checkpoint from a different run;
+    4 unusable checkpoint (unwritable path, corrupt header); 5 a shard
+    exhausted its ``--max-retries`` budget.
+    """
     args = _build_parser().parse_args(argv)
     profiled = bool(
         args.profile or args.metrics_out or args.trace_out
     )
     if not profiled:
-        return _dispatch(args)
+        return _dispatch_mapped(args)
     with use_instrumentation() as instr:
         with instr.span(f"repro.{args.command}"):
-            code = _dispatch(args)
+            code = _dispatch_mapped(args)
     _emit_instrumentation(instr, args)
     return code
 

@@ -9,10 +9,14 @@ Two small tools for long-running trial campaigns:
   a caller can render a progress bar or stream shard telemetry without
   waiting for the whole estimate.
 
-The callback is invoked in the parent process, in shard-index order
-(the executor preserves submission order), and receives exact trial
+The callback is invoked in the parent process, **exactly once per
+shard**, in shard-index order (the executor buffers out-of-order
+completions and fires the contiguous prefix), and receives exact trial
 and win counts -- summing them over all callbacks reconciles with the
-final :class:`~repro.simulation.statistics.BinomialSummary`.
+final :class:`~repro.simulation.statistics.BinomialSummary`.  Shards
+that needed recovery (a retry after a fault, or a load from a
+checkpoint) are still reported once, flagged via
+:attr:`ShardProgress.recovered` and :attr:`ShardProgress.attempt`.
 """
 
 from __future__ import annotations
@@ -31,7 +35,12 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ShardProgress:
-    """One completed shard, as seen by a progress callback."""
+    """One completed shard, as seen by a progress callback.
+
+    ``attempt`` is the (zero-based) execution attempt that produced the
+    result; ``recovered`` is true when the shard did not succeed on a
+    clean first in-run execution -- it was retried after a fault, or
+    its result was loaded from a checkpoint on resume."""
 
     index: int
     trials: int
@@ -39,6 +48,8 @@ class ShardProgress:
     elapsed_seconds: Optional[float]
     completed_shards: int
     total_shards: int
+    attempt: int = 0
+    recovered: bool = False
 
     @property
     def trials_per_second(self) -> Optional[float]:
@@ -55,9 +66,13 @@ class ShardProgress:
     def __str__(self) -> str:
         rate = self.trials_per_second
         rate_text = "" if rate is None else f" ({rate:,.0f} trials/s)"
+        recovered_text = ""
+        if self.recovered:
+            recovered_text = f" (recovered, attempt {self.attempt})"
         return (
             f"shard {self.index}: {self.wins}/{self.trials} wins"
-            f"{rate_text} [{self.completed_shards}/{self.total_shards}]"
+            f"{rate_text}{recovered_text} "
+            f"[{self.completed_shards}/{self.total_shards}]"
         )
 
 

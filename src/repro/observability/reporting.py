@@ -31,7 +31,9 @@ if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.observability import Instrumentation
 
 __all__ = [
+    "FAILURE_COUNTERS",
     "METRICS_JSONL_SCHEMA_VERSION",
+    "render_failure_section",
     "render_report",
     "render_span_tree",
     "write_chrome_trace",
@@ -39,6 +41,20 @@ __all__ = [
 ]
 
 METRICS_JSONL_SCHEMA_VERSION = 1
+
+#: Counters recorded by the fault-tolerant sharded executor.  Each maps
+#: to the one-line gloss shown in the report's failure section; the
+#: section appears only when at least one of them is non-zero, so a
+#: clean run's report is unchanged.
+FAILURE_COUNTERS = {
+    "engine.shard_failures": "shard attempts that failed",
+    "engine.shard_retries": "retries scheduled (same seed stream replayed)",
+    "engine.shard_timeouts": "shard attempts killed at the wall-clock limit",
+    "engine.pool_rebuilds": "process-pool reconstructions",
+    "engine.shards_salvaged": "completed shards kept across a failure",
+    "engine.shards_resumed": "shards loaded from a checkpoint",
+    "engine.pickle_fallback": "serial fallbacks due to unpicklable work",
+}
 
 
 def render_span_tree(
@@ -81,6 +97,31 @@ def render_span_tree(
         visit(root, 0)
     if tracer.dropped:
         lines.append(f"... {tracer.dropped} span(s) dropped at cap")
+    return "\n".join(lines)
+
+
+def render_failure_section(snapshot: MetricsSnapshot) -> str:
+    """The failures/recoveries section of the run report.
+
+    Empty (``""``) when no fault-tolerance counter fired -- i.e. for
+    every clean run -- so it costs nothing in the common case.  The
+    recovery machinery replays named seed streams, so a non-empty
+    section never implies the run's numbers are suspect; it reports
+    wall-clock spent surviving, not results at risk.
+    """
+    rows = [
+        (name, gloss)
+        for name, gloss in FAILURE_COUNTERS.items()
+        if snapshot.counters.get(name)
+    ]
+    if not rows:
+        return ""
+    width = max(len(name) for name, _ in rows)
+    lines = ["failures and recoveries:"]
+    for name, gloss in rows:
+        lines.append(
+            f"  {name:<{width}}  {snapshot.counters[name]:>8,}  ({gloss})"
+        )
     return "\n".join(lines)
 
 
@@ -127,6 +168,10 @@ def render_report(
                 f"{stats.min_seconds:>10.6f}  "
                 f"{stats.max_seconds:>10.6f}"
             )
+
+    failures = render_failure_section(snapshot)
+    if failures:
+        lines.append(failures)
 
     throughput = instrumentation.throughput
     if throughput.units:

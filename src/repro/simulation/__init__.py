@@ -15,10 +15,26 @@ protocol on sampled inputs:
 * :mod:`repro.simulation.parallel` -- the sharded executor: split a
   trial budget into per-shard named seed streams and run them across a
   process pool, bit-identically for any worker count.
+* :mod:`repro.simulation.faulttolerance` -- retry policies, wall-clock
+  timeouts, deterministic fault injection and shard-level
+  checkpoint/resume for the sharded executor; every recovery path
+  replays named streams, so faults never change results.
 """
 
 from repro.simulation.adaptive import AdaptiveResult, estimate_until_precise
 from repro.simulation.engine import MonteCarloEngine
+from repro.simulation.faulttolerance import (
+    CheckpointError,
+    CheckpointFingerprintError,
+    FaultPlan,
+    FaultSpec,
+    FaultToleranceConfig,
+    FaultToleranceError,
+    RetryPolicy,
+    ShardFailure,
+    ShardRetriesExhaustedError,
+    load_checkpoint,
+)
 from repro.simulation.parallel import (
     ShardedEstimate,
     ShardOutcome,
@@ -28,6 +44,7 @@ from repro.simulation.parallel import (
     shard_stream_name,
 )
 from repro.simulation.results_store import (
+    ResultsStoreError,
     load_sweep,
     merge_sweeps,
     save_sweep,
@@ -44,13 +61,24 @@ from repro.simulation.variance_reduction import (
 __all__ = [
     "AdaptiveResult",
     "BinomialSummary",
+    "CheckpointError",
+    "CheckpointFingerprintError",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultToleranceConfig",
+    "FaultToleranceError",
+    "ResultsStoreError",
+    "RetryPolicy",
+    "ShardFailure",
     "ShardOutcome",
+    "ShardRetriesExhaustedError",
     "ShardedEstimate",
     "VarianceReducedEstimate",
     "antithetic_winning_probability",
     "count_wins",
     "estimate_until_precise",
     "estimate_winning_probability_sharded",
+    "load_checkpoint",
     "load_sweep",
     "merge_sweeps",
     "plan_shards",

@@ -19,6 +19,7 @@ from typing import List, Optional
 from repro.model.system import DistributedSystem
 from repro.observability import get_instrumentation
 from repro.simulation.engine import MonteCarloEngine
+from repro.simulation.faulttolerance import FaultToleranceConfig
 from repro.simulation.statistics import (
     BinomialSummary,
     required_samples,
@@ -77,6 +78,7 @@ def estimate_until_precise(
     z_score: float = 3.89,
     workers: Optional[int] = None,
     shards: Optional[int] = None,
+    fault_tolerance: Optional[FaultToleranceConfig] = None,
 ) -> AdaptiveResult:
     """Sample in growing stages until the Wilson half-width <= *half_width*.
 
@@ -86,10 +88,12 @@ def estimate_until_precise(
     targets finish in one stage.  Stops early once the target is met;
     gives up (with ``achieved == False``) at *max_trials*.
 
-    *workers* and *shards* are forwarded to every stage's
-    :meth:`MonteCarloEngine.estimate_winning_probability` call; the
-    stage schedule itself is deterministic, so the whole sequential
-    procedure stays reproducible under parallel execution.
+    *workers*, *shards* and *fault_tolerance* are forwarded to every
+    stage's :meth:`MonteCarloEngine.estimate_winning_probability` call;
+    the stage schedule itself is deterministic, so the whole sequential
+    procedure stays reproducible under parallel execution -- and, since
+    each stage draws from its own named stream, under per-shard retries
+    and checkpoint/resume as well.
     """
     if not 0 < half_width < 0.5:
         raise ValueError(
@@ -130,6 +134,7 @@ def estimate_until_precise(
                     z_score=z_score,
                     workers=workers,
                     shards=shards,
+                    fault_tolerance=fault_tolerance,
                 )
                 successes += summary.successes
                 trials += batch

@@ -32,6 +32,7 @@ from repro.observability import Instrumentation, get_instrumentation
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.model.inputs import InputDistribution
     from repro.observability.progress import ProgressCallback
+    from repro.simulation.faulttolerance import FaultToleranceConfig
 from repro.simulation.parallel import (
     count_wins,
     estimate_winning_probability_sharded,
@@ -84,6 +85,7 @@ class MonteCarloEngine:
         workers: Optional[int] = None,
         shards: Optional[int] = None,
         progress: Optional["ProgressCallback"] = None,
+        fault_tolerance: Optional["FaultToleranceConfig"] = None,
     ) -> BinomialSummary:
         """Estimate ``P_A(delta)`` over *trials* independent executions.
 
@@ -108,11 +110,21 @@ class MonteCarloEngine:
         the call is wrapped in a span and contributes trial/win
         counters, timing histograms, and trials/sec throughput --
         without consuming any randomness, so the summary is unchanged.
+
+        *fault_tolerance* configures per-shard retries, wall-clock
+        timeouts, fault injection and checkpoint/resume on the sharded
+        path (see
+        :class:`repro.simulation.faulttolerance.FaultToleranceConfig`);
+        passing it implies sharded execution even when *workers* and
+        *shards* are unset, because retry and checkpoint semantics are
+        defined per shard.  None of the recovery machinery perturbs the
+        estimate: a retried or resumed shard replays its own named
+        stream, so the summary stays bit-identical.
         """
         if trials < 1:
             raise ValueError(f"trials must be >= 1, got {trials}")
         instr = self.instrumentation
-        if workers is None and shards is None:
+        if workers is None and shards is None and fault_tolerance is None:
             with instr.span(
                 "engine.estimate", stream=stream, trials=trials
             ):
@@ -147,6 +159,7 @@ class MonteCarloEngine:
             z_score=z_score,
             instrumentation=instr,
             progress=progress,
+            fault_tolerance=fault_tolerance,
         )
         if instr.enabled:
             instr.increment("engine.trials", trials)

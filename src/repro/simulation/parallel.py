@@ -21,19 +21,35 @@ Reproducibility is the design constraint, not an afterthought:
 * The reduction is a plain integer sum, which is associative and
   exact; no floating-point reduction order can perturb the summary.
 
-Execution falls back to the serial in-process path when ``workers <= 1``,
-when the system or input distribution cannot be pickled, or when the
-platform refuses to start a process pool -- the result is bit-identical
-either way, only the wall-clock changes.
+Execution is **fault tolerant** (see
+:mod:`repro.simulation.faulttolerance`): shards are submitted
+individually, each with its own wall-clock deadline and bounded
+retries, and a broken process pool is rebuilt rather than trusted.
+Because a retried shard replays the *same* named stream, every
+recovery path -- retry, timeout, pool reconstruction, serial salvage,
+checkpoint resume -- produces the bit-identical summary; only the
+wall-clock (and the failure telemetry) differs.  Completed shards are
+never discarded: when the pool cannot be (re)built, only the
+*missing* shards run on the in-process serial path.
 """
 
 from __future__ import annotations
 
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+)
 
 import numpy as np
 
@@ -41,6 +57,20 @@ from repro.model.system import DistributedSystem
 from repro.observability import Instrumentation, get_instrumentation
 from repro.observability.metrics import MetricsRegistry, MetricsSnapshot
 from repro.observability.progress import ProgressCallback, ShardProgress
+from repro.simulation.faulttolerance import (
+    CheckpointWriter,
+    CorruptShardResultError,
+    FaultPlan,
+    FaultToleranceConfig,
+    InjectedCrashError,
+    RetryPolicy,
+    ShardFailure,
+    ShardRetriesExhaustedError,
+    ShardTimeoutError,
+    load_checkpoint,
+    run_fingerprint,
+    system_digest,
+)
 from repro.simulation.rng import SeedSequenceFactory
 from repro.simulation.statistics import BinomialSummary
 
@@ -138,11 +168,11 @@ def plan_shards(trials: int, shards: Optional[int] = None) -> List[int]:
 class ShardOutcome:
     """The result of one shard: which stream it drew from and what it saw.
 
-    ``elapsed_seconds`` is the shard's own wall-clock as measured
-    inside the worker; it is observability, not outcome identity, so
-    it is excluded from equality (two runs with different timings but
-    identical counts compare equal, which is what the determinism
-    suite asserts)."""
+    ``elapsed_seconds`` and ``attempt`` are execution history as
+    observed in this run -- observability, not outcome identity -- so
+    both are excluded from equality: a run that retried shard 3 twice
+    and a run that never failed compare equal when their counts agree,
+    which is exactly what the determinism suite asserts."""
 
     index: int
     stream: str
@@ -151,6 +181,7 @@ class ShardOutcome:
     elapsed_seconds: Optional[float] = field(
         default=None, compare=False, repr=False
     )
+    attempt: int = field(default=0, compare=False, repr=False)
 
     @property
     def trials_per_second(self) -> Optional[float]:
@@ -163,62 +194,395 @@ class ShardOutcome:
 @dataclass(frozen=True)
 class ShardedEstimate:
     """A :class:`BinomialSummary` plus the per-shard breakdown and how
-    the shards were actually executed."""
+    the shards were actually executed.
+
+    The fault-tolerance fields (``failures``, ``resumed_shards``,
+    ``salvaged_shards``) describe *how* the run survived, never *what*
+    it computed, so they are excluded from equality for the same
+    reason per-shard timings are."""
 
     summary: BinomialSummary
     shard_outcomes: Tuple[ShardOutcome, ...]
     workers_used: int
+    failures: Tuple[ShardFailure, ...] = field(default=(), compare=False)
+    resumed_shards: int = field(default=0, compare=False)
+    salvaged_shards: int = field(default=0, compare=False)
 
     @property
     def shards(self) -> int:
         return len(self.shard_outcomes)
 
+    @property
+    def retried_shards(self) -> int:
+        """How many distinct shards needed at least one re-execution."""
+        return len(
+            {f.index for f in self.failures if f.kind != "pool"}
+        )
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything one shard execution needs, picklable for the pool."""
+
+    system: DistributedSystem
+    trials: int
+    base_stream: str
+    index: int
+    stream: str
+    root_seed: int
+    inputs: Optional["InputDistribution"]
+    batch_size: int
+    collect: bool
+    fault_plan: Optional[FaultPlan]
+
 
 def _run_shard(
-    args: Tuple[
-        DistributedSystem,
-        int,
-        str,
-        int,
-        Optional["InputDistribution"],
-        int,
-        bool,
-    ],
+    task: _ShardTask, attempt: int = 0
 ) -> Tuple[int, float, Optional[MetricsSnapshot]]:
     """Worker entry point: rebuild the shard's generator from (root
     seed, stream name), run its trial loop, and time it.  Module-level
     so it is picklable by every multiprocessing start method.
 
+    Any injected fault for ``(base_stream, index, attempt)`` is applied
+    first: a ``crash`` raises before the stream is touched, ``hang``
+    and ``slow`` sleep before running normally, and ``corrupt``
+    returns an impossible win count the parent's range check rejects.
+    A retried attempt rebuilds the *same* named stream, so the win
+    count is identical no matter which attempt succeeds.
+
     Returns ``(wins, elapsed_seconds, metrics_snapshot)``; the snapshot
-    is ``None`` unless *collect_metrics* was requested, and crosses the
-    process boundary by pickling so the parent can merge per-shard
+    is ``None`` unless metrics collection was requested, and crosses
+    the process boundary by pickling so the parent can merge per-shard
     metrics exactly.  Nothing measured here touches the shard's random
     stream, so the win count is identical with metrics on or off."""
-    system, trials, stream, root_seed, inputs, batch_size, collect = args
-    rng = SeedSequenceFactory(root_seed).generator(stream)
+    if task.fault_plan is not None:
+        spec = task.fault_plan.lookup(
+            task.base_stream, task.index, attempt
+        )
+        if spec is not None:
+            if spec.kind == "crash":
+                raise InjectedCrashError(
+                    f"injected crash: shard {task.index} attempt {attempt}"
+                )
+            if spec.kind == "corrupt":
+                return task.trials + 1, 0.0, None
+            time.sleep(spec.seconds)  # hang / slow
+    rng = SeedSequenceFactory(task.root_seed).generator(task.stream)
     start = time.perf_counter()
     wins = count_wins(
-        system, trials, rng, inputs=inputs, batch_size=batch_size
+        task.system,
+        task.trials,
+        rng,
+        inputs=task.inputs,
+        batch_size=task.batch_size,
     )
     elapsed = time.perf_counter() - start
     snapshot: Optional[MetricsSnapshot] = None
-    if collect:
+    if task.collect:
         registry = MetricsRegistry(enabled=True)
         registry.increment("shard.count")
-        registry.increment("shard.trials", trials)
+        registry.increment("shard.trials", task.trials)
         registry.increment("shard.wins", wins)
         registry.observe("shard.seconds", elapsed)
         snapshot = registry.snapshot()
     return wins, elapsed, snapshot
 
 
-def _is_picklable(*objects) -> bool:
+def _pickle_failure(*objects) -> Optional[str]:
+    """Why these objects cannot cross a process boundary (None if they
+    can).  Only genuine serialisation failures count -- any other
+    exception propagates instead of silently degrading to the serial
+    path (an earlier revision swallowed *all* exceptions here, which
+    hid real bugs behind a quiet slowdown)."""
     try:
         for obj in objects:
             pickle.dumps(obj)
-        return True
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        return type(exc).__name__
+    return None
+
+
+class _PoolUnavailableError(Exception):
+    """Internal: the process pool cannot be (re)built; the caller
+    salvages completed shards and finishes on the serial path."""
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting for hung workers.
+
+    ``shutdown`` alone only *asks* workers to exit after their current
+    task, which a hung task never finishes; terminating the worker
+    processes is the only way to reclaim them.  The pool is discarded
+    afterwards, so the private ``_processes`` access is best-effort."""
+    pool.shutdown(wait=False, cancel_futures=True)
+    try:
+        for process in list(getattr(pool, "_processes", {}).values()):
+            process.terminate()
     except Exception:
-        return False
+        pass
+
+
+_Result = Tuple[int, float, Optional[MetricsSnapshot]]
+
+
+def _validate_result(result: _Result, task: _ShardTask) -> None:
+    """Reject impossible shard results before they reach the sum."""
+    wins = result[0]
+    if not isinstance(wins, int) or not 0 <= wins <= task.trials:
+        raise CorruptShardResultError(
+            f"shard {task.index} returned wins={wins!r}, outside "
+            f"[0, {task.trials}]"
+        )
+
+
+def _run_serial(
+    tasks: List[_ShardTask],
+    pending: List[int],
+    attempts: Dict[int, int],
+    policy: RetryPolicy,
+    on_success: Callable[[int, _Result, int], None],
+    on_failure: Callable[[ShardFailure], None],
+    stats: Dict[str, int],
+) -> None:
+    """Run *pending* shards in-process, in index order, with the same
+    retry accounting as the pool path (timeouts excepted: an
+    in-process shard cannot be interrupted)."""
+    for index in sorted(pending):
+        task = tasks[index]
+        while True:
+            attempt = attempts[index]
+            attempts[index] = attempt + 1
+            try:
+                result = _run_shard(task, attempt)
+                _validate_result(result, task)
+            except Exception as exc:
+                kind = (
+                    "corrupt"
+                    if isinstance(exc, CorruptShardResultError)
+                    else "error"
+                )
+                on_failure(
+                    ShardFailure(
+                        index=index,
+                        stream=task.stream,
+                        attempt=attempt,
+                        kind=kind,
+                        message=str(exc),
+                    )
+                )
+                if attempts[index] >= policy.max_attempts:
+                    raise ShardRetriesExhaustedError(
+                        index, task.stream, attempts[index], str(exc)
+                    ) from exc
+                stats["retries"] += 1
+                time.sleep(policy.backoff_seconds(attempts[index] - 1))
+                continue
+            on_success(index, result, attempt)
+            break
+
+
+def _run_pool(
+    tasks: List[_ShardTask],
+    pending: List[int],
+    attempts: Dict[int, int],
+    policy: RetryPolicy,
+    workers_used: int,
+    on_success: Callable[[int, _Result, int], None],
+    on_failure: Callable[[ShardFailure], None],
+    stats: Dict[str, int],
+) -> None:
+    """Run *pending* shards across a process pool, fault-tolerantly.
+
+    Shards are submitted individually (``submit``, not ``map``) so each
+    gets its own wall-clock deadline and retry budget.  Three failure
+    modes, three responses:
+
+    * a worker raises (or returns a corrupt result): the shard is
+      retried after exponential backoff, up to the policy's budget,
+      then :class:`ShardRetriesExhaustedError`;
+    * a shard exceeds ``policy.shard_timeout``: the pool is killed
+      (a hung worker cannot be cancelled), rebuilt, the timed-out
+      shard charged one attempt, and every innocent in-flight shard
+      resubmitted uncharged;
+    * the pool itself breaks (worker segfault/OOM): the pool is
+      rebuilt -- bounded by ``max_retries + 1`` reconstructions --
+      and the affected shards resubmitted uncharged; a pool that
+      cannot be rebuilt raises :class:`_PoolUnavailableError`, and the
+      caller finishes the *missing* shards serially, keeping every
+      completed result.
+
+    Retried shards replay their original named stream, so nothing here
+    can change the estimate -- only when (and where) shards run.
+    """
+    ready = deque(sorted(pending))
+    delayed: List[Tuple[float, int]] = []  # (not-before, index)
+    inflight: Dict = {}  # future -> (index, attempt, deadline)
+    rebuilds_left = policy.max_retries + 1
+
+    def new_pool() -> ProcessPoolExecutor:
+        try:
+            return ProcessPoolExecutor(max_workers=workers_used)
+        except (OSError, PermissionError, RuntimeError) as exc:
+            raise _PoolUnavailableError(str(exc)) from exc
+
+    def rebuild_pool(old: ProcessPoolExecutor) -> ProcessPoolExecutor:
+        nonlocal rebuilds_left
+        stats["pool_rebuilds"] += 1
+        rebuilds_left -= 1
+        _kill_pool(old)
+        if rebuilds_left < 0:
+            raise _PoolUnavailableError(
+                "process pool kept breaking; falling back to serial"
+            )
+        return new_pool()
+
+    def reschedule_uncharged(index: int) -> None:
+        # the shard never got to run through no fault of its own:
+        # give the execution back and resubmit without backoff
+        attempts[index] -= 1
+        ready.append(index)
+
+    def schedule_retry(index: int, attempt: int, kind: str, exc) -> None:
+        on_failure(
+            ShardFailure(
+                index=index,
+                stream=tasks[index].stream,
+                attempt=attempt,
+                kind=kind,
+                message=str(exc),
+            )
+        )
+        if attempts[index] >= policy.max_attempts:
+            raise ShardRetriesExhaustedError(
+                index, tasks[index].stream, attempts[index], str(exc)
+            )
+        stats["retries"] += 1
+        not_before = time.monotonic() + policy.backoff_seconds(
+            attempts[index] - 1
+        )
+        delayed.append((not_before, index))
+        delayed.sort()
+
+    pool = new_pool()
+    try:
+        while ready or delayed or inflight:
+            now = time.monotonic()
+            still_delayed = []
+            for not_before, index in delayed:
+                if not_before <= now:
+                    ready.append(index)
+                else:
+                    still_delayed.append((not_before, index))
+            delayed[:] = still_delayed
+
+            submit_failed = False
+            while ready:
+                index = ready[0]
+                attempt = attempts[index]
+                try:
+                    future = pool.submit(_run_shard, tasks[index], attempt)
+                except (RuntimeError, OSError):
+                    # the pool broke between waits; if work is in
+                    # flight the wait loop below will observe the
+                    # breakage and rebuild once, otherwise rebuild here
+                    submit_failed = True
+                    break
+                ready.popleft()
+                attempts[index] = attempt + 1
+                deadline = (
+                    now + policy.shard_timeout
+                    if policy.shard_timeout is not None
+                    else None
+                )
+                inflight[future] = (index, attempt, deadline)
+            if submit_failed and not inflight:
+                pool = rebuild_pool(pool)
+                continue
+
+            if not inflight:
+                if delayed:
+                    time.sleep(
+                        max(0.0, delayed[0][0] - time.monotonic())
+                    )
+                continue
+
+            horizons = [
+                deadline
+                for (_, _, deadline) in inflight.values()
+                if deadline is not None
+            ] + [not_before for not_before, _ in delayed]
+            timeout = (
+                max(0.0, min(horizons) - time.monotonic())
+                if horizons
+                else None
+            )
+            done, _ = wait(
+                set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            now = time.monotonic()
+
+            broken = False
+            for future in done:
+                index, attempt, _ = inflight.pop(future)
+                try:
+                    result = future.result()
+                    _validate_result(result, tasks[index])
+                except BrokenProcessPool as exc:
+                    broken = True
+                    on_failure(
+                        ShardFailure(
+                            index=index,
+                            stream=tasks[index].stream,
+                            attempt=attempt,
+                            kind="pool",
+                            message=str(exc) or "process pool died",
+                        )
+                    )
+                    reschedule_uncharged(index)
+                except Exception as exc:
+                    kind = (
+                        "corrupt"
+                        if isinstance(exc, CorruptShardResultError)
+                        else "error"
+                    )
+                    schedule_retry(index, attempt, kind, exc)
+                else:
+                    on_success(index, result, attempt)
+            if broken:
+                for index, _, _ in inflight.values():
+                    reschedule_uncharged(index)
+                inflight.clear()
+                pool = rebuild_pool(pool)
+                continue
+
+            expired = {
+                future
+                for future, (_, _, deadline) in inflight.items()
+                if deadline is not None and deadline <= now
+            }
+            if expired:
+                # a running task cannot be cancelled: kill the pool,
+                # charge the timed-out shards, resubmit the innocents
+                stats["timeouts"] += len(expired)
+                for future, (index, attempt, _) in list(inflight.items()):
+                    if future in expired:
+                        schedule_retry(
+                            index,
+                            attempt,
+                            "timeout",
+                            ShardTimeoutError(
+                                f"shard {index} exceeded "
+                                f"{policy.shard_timeout}s wall-clock limit"
+                            ),
+                        )
+                    else:
+                        reschedule_uncharged(index)
+                inflight.clear()
+                stats["pool_rebuilds"] += 1
+                _kill_pool(pool)
+                pool = new_pool()
+    finally:
+        _kill_pool(pool)
 
 
 def estimate_winning_probability_sharded(
@@ -233,6 +597,7 @@ def estimate_winning_probability_sharded(
     z_score: float = 3.89,
     instrumentation: Optional[Instrumentation] = None,
     progress: Optional[ProgressCallback] = None,
+    fault_tolerance: Optional[FaultToleranceConfig] = None,
 ) -> ShardedEstimate:
     """Estimate the winning probability over a sharded trial budget.
 
@@ -246,21 +611,45 @@ def estimate_winning_probability_sharded(
     so that all shards of *this call* still draw from disjoint streams
     of one (unreproducible) root.
 
+    *fault_tolerance* configures per-shard retries with exponential
+    backoff, a per-shard wall-clock timeout, deterministic fault
+    injection (tests/chaos mode), and shard-level checkpoint/resume --
+    see :class:`~repro.simulation.faulttolerance.FaultToleranceConfig`.
+    Because a retried shard replays the same named stream, the summary
+    is bit-identical across any combination of injected faults,
+    retries, pool reconstructions and resumes; a shard that fails more
+    than ``retry.max_retries`` times raises
+    :class:`~repro.simulation.faulttolerance.ShardRetriesExhaustedError`
+    (already-completed shards remain in the checkpoint, if one was
+    requested, so the run is resumable).  The default config retries
+    nothing but still *salvages*: when the pool dies, completed shards
+    are kept and only the missing ones re-run serially.
+
     *instrumentation* (default: the active instrument, a no-op unless
     activated) receives per-shard timing histograms, trial/win counters
     and the sharded-estimate span; per-shard metrics collected inside
     worker processes travel back as pickled snapshots and merge exactly.
-    *progress*, when given, is called once per shard in index order
-    with a :class:`~repro.observability.progress.ShardProgress` as each
-    result arrives (if the pool dies mid-run and the serial fallback
-    takes over, the callback restarts from shard 0).  Neither touches
-    any random stream: the estimate is bit-identical with
-    instrumentation on or off.
+    Fault-tolerance events surface as ``engine.shard_retries``,
+    ``engine.shard_timeouts``, ``engine.pool_rebuilds``,
+    ``engine.shard_failures``, ``engine.shards_salvaged``,
+    ``engine.shards_resumed`` and ``engine.pickle_fallback`` counters.
+    *progress*, when given, is called **exactly once per shard**, in
+    index order (completions are buffered so the callback sequence is
+    deterministic even when shards finish out of order or retry);
+    each :class:`~repro.observability.progress.ShardProgress` carries
+    the attempt that succeeded and whether the shard was recovered
+    (retried or loaded from a checkpoint).  Neither instrumentation
+    nor progress touches any random stream: the estimate is
+    bit-identical with them on or off.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    config = (
+        FaultToleranceConfig() if fault_tolerance is None else fault_tolerance
+    )
+    policy = config.retry
     instr = (
         get_instrumentation() if instrumentation is None else instrumentation
     )
@@ -274,84 +663,198 @@ def estimate_winning_probability_sharded(
 
     collect = instr.enabled
     tasks = [
-        (system, shard_trials, name, root_seed, inputs, batch_size, collect)
-        for shard_trials, name in zip(plan, names)
+        _ShardTask(
+            system=system,
+            trials=shard_trials,
+            base_stream=stream,
+            index=i,
+            stream=name,
+            root_seed=root_seed,
+            inputs=inputs,
+            batch_size=batch_size,
+            collect=collect,
+            fault_plan=config.fault_plan,
+        )
+        for i, (shard_trials, name) in enumerate(zip(plan, names))
     ]
 
-    def fire_progress(
-        index: int,
-        result: Tuple[int, float, Optional[MetricsSnapshot]],
-    ) -> None:
-        if progress is None:
-            return
-        wins, elapsed, _ = result
-        progress(
-            ShardProgress(
-                index=index,
-                trials=plan[index],
-                wins=wins,
-                elapsed_seconds=elapsed,
-                completed_shards=index + 1,
-                total_shards=len(plan),
+    # per-shard state: result tuples, execution counts, failure log
+    completed: Dict[int, Tuple[int, float, Optional[MetricsSnapshot], int, bool]] = {}
+    attempts: Dict[int, int] = {i: 0 for i in range(len(plan))}
+    failures: List[ShardFailure] = []
+    stats = {"retries": 0, "timeouts": 0, "pool_rebuilds": 0}
+
+    fingerprint = run_fingerprint(
+        root_seed, stream, plan, system_digest(system, inputs), batch_size
+    )
+    writer: Optional[CheckpointWriter] = None
+    resumed = 0
+    if config.checkpoint_path is not None:
+        path = Path(config.checkpoint_path)
+        if config.resume and path.exists() and path.stat().st_size > 0:
+            checkpoint = load_checkpoint(path, root_seed)
+            for index, record in checkpoint.outcomes(fingerprint).items():
+                if 0 <= index < len(plan) and record.trials == plan[index]:
+                    completed[index] = (
+                        record.wins,
+                        record.elapsed_seconds,
+                        None,
+                        record.attempt,
+                        True,
+                    )
+            resumed = len(completed)
+        writer = CheckpointWriter(path, root_seed)
+
+    fired = 0
+
+    def flush_progress() -> None:
+        # fire the contiguous completed prefix, exactly once per shard,
+        # in index order -- deterministic regardless of completion order
+        nonlocal fired
+        while fired < len(plan) and fired in completed:
+            if progress is not None:
+                wins, elapsed, _, attempt, was_resumed = completed[fired]
+                progress(
+                    ShardProgress(
+                        index=fired,
+                        trials=plan[fired],
+                        wins=wins,
+                        elapsed_seconds=elapsed,
+                        completed_shards=fired + 1,
+                        total_shards=len(plan),
+                        attempt=attempt,
+                        recovered=was_resumed or attempt > 0,
+                    )
+                )
+            fired += 1
+
+    def on_success(index: int, result: _Result, attempt: int) -> None:
+        wins, elapsed, snapshot = result
+        completed[index] = (wins, elapsed, snapshot, attempt, False)
+        if writer is not None:
+            writer.append(
+                fingerprint,
+                index,
+                names[index],
+                plan[index],
+                wins,
+                elapsed,
+                attempt,
             )
-        )
+        flush_progress()
+
+    def on_failure(failure: ShardFailure) -> None:
+        failures.append(failure)
 
     workers_used = min(workers, len(plan))
-    results: Optional[
-        List[Tuple[int, float, Optional[MetricsSnapshot]]]
-    ] = None
-    with instr.span(
-        "simulation.sharded_estimate",
-        stream=stream,
-        trials=trials,
-        shards=len(plan),
-        workers=workers,
-    ):
-        start = time.perf_counter()
-        if workers_used > 1 and _is_picklable(system, inputs):
-            try:
-                with ProcessPoolExecutor(max_workers=workers_used) as pool:
-                    results = []
-                    for i, result in enumerate(pool.map(_run_shard, tasks)):
-                        results.append(result)
-                        fire_progress(i, result)
-            except (OSError, PermissionError, RuntimeError):
-                # Sandboxes and restricted platforms may refuse to fork;
-                # the serial path below produces the identical result.
-                results = None
-        if results is None:
-            workers_used = 1
-            results = []
-            for i, task in enumerate(tasks):
-                result = _run_shard(task)
-                results.append(result)
-                fire_progress(i, result)
-        wall_seconds = time.perf_counter() - start
+    pool_used = False
+    try:
+        with instr.span(
+            "simulation.sharded_estimate",
+            stream=stream,
+            trials=trials,
+            shards=len(plan),
+            workers=workers,
+        ):
+            start = time.perf_counter()
+            flush_progress()  # resumed prefix, if any
+            pending = [i for i in range(len(plan)) if i not in completed]
+            if pending and workers_used > 1:
+                reason = _pickle_failure(system, inputs)
+                if reason is None:
+                    try:
+                        _run_pool(
+                            tasks,
+                            pending,
+                            attempts,
+                            policy,
+                            workers_used,
+                            on_success,
+                            on_failure,
+                            stats,
+                        )
+                        pool_used = True
+                        pending = []
+                    except _PoolUnavailableError:
+                        # salvage: keep everything completed so far and
+                        # finish only the missing shards in-process
+                        pending = [
+                            i
+                            for i in range(len(plan))
+                            if i not in completed
+                        ]
+                elif collect:
+                    instr.increment("engine.pickle_fallback")
+                    instr.increment(f"engine.pickle_fallback.{reason}")
+            if pending:
+                _run_serial(
+                    tasks,
+                    pending,
+                    attempts,
+                    policy,
+                    on_success,
+                    on_failure,
+                    stats,
+                )
+            wall_seconds = time.perf_counter() - start
+    finally:
+        if writer is not None:
+            writer.close()
+    if not pool_used:
+        workers_used = 1
 
-    wins_per_shard = [wins for wins, _, _ in results]
+    failed_indices = {f.index for f in failures}
+    salvaged = (
+        sum(
+            1
+            for index, record in completed.items()
+            if not record[4]  # not resumed
+            and attempts[index] == 1
+            and index not in failed_indices
+        )
+        if failures
+        else 0
+    )
+
     outcomes = tuple(
         ShardOutcome(
             index=i,
             stream=name,
             trials=shard_trials,
-            wins=wins,
-            elapsed_seconds=elapsed,
+            wins=completed[i][0],
+            elapsed_seconds=completed[i][1],
+            attempt=completed[i][3],
         )
-        for i, (shard_trials, name, (wins, elapsed, _)) in enumerate(
-            zip(plan, names, results)
-        )
+        for i, (shard_trials, name) in enumerate(zip(plan, names))
     )
     if collect:
-        for _, _, snapshot in results:
-            if snapshot is not None:
-                instr.metrics.merge(snapshot)
+        for record in completed.values():
+            if record[2] is not None:
+                instr.metrics.merge(record[2])
         instr.increment("engine.sharded_calls")
         instr.set_gauge("engine.workers_used", workers_used)
         instr.observe("engine.sharded_wall_seconds", wall_seconds)
         instr.throughput.record(trials, wall_seconds)
+        for counter, value in (
+            ("engine.shard_retries", stats["retries"]),
+            ("engine.shard_timeouts", stats["timeouts"]),
+            ("engine.pool_rebuilds", stats["pool_rebuilds"]),
+            ("engine.shard_failures", len(failures)),
+            ("engine.shards_salvaged", salvaged),
+            ("engine.shards_resumed", resumed),
+        ):
+            if value:
+                instr.increment(counter, value)
     summary = BinomialSummary(
-        successes=sum(wins_per_shard), trials=trials, z_score=z_score
+        successes=sum(record[0] for record in completed.values()),
+        trials=trials,
+        z_score=z_score,
     )
     return ShardedEstimate(
-        summary=summary, shard_outcomes=outcomes, workers_used=workers_used
+        summary=summary,
+        shard_outcomes=outcomes,
+        workers_used=workers_used,
+        failures=tuple(failures),
+        resumed_shards=resumed,
+        salvaged_shards=salvaged,
     )

@@ -28,6 +28,8 @@ workflow: run disjoint grids, merge, render.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from fractions import Fraction
 from pathlib import Path
 from typing import Dict, List, Sequence, Union
@@ -35,6 +37,7 @@ from typing import Dict, List, Sequence, Union
 from repro.simulation.runner import SweepPoint, SweepResult
 
 __all__ = [
+    "ResultsStoreError",
     "load_sweep",
     "merge_sweeps",
     "save_sweep",
@@ -43,6 +46,17 @@ __all__ = [
 ]
 
 SCHEMA_VERSION = 1
+
+
+class ResultsStoreError(ValueError):
+    """A stored sweep file could not be read back.
+
+    Raised by :func:`load_sweep` for every failure mode a reader should
+    handle uniformly -- a missing file, truncated or corrupted JSON, or
+    a payload that parses but violates the schema.  The message always
+    names the offending path.  Subclasses :class:`ValueError` so
+    callers written against the old bare-``ValueError`` behaviour keep
+    working."""
 
 
 def _fraction_to_str(value: Fraction) -> str:
@@ -160,19 +174,69 @@ def sweep_from_dict(payload: Dict) -> SweepResult:
 
 
 def save_sweep(result: SweepResult, path: Union[str, Path]) -> Path:
-    """Write a sweep result as JSON; returns the path written."""
+    """Write a sweep result as JSON, atomically; returns the path written.
+
+    The payload is written to a temporary file in the *same* directory,
+    flushed and fsynced, then moved over the target with
+    :func:`os.replace`.  A crash (or a concurrent reader) therefore
+    sees either the complete old file or the complete new one -- never
+    a truncated JSON document, which is exactly the corruption mode a
+    resumed campaign would otherwise trip over.
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    with target.open("w") as handle:
-        json.dump(sweep_to_dict(result), handle, indent=2)
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=str(target.parent), prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            json.dump(sweep_to_dict(result), handle, indent=2)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, target)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
     return target
 
 
 def load_sweep(path: Union[str, Path]) -> SweepResult:
-    """Read a sweep result written by :func:`save_sweep`."""
-    with Path(path).open() as handle:
-        payload = json.load(handle)
-    return sweep_from_dict(payload)
+    """Read a sweep result written by :func:`save_sweep`.
+
+    Raises :class:`ResultsStoreError` -- naming the path -- on a
+    missing file, invalid JSON (truncation, corruption) or a payload
+    that fails schema validation, instead of leaking a bare
+    ``json.JSONDecodeError``/``KeyError`` from the internals.
+    """
+    target = Path(path)
+    try:
+        with target.open() as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ResultsStoreError(
+            f"cannot read sweep file {target}: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise ResultsStoreError(
+            f"sweep file {target} is not valid JSON "
+            f"(truncated or corrupted?): {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ResultsStoreError(
+            f"sweep file {target} holds {type(payload).__name__}, "
+            f"expected a JSON object"
+        )
+    try:
+        return sweep_from_dict(payload)
+    except ResultsStoreError:
+        raise
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ResultsStoreError(
+            f"sweep file {target} failed schema validation: {exc}"
+        ) from exc
 
 
 def merge_sweeps(results: Sequence[SweepResult]) -> SweepResult:

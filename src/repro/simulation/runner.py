@@ -26,6 +26,7 @@ from repro.model.algorithms import SingleThresholdRule
 from repro.model.system import DistributedSystem
 from repro.observability import get_instrumentation
 from repro.simulation.engine import MonteCarloEngine
+from repro.simulation.faulttolerance import FaultToleranceConfig
 from repro.symbolic.rational import RationalLike, as_fraction, rational_range
 
 __all__ = ["SweepPoint", "SweepResult", "sweep_players", "sweep_thresholds"]
@@ -99,14 +100,18 @@ def sweep_thresholds(
     seed: Optional[int] = None,
     workers: Optional[int] = None,
     shards: Optional[int] = None,
+    fault_tolerance: Optional[FaultToleranceConfig] = None,
 ) -> SweepResult:
     """Winning probability of the symmetric threshold rule over a ``beta`` grid.
 
     Exact values come from Theorem 5.1; with ``simulate=True`` each grid
     point is also estimated by Monte Carlo and the Wilson interval
     recorded (this is the validation mode used by the integration
-    tests and benchmark harness).  *workers* and *shards* are forwarded
-    to :meth:`MonteCarloEngine.estimate_winning_probability`.
+    tests and benchmark harness).  *workers*, *shards* and
+    *fault_tolerance* are forwarded to
+    :meth:`MonteCarloEngine.estimate_winning_probability`; because each
+    grid point runs on its own named stream, one checkpoint file can
+    carry an entire interrupted sweep across a resume.
     """
     d = as_fraction(delta)
     betas = (
@@ -139,6 +144,7 @@ def sweep_thresholds(
                         stream=f"beta={beta}",
                         workers=workers,
                         shards=shards,
+                        fault_tolerance=fault_tolerance,
                     )
                     simulated = summary.estimate
                     interval = summary.interval
@@ -170,6 +176,7 @@ def sweep_players(
     seed: Optional[int] = None,
     workers: Optional[int] = None,
     shards: Optional[int] = None,
+    fault_tolerance: Optional[FaultToleranceConfig] = None,
 ) -> SweepResult:
     """Sweep a per-``n`` exact quantity (default: the Theorem 4.3 optimum).
 
@@ -178,8 +185,8 @@ def sweep_players(
 
     With ``simulate=True``, *system_of_n* must build the executable
     system for each ``(n, delta)`` pair; every point then also records
-    a Monte Carlo estimate (stream ``f"n={n}"``), with *workers* and
-    *shards* forwarded to the engine.
+    a Monte Carlo estimate (stream ``f"n={n}"``), with *workers*,
+    *shards* and *fault_tolerance* forwarded to the engine.
     """
     if simulate and system_of_n is None:
         raise ValueError("simulate=True requires system_of_n")
@@ -207,6 +214,7 @@ def sweep_players(
                         stream=f"n={n}",
                         workers=workers,
                         shards=shards,
+                        fault_tolerance=fault_tolerance,
                     )
                     simulated = summary.estimate
                     interval = summary.interval

@@ -93,3 +93,98 @@ class TestParsing:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestValidateFaultTolerance:
+    """The fault-tolerance flags on ``repro validate``: chaos mode must
+    not change output, interrupted runs must resume, and predictable
+    failures must map to distinct exit codes with one-line messages."""
+
+    BASE = ["validate", "--n", "3", "--grid-size", "2", "--trials", "8000"]
+
+    def test_chaos_crash_output_identical_to_clean_run(self, capsys):
+        assert main(self.BASE + ["--workers", "2"]) == 0
+        clean = capsys.readouterr().out
+        code = main(
+            self.BASE
+            + ["--workers", "2", "--chaos-crash", "1", "--max-retries", "2"]
+        )
+        chaotic = capsys.readouterr().out
+        assert code == 0
+        assert chaotic == clean
+
+    def test_retries_exhausted_exit_code(self, capsys):
+        # a crash with a zero-retry budget cannot be survived
+        code = main(self.BASE + ["--workers", "2", "--chaos-crash", "0"])
+        captured = capsys.readouterr()
+        assert code == 5
+        assert "repro:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_checkpoint_then_resume(self, capsys, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        assert main(self.BASE + ["--checkpoint", str(path)]) == 0
+        clean = capsys.readouterr().out
+        assert path.exists()
+        code = main(
+            self.BASE + ["--checkpoint", str(path), "--resume"]
+        )
+        resumed = capsys.readouterr().out
+        assert code == 0
+        assert resumed == clean
+
+    def test_resume_fingerprint_mismatch_exit_code(self, capsys, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        assert main(self.BASE + ["--checkpoint", str(path)]) == 0
+        capsys.readouterr()
+        code = main(
+            self.BASE
+            + ["--seed", "99", "--checkpoint", str(path), "--resume"]
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "different run" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unwritable_checkpoint_exit_code(self, capsys, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        code = main(
+            self.BASE + ["--checkpoint", str(blocker / "ckpt.jsonl")]
+        )
+        captured = capsys.readouterr()
+        assert code == 4
+        assert "checkpoint" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_resume_without_checkpoint_is_usage_error(self, capsys):
+        code = main(self.BASE + ["--resume"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--resume requires --checkpoint" in captured.err
+
+    def test_shard_timeout_flag_accepted(self, capsys):
+        code = main(
+            self.BASE
+            + ["--workers", "2", "--shard-timeout", "60", "--max-retries", "1"]
+        )
+        assert code == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_profile_report_shows_failure_section(self, capsys):
+        code = main(
+            self.BASE
+            + [
+                "--workers",
+                "2",
+                "--chaos-crash",
+                "1",
+                "--max-retries",
+                "2",
+                "--profile",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "failures and recoveries:" in captured.err
+        assert "engine.shards_salvaged" in captured.err

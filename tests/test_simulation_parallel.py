@@ -245,3 +245,123 @@ class TestEngineIntegration:
         ]
         assert results[0].summary == results[1].summary
         assert results[0].stages == results[1].stages
+
+
+class TestPickleFallbackDiagnostics:
+    """The serial fallback for unpicklable work must be *visible*: a
+    counter plus the exception class that caused it, never a silent
+    degradation (and never a blanket ``except Exception``)."""
+
+    def test_unpicklable_system_falls_back_and_counts(self):
+        from repro.observability import use_instrumentation
+
+        system = scalar_system(2)
+        # full-information patterns carry per-instance closures that
+        # pickle refuses; verify the premise before relying on it
+        import pickle
+
+        with pytest.raises((pickle.PicklingError, TypeError, AttributeError)):
+            pickle.dumps(system.algorithms[0].share)
+
+        class Unpicklable(DistributedSystem):
+            """A system whose pickling always fails."""
+
+            def __reduce__(self):
+                raise pickle.PicklingError("not today")
+
+        bad = Unpicklable([SingleThresholdRule(Fraction(3, 5))] * 2, 1)
+        with use_instrumentation() as instr:
+            est = estimate_winning_probability_sharded(
+                bad, 2_000, SeedSequenceFactory(4), shards=4, workers=2
+            )
+        counters = instr.metrics.snapshot().counters
+        assert est.workers_used == 1
+        assert counters["engine.pickle_fallback"] == 1
+        assert counters["engine.pickle_fallback.PicklingError"] == 1
+
+    def test_picklable_pool_run_records_no_fallback(self):
+        from repro.observability import use_instrumentation
+
+        with use_instrumentation() as instr:
+            estimate_winning_probability_sharded(
+                vector_system(), 2_000, SeedSequenceFactory(4),
+                shards=4, workers=2,
+            )
+        counters = instr.metrics.snapshot().counters
+        assert "engine.pickle_fallback" not in counters
+
+    def test_non_serialisation_errors_are_not_swallowed(self):
+        import pickle as pickle_module
+
+        from repro.simulation.parallel import _pickle_failure
+
+        class ExplodesOnPickle:
+            def __reduce__(self):
+                raise KeyboardInterrupt  # not a serialisation failure
+
+        assert _pickle_failure(object()) is None
+        with pytest.raises(KeyboardInterrupt):
+            _pickle_failure(ExplodesOnPickle())
+
+        class MerelyUnpicklable:
+            def __reduce__(self):
+                raise pickle_module.PicklingError("no")
+
+        assert _pickle_failure(MerelyUnpicklable()) == "PicklingError"
+
+
+class TestFaultToleranceForwarding:
+    """workers/shards gained a sibling knob: fault_tolerance must flow
+    through sweeps and the adaptive estimator without changing any
+    number (chaos faults included)."""
+
+    def test_sweep_forwards_fault_tolerance(self):
+        from repro.simulation.faulttolerance import (
+            FaultPlan,
+            FaultToleranceConfig,
+            RetryPolicy,
+        )
+        from repro.simulation.runner import sweep_thresholds
+
+        clean = sweep_thresholds(
+            3, 1, grid_size=3, simulate=True, trials=8_000, seed=2,
+            workers=2,
+        )
+        chaotic = sweep_thresholds(
+            3, 1, grid_size=3, simulate=True, trials=8_000, seed=2,
+            workers=2,
+            fault_tolerance=FaultToleranceConfig(
+                retry=RetryPolicy(max_retries=1, backoff_base=0.0),
+                fault_plan=FaultPlan.single("crash", shard=2),
+            ),
+        )
+        assert [p.simulated for p in clean.points] == [
+            p.simulated for p in chaotic.points
+        ]
+
+    def test_adaptive_forwards_fault_tolerance(self):
+        from repro.simulation.adaptive import estimate_until_precise
+        from repro.simulation.faulttolerance import (
+            FaultPlan,
+            FaultToleranceConfig,
+            RetryPolicy,
+        )
+
+        clean = estimate_until_precise(
+            vector_system(),
+            half_width=0.02,
+            engine=MonteCarloEngine(seed=10),
+            workers=2,
+        )
+        chaotic = estimate_until_precise(
+            vector_system(),
+            half_width=0.02,
+            engine=MonteCarloEngine(seed=10),
+            workers=2,
+            fault_tolerance=FaultToleranceConfig(
+                retry=RetryPolicy(max_retries=1, backoff_base=0.0),
+                fault_plan=FaultPlan.single("crash", shard=0),
+            ),
+        )
+        assert clean.summary == chaotic.summary
+        assert clean.stages == chaotic.stages

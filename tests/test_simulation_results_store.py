@@ -190,3 +190,86 @@ class TestMerge:
         full = sweep_thresholds(3, 1, grid_size=11)
         assert merged.parameters == full.parameters
         assert merged.exact_values == full.exact_values
+
+
+class TestCrashSafety:
+    """save_sweep must be atomic (temp file + fsync + os.replace) and
+    load_sweep must turn every corruption mode into a clear
+    ResultsStoreError naming the path -- never a bare
+    json.JSONDecodeError or KeyError."""
+
+    def test_corrupt_byte_raises_results_store_error(self, tmp_path):
+        from repro.simulation.results_store import ResultsStoreError
+
+        path = save_sweep(exact_sweep(), tmp_path / "sweep.json")
+        payload = bytearray(path.read_bytes())
+        middle = len(payload) // 2
+        payload[middle] = 0x00  # flip one byte mid-file
+        path.write_bytes(bytes(payload))
+        with pytest.raises(ResultsStoreError) as info:
+            load_sweep(path)
+        assert "sweep.json" in str(info.value)
+        assert isinstance(info.value, ValueError)  # compat with old API
+
+    def test_truncated_file_raises_results_store_error(self, tmp_path):
+        from repro.simulation.results_store import ResultsStoreError
+
+        path = save_sweep(exact_sweep(), tmp_path / "sweep.json")
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(ResultsStoreError):
+            load_sweep(path)
+
+    def test_missing_file_raises_results_store_error(self, tmp_path):
+        from repro.simulation.results_store import ResultsStoreError
+
+        with pytest.raises(ResultsStoreError) as info:
+            load_sweep(tmp_path / "absent.json")
+        assert "absent.json" in str(info.value)
+
+    def test_schema_violation_names_the_path(self, tmp_path):
+        from repro.simulation.results_store import ResultsStoreError
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 999}))
+        with pytest.raises(ResultsStoreError) as info:
+            load_sweep(path)
+        assert "bad.json" in str(info.value)
+
+    def test_non_object_payload_rejected(self, tmp_path):
+        from repro.simulation.results_store import ResultsStoreError
+
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ResultsStoreError):
+            load_sweep(path)
+
+    def test_save_replaces_atomically(self, tmp_path):
+        # overwriting an existing file must leave either the old or the
+        # new content -- simulate a writer crash by making the dump fail
+        # and check the original survives untouched, with no temp litter
+        import repro.simulation.results_store as store
+
+        path = save_sweep(exact_sweep(), tmp_path / "sweep.json")
+        before = path.read_text()
+
+        class Explodes:
+            pass
+
+        with pytest.raises(TypeError):
+            # non-serialisable object raises inside json.dump
+            result = exact_sweep()
+            result.label = Explodes()  # type: ignore[assignment]
+            save_sweep(result, path)
+        assert path.read_text() == before
+        leftovers = [
+            p for p in path.parent.iterdir() if p.name != path.name
+        ]
+        assert leftovers == []
+
+    def test_save_then_load_still_round_trips(self, tmp_path):
+        original = simulated_sweep()
+        loaded = load_sweep(save_sweep(original, tmp_path / "s.json"))
+        assert [p.simulated for p in loaded.points] == [
+            p.simulated for p in original.points
+        ]
