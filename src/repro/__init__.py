@@ -21,6 +21,8 @@ subpackages hold the full API:
   optimality conditions;
 * :mod:`repro.optimize` -- exact and numeric optimisers;
 * :mod:`repro.simulation` -- the Monte Carlo validation testbed;
+* :mod:`repro.validation` -- runtime contracts, the analytic/MC
+  cross-validation oracle, and the certified float fast path;
 * :mod:`repro.baselines` -- comparison protocols;
 * :mod:`repro.experiments` -- regeneration of every figure and table.
 """
@@ -35,6 +37,12 @@ from repro.core.oblivious import (
     optimal_oblivious_winning_probability,
 )
 from repro.core.winning import exact_winning_probability
+from repro.errors import (
+    ContractViolation,
+    NumericalInstabilityError,
+    ReproError,
+    ValidationError,
+)
 from repro.model.algorithms import ObliviousCoin, SingleThresholdRule
 from repro.model.system import DistributedSystem, Outcome
 from repro.optimize.oblivious_opt import solve_oblivious_optimum
@@ -44,11 +52,15 @@ from repro.simulation.engine import MonteCarloEngine
 __version__ = "1.0.0"
 
 __all__ = [
+    "ContractViolation",
     "DistributedSystem",
     "MonteCarloEngine",
+    "NumericalInstabilityError",
     "ObliviousCoin",
     "Outcome",
+    "ReproError",
     "SingleThresholdRule",
+    "ValidationError",
     "__version__",
     "exact_winning_probability",
     "oblivious_winning_probability",

@@ -8,6 +8,11 @@ Commands map one-to-one onto the paper's evaluation artefacts:
 * ``repro uniformity`` -- the Theorem 4.3 table across player counts.
 * ``repro tradeoff`` -- oblivious vs threshold vs centralized.
 * ``repro validate`` -- Monte Carlo validation of the exact formulas.
+* ``repro check`` -- the result-integrity oracle: analytic closed
+  forms vs independent exact witnesses vs Monte Carlo vs the
+  centralized bound, with runtime contracts active (see
+  :mod:`repro.validation`).  Disagreement exits with its own code (6)
+  so CI can tell an integrity regression from every other failure.
 
 Every subcommand additionally accepts the instrumentation flags
 ``--profile`` (print a metrics/span report to stderr after the run),
@@ -34,6 +39,7 @@ from fractions import Fraction
 from pathlib import Path
 from typing import List, Optional
 
+from repro.errors import ContractViolation, ValidationError
 from repro.experiments.figures import figure1, figure2, render_figure
 from repro.experiments.tables import (
     case_study,
@@ -66,6 +72,7 @@ __all__ = ["main"]
 EXIT_FINGERPRINT_MISMATCH = 3
 EXIT_CHECKPOINT_ERROR = 4
 EXIT_RETRIES_EXHAUSTED = 5
+EXIT_INTEGRITY_MISMATCH = 6
 
 
 def _parse_fraction(text: str) -> Fraction:
@@ -282,6 +289,81 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    check = sub.add_parser(
+        "check",
+        help="cross-validate analytic formulas, MC and bounds",
+        parents=[obs],
+    )
+    check.add_argument(
+        "--ns", type=int, nargs="+", default=[2, 3, 4]
+    )
+    check.add_argument(
+        "--deltas",
+        type=_parse_fraction,
+        nargs="+",
+        default=[Fraction(1)],
+    )
+    check.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["oblivious", "threshold"],
+        choices=["oblivious", "threshold"],
+    )
+    check.add_argument("--trials", type=int, default=20_000)
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard the Monte Carlo route across worker processes",
+    )
+    check.add_argument(
+        "--z-threshold",
+        type=float,
+        default=3.89,
+        help="maximum tolerated |z| of the MC estimate (default 3.89)",
+    )
+    check.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "run contracts in strict mode: the first violated "
+            "invariant aborts with exit code 6 instead of only being "
+            "counted"
+        ),
+    )
+    check.add_argument(
+        "--report-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable agreement report as JSON",
+    )
+    check.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="K",
+        help="retry budget per MC shard (implies sharded execution)",
+    )
+    check.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock limit per MC shard attempt",
+    )
+    check.add_argument(
+        "--inject-analytic-error",
+        type=float,
+        default=0.0,
+        metavar="EPS",
+        help=(
+            "add EPS to every analytic value before the MC comparison "
+            "-- a deliberate bug injection proving the oracle can fail"
+        ),
+    )
+
     return parser
 
 
@@ -417,6 +499,46 @@ def _dispatch(args: argparse.Namespace) -> int:
             print("VALIDATION FAILED", file=sys.stderr)
             return 1
         print(f"all {len(result.points)} grid points consistent")
+    elif args.command == "check":
+        return _run_check(args)
+    return 0
+
+
+def _run_check(args: argparse.Namespace) -> int:
+    """``repro check``: run the cross-validation oracle and report."""
+    from repro.validation import default_case_grid, run_cross_validation
+    from repro.validation.contracts import use_contracts
+
+    fault_tolerance = None
+    if args.max_retries is not None or args.shard_timeout is not None:
+        fault_tolerance = FaultToleranceConfig(
+            retry=RetryPolicy(
+                max_retries=(
+                    0 if args.max_retries is None else args.max_retries
+                ),
+                shard_timeout=args.shard_timeout,
+            )
+        )
+    with use_contracts(strict=args.strict):
+        cases = default_case_grid(
+            args.ns, args.deltas, algorithms=args.algorithms
+        )
+        report = run_cross_validation(
+            cases,
+            trials=args.trials,
+            seed=args.seed,
+            workers=args.workers,
+            z_threshold=args.z_threshold,
+            perturbation=args.inject_analytic_error,
+            fault_tolerance=fault_tolerance,
+        )
+    print(report.render())
+    if args.report_out is not None:
+        args.report_out.write_text(report.to_json() + "\n")
+        print(f"report written to {args.report_out}", file=sys.stderr)
+    if not report.passed:
+        print("INTEGRITY CHECK FAILED", file=sys.stderr)
+        return EXIT_INTEGRITY_MISMATCH
     return 0
 
 
@@ -464,15 +586,23 @@ def _dispatch_mapped(args: argparse.Namespace) -> int:
     except ShardRetriesExhaustedError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return EXIT_RETRIES_EXHAUSTED
+    except ContractViolation as exc:
+        print(f"repro: integrity: {exc}", file=sys.stderr)
+        return EXIT_INTEGRITY_MISMATCH
+    except ValidationError as exc:
+        print(f"repro: invalid request: {exc}", file=sys.stderr)
+        return 2
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``repro`` command; returns the exit code.
 
     Exit codes: 0 success; 1 validation/reproduction mismatch; 2 usage
-    error; 3 ``--resume`` against a checkpoint from a different run;
-    4 unusable checkpoint (unwritable path, corrupt header); 5 a shard
-    exhausted its ``--max-retries`` budget.
+    error or rejected argument value; 3 ``--resume`` against a
+    checkpoint from a different run; 4 unusable checkpoint (unwritable
+    path, corrupt header); 5 a shard exhausted its ``--max-retries``
+    budget; 6 the ``repro check`` integrity oracle found a
+    disagreement (or a strict-mode contract violation).
     """
     args = _build_parser().parse_args(argv)
     profiled = bool(

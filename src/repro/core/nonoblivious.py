@@ -37,10 +37,12 @@ from fractions import Fraction
 from itertools import product
 from typing import List, Sequence
 
+from repro.errors import ValidationError
 from repro.probability.uniform_sums import (
     joint_sum_below_and_inside_high,
     joint_sum_below_and_inside_low,
 )
+from repro.validation.contracts import check_probability
 from repro.symbolic.piecewise import PiecewisePolynomial
 from repro.symbolic.polynomial import Polynomial
 from repro.symbolic.rational import (
@@ -70,10 +72,12 @@ def threshold_winning_probability(
     """
     a = [as_fraction(v) for v in thresholds]
     if not a:
-        raise ValueError("need at least one player")
+        raise ValidationError("need at least one player")
     for i, v in enumerate(a):
         if not 0 <= v <= 1:
-            raise ValueError(f"thresholds[{i}] must be in [0, 1], got {v}")
+            raise ValidationError(
+                f"thresholds[{i}] must be in [0, 1], got {v}"
+            )
     d = as_fraction(delta)
     if d <= 0:
         return Fraction(0)
@@ -87,7 +91,7 @@ def threshold_winning_probability(
             continue
         high = joint_sum_below_and_inside_high(d, ones)
         total += low * high
-    return total
+    return check_probability("threshold_winning_probability", total)
 
 
 def _a_factor(beta: Fraction, n: int, k: int, delta: Fraction) -> Fraction:
@@ -125,10 +129,10 @@ def symmetric_threshold_winning_probability(
     ``P(beta) = sum_k C(n, k) A_k(beta) B_k(beta)``
     """
     if n < 1:
-        raise ValueError(f"n must be >= 1, got {n}")
+        raise ValidationError(f"n must be >= 1, got {n}")
     b = as_fraction(beta)
     if not 0 <= b <= 1:
-        raise ValueError(f"beta must be in [0, 1], got {b}")
+        raise ValidationError(f"beta must be in [0, 1], got {b}")
     d = as_fraction(delta)
     if d <= 0:
         return Fraction(0)
@@ -137,7 +141,9 @@ def symmetric_threshold_winning_probability(
         total += (
             binomial(n, k) * _a_factor(b, n, k, d) * _b_factor(b, k, d)
         )
-    return total
+    return check_probability(
+        "symmetric_threshold_winning_probability", total
+    )
 
 
 def symmetric_threshold_breakpoints(

@@ -25,7 +25,13 @@ from itertools import product
 from typing import List, Sequence
 
 from repro.core.phi import phi_table
+from repro.errors import ValidationError
 from repro.symbolic.rational import RationalLike, as_fraction, binomial
+from repro.validation.contracts import (
+    check_probability,
+    check_symmetry,
+    contracts_enabled,
+)
 
 __all__ = [
     "number_of_ones_distribution",
@@ -39,10 +45,12 @@ __all__ = [
 def _validated_probabilities(alphas: Sequence[RationalLike]) -> List[Fraction]:
     out = [as_fraction(a) for a in alphas]
     if not out:
-        raise ValueError("need at least one player")
+        raise ValidationError("need at least one player")
     for i, a in enumerate(out):
         if not 0 <= a <= 1:
-            raise ValueError(f"alphas[{i}] must be a probability, got {a}")
+            raise ValidationError(
+                f"alphas[{i}] must be a probability, got {a}"
+            )
     return out
 
 
@@ -79,7 +87,15 @@ def oblivious_winning_probability(
     n = len(alpha)
     phis = phi_table(t, n)
     pmf = number_of_ones_distribution(alpha)
-    return sum((phis[k] * pmf[k] for k in range(n + 1)), Fraction(0))
+    value = sum((phis[k] * pmf[k] for k in range(n + 1)), Fraction(0))
+    if contracts_enabled():
+        # Relabelling bins swaps alpha <-> 1 - alpha, which reverses the
+        # Poisson-binomial pmf, so the mirrored value is free to compute.
+        mirrored = sum(
+            (phis[k] * pmf[n - k] for k in range(n + 1)), Fraction(0)
+        )
+        check_symmetry("oblivious_alpha_symmetry", value, mirrored)
+    return check_probability("oblivious_winning_probability", value)
 
 
 def oblivious_winning_probability_enumerated(
@@ -103,7 +119,7 @@ def oblivious_winning_probability_enumerated(
         if weight == 0:
             continue
         total += phis[sum(bits)] * weight
-    return total
+    return check_probability("oblivious_winning_probability_enumerated", total)
 
 
 def symmetric_oblivious_winning_probability(
@@ -115,12 +131,12 @@ def symmetric_oblivious_winning_probability(
     """
     a = as_fraction(alpha)
     if not 0 <= a <= 1:
-        raise ValueError(f"alpha must be a probability, got {a}")
+        raise ValidationError(f"alpha must be a probability, got {a}")
     phis = phi_table(t, n)
     total = Fraction(0)
     for k in range(n + 1):
         total += binomial(n, k) * a ** (n - k) * (1 - a) ** k * phis[k]
-    return total
+    return check_probability("symmetric_oblivious_winning_probability", total)
 
 
 def optimal_oblivious_winning_probability(t: RationalLike, n: int) -> Fraction:
@@ -132,4 +148,6 @@ def optimal_oblivious_winning_probability(t: RationalLike, n: int) -> Fraction:
     total = sum(
         (binomial(n, k) * phis[k] for k in range(n + 1)), Fraction(0)
     )
-    return total / 2**n
+    return check_probability(
+        "optimal_oblivious_winning_probability", total / 2**n
+    )

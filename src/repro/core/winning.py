@@ -35,6 +35,7 @@ from typing import List, Sequence
 
 from repro.core.nonoblivious import threshold_winning_probability
 from repro.core.oblivious import oblivious_winning_probability
+from repro.errors import ValidationError
 from repro.model.agents import DecisionAlgorithm
 from repro.model.algorithms import (
     IntervalRule,
@@ -42,6 +43,7 @@ from repro.model.algorithms import (
     SingleThresholdRule,
 )
 from repro.symbolic.rational import RationalLike, as_fraction
+from repro.validation.contracts import check_probability
 
 __all__ = ["exact_winning_probability"]
 
@@ -58,7 +60,7 @@ def exact_winning_probability(
 
     algs = list(algorithms)
     if not algs:
-        raise ValueError("need at least one player")
+        raise ValidationError("need at least one player")
     delta = as_fraction(capacity)
 
     if all(isinstance(a, ObliviousCoin) for a in algs):
@@ -159,7 +161,7 @@ def _general_profile(
         if weight == 0:
             continue
         total += weight * interval_rule_winning_probability(delta, rules)
-    return total
+    return check_probability("exact_winning_probability.general", total)
 
 
 def _mixed_profile(
@@ -192,4 +194,4 @@ def _mixed_profile(
         if weight == 0:
             continue
         total += weight * threshold_winning_probability(delta, thresholds)
-    return total
+    return check_probability("exact_winning_probability.mixed", total)

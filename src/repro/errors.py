@@ -1,0 +1,82 @@
+"""The typed exception hierarchy of the package.
+
+Every predictable failure raised by ``repro`` code derives from
+:class:`ReproError`, so callers (and the CLI) can distinguish "the
+library rejected your request or detected an internal problem" from a
+genuine bug surfacing as an arbitrary exception.  The hierarchy:
+
+``ReproError``
+    root of everything the package raises deliberately;
+``ValidationError`` (also a :class:`ValueError`)
+    a caller-supplied argument was rejected -- out-of-range
+    probabilities, non-positive sides, dimension mismatches.  The CLI
+    maps it to exit code 2 with a one-line message;
+``ContractViolation``
+    a runtime invariant of :mod:`repro.validation.contracts` failed in
+    strict mode -- a computed probability left ``[0, 1]``, a CDF lost
+    monotonicity, a volume exceeded its subadditive cap.  Unlike
+    ``ValidationError`` this signals a defect *inside* the library,
+    not bad input;
+``NumericalInstabilityError`` (also an :class:`ArithmeticError`)
+    the guarded float fast path could not certify its error bound and
+    the caller forbade the exact fallback;
+``ResultsStoreError`` (also a :class:`ValueError`)
+    a stored sweep file could not be read back (re-exported by
+    :mod:`repro.simulation.results_store`, its historical home).
+
+``ValidationError`` and ``ResultsStoreError`` keep :class:`ValueError`
+as a base so code written against the old bare-``ValueError``
+behaviour -- including every pre-existing test -- continues to work.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ContractViolation",
+    "NumericalInstabilityError",
+    "ReproError",
+    "ResultsStoreError",
+    "ValidationError",
+]
+
+
+class ReproError(Exception):
+    """Root of every deliberate failure raised by the package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A caller-supplied argument was rejected.
+
+    Raised by the ``_validated_*`` helpers throughout the numeric
+    layers and by CLI argument handling.  Subclasses
+    :class:`ValueError` for backwards compatibility."""
+
+
+class ContractViolation(ReproError):
+    """A runtime invariant failed in strict contract mode.
+
+    Carries the contract name and the offending value so operators can
+    tell *which* invariant broke without reading a traceback."""
+
+    def __init__(self, contract: str, message: str):
+        super().__init__(f"contract {contract!r} violated: {message}")
+        self.contract = contract
+
+
+class NumericalInstabilityError(ReproError, ArithmeticError):
+    """The guarded float fast path could not certify its result.
+
+    Raised only when the caller explicitly forbids the exact
+    ``Fraction`` fallback (``fallback="raise"``); the default policy
+    falls back silently and counts the event in the metrics."""
+
+
+class ResultsStoreError(ReproError, ValueError):
+    """A stored sweep file could not be read back.
+
+    Raised by :func:`repro.simulation.results_store.load_sweep` for
+    every failure mode a reader should handle uniformly -- a missing
+    file, truncated or corrupted JSON, or a payload that parses but
+    violates the schema.  The message always names the offending path.
+    Subclasses :class:`ValueError` so callers written against the old
+    bare-``ValueError`` behaviour keep working."""

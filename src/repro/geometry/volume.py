@@ -23,20 +23,32 @@ the test-suite.
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 from itertools import combinations
 from typing import Sequence, Tuple
 
+from repro.errors import ValidationError
 from repro.geometry.box import Box
 from repro.geometry.polytope import Polytope
 from repro.geometry.simplex import OrthogonalSimplex
 from repro.symbolic.rational import RationalLike, as_fraction, factorial
+from repro.validation.contracts import (
+    check_volume_subadditive,
+    contracts_enabled,
+)
+from repro.validation.fastpath import (
+    EPS,
+    certified_alternating_sum,
+    resolve_guarded,
+)
 
 __all__ = [
     "SimplexBoxIntersection",
     "corner_simplex_volume",
     "intersection_volume",
     "intersection_volume_by_integration",
+    "intersection_volume_fast",
 ]
 
 
@@ -46,17 +58,17 @@ def _validated_sides(
     s = tuple(as_fraction(v) for v in sigma)
     p = tuple(as_fraction(v) for v in pi)
     if len(s) != len(p):
-        raise ValueError(
+        raise ValidationError(
             f"dimension mismatch: {len(s)} simplex sides, {len(p)} box sides"
         )
     if not s:
-        raise ValueError("need at least one dimension")
+        raise ValidationError("need at least one dimension")
     for i, v in enumerate(s):
         if v <= 0:
-            raise ValueError(f"sigma[{i}] must be positive, got {v}")
+            raise ValidationError(f"sigma[{i}] must be positive, got {v}")
     for i, v in enumerate(p):
         if v <= 0:
-            raise ValueError(f"pi[{i}] must be positive, got {v}")
+            raise ValidationError(f"pi[{i}] must be positive, got {v}")
     return s, p
 
 
@@ -113,7 +125,66 @@ def intersection_volume(
             # Every subset of this size already violates the condition;
             # larger subsets only increase the ratio sum, so stop early.
             break
-    return prefactor * total
+    volume = prefactor * total
+    if contracts_enabled():
+        box_volume = Fraction(1)
+        for v in p:
+            box_volume *= v
+        check_volume_subadditive(
+            "intersection_volume",
+            volume,
+            [OrthogonalSimplex(s).volume(), box_volume],
+        )
+    return volume
+
+
+def intersection_volume_fast(
+    sigma: Sequence[RationalLike],
+    pi: Sequence[RationalLike],
+    rel_tol: float = 1e-9,
+    abs_tol: float = 1e-15,
+    fallback: str = "exact",
+) -> float:
+    """Guarded float fast path for :func:`intersection_volume`.
+
+    Evaluates the Proposition 2.2 alternating series in compensated
+    float arithmetic with a running error bound (see
+    :mod:`repro.validation.fastpath`); returns the float when the
+    bound certifies it and otherwise falls back to the exact
+    ``Fraction`` path (``fallback="exact"``, counted in the metrics)
+    or raises :class:`~repro.errors.NumericalInstabilityError`
+    (``fallback="raise"``).
+    """
+    s, p = _validated_sides(sigma, pi)
+    m = len(s)
+    ratios = [float(p[l] / s[l]) for l in range(m)]
+    prefactor = Fraction(1)
+    for v in s:
+        prefactor *= v
+    prefactor /= factorial(m)
+
+    def bases():
+        for size in range(m + 1):
+            sign = 1 if size % 2 == 0 else -1
+            for subset in combinations(ratios, size):
+                ratio_sum = math.fsum(subset)
+                error = 3.0 * EPS * (1.0 + ratio_sum)
+                yield (sign, 1.0 - ratio_sum, error)
+
+    guarded = certified_alternating_sum(
+        bases(),
+        m,
+        float(1 / prefactor),
+        rel_tol=rel_tol,
+        abs_tol=abs_tol,
+    )
+    value = resolve_guarded(
+        "intersection_volume",
+        guarded,
+        lambda: intersection_volume(s, p),
+        fallback=fallback,
+    )
+    return max(0.0, value)
 
 
 def intersection_volume_by_integration(

@@ -38,7 +38,9 @@ from repro.core.oblivious import (
 )
 from repro.core.optimality import oblivious_gradient
 from repro.core.phi import phi_table
+from repro.errors import ValidationError
 from repro.observability import get_instrumentation
+from repro.validation.contracts import check_probability
 from repro.symbolic.polynomial import Polynomial
 from repro.symbolic.rational import RationalLike, as_fraction, binomial
 from repro.symbolic.roots import real_roots
@@ -77,7 +79,7 @@ def symmetric_oblivious_polynomial(t: RationalLike, n: int) -> Polynomial:
     input-conditioning that creates pieces in the threshold case).
     """
     if n < 1:
-        raise ValueError(f"n must be >= 1, got {n}")
+        raise ValidationError(f"n must be >= 1, got {n}")
     phis = phi_table(t, n)
     alpha = Polynomial.x()
     one_minus = Polynomial.linear(1, -1)
@@ -135,6 +137,7 @@ def solve_oblivious_optimum(
         instr.increment(
             "optimize.candidates_probed", 2 + len(stationary)
         )
+    check_probability("solve_oblivious_optimum", probability)
     # Cross-check against the closed form of Theorem 4.3 when the
     # optimum is the fair coin.
     if best_alpha == Fraction(1, 2):

@@ -24,7 +24,9 @@ from fractions import Fraction
 from typing import List, Tuple
 
 from repro.core.nonoblivious import symmetric_threshold_winning_polynomial
+from repro.errors import ValidationError
 from repro.observability import get_instrumentation
+from repro.validation.contracts import check_probability
 from repro.symbolic.piecewise import Piece, PiecewisePolynomial
 from repro.symbolic.polynomial import Polynomial
 from repro.symbolic.rational import RationalLike, as_fraction
@@ -79,10 +81,10 @@ def optimal_symmetric_threshold(
     at the default 1e-12 this is far below anything the paper reports).
     """
     if n < 1:
-        raise ValueError(f"n must be >= 1, got {n}")
+        raise ValidationError(f"n must be >= 1, got {n}")
     d = as_fraction(delta)
     if d <= 0:
-        raise ValueError(f"delta must be positive, got {d}")
+        raise ValidationError(f"delta must be positive, got {d}")
     instr = get_instrumentation()
     with instr.span(
         "optimize.symmetric_threshold", n=n, delta=str(d)
@@ -92,6 +94,7 @@ def optimal_symmetric_threshold(
         piece = curve.piece_at(beta)
         instr.increment("optimize.threshold_searches")
         instr.increment("optimize.pieces_searched", len(curve.pieces))
+    check_probability("optimal_symmetric_threshold", probability)
     return ThresholdOptimum(
         n=n,
         delta=d,

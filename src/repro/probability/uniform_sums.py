@@ -1,7 +1,7 @@
 """Exact distributions of sums of independent uniforms (Section 2.2).
 
-All functions return exact :class:`fractions.Fraction` values.  The core
-results implemented:
+All core functions return exact :class:`fractions.Fraction` values.
+The results implemented:
 
 * **Lemma 2.4** -- for independent ``x_i ~ U[0, pi_i]``,
 
@@ -25,16 +25,34 @@ results implemented:
   (i.e. the un-normalised numerators, where the paper's conditional
   probabilities have been multiplied back by ``P(y = b)``).
 
-Empty sums follow the paper's conventions: a sum of zero random
-variables is the constant 0, so its CDF at any ``t > 0`` is 1.
+Boundary conventions (explicit, never left to the inclusion-exclusion
+sum collapsing by accident; each is pinned by a dedicated test):
+
+* the empty sum (``m = 0``) is the constant 0, so its CDF is 1 for
+  ``t >= 0`` and 0 below, and it has no density;
+* ``t <= 0`` gives CDF 0 and ``t >= sum(uppers)`` gives CDF 1 (the
+  distribution is continuous, so the boundary points carry no mass
+  and either closed/open convention yields the same value);
+* a **zero-width interval** ``uppers[i] = 0`` is the constant 0 --
+  it is dropped from the sum rather than rejected, so degenerate
+  grids evaluate without special-casing by the caller.  Negative
+  widths raise :class:`~repro.errors.ValidationError`.
+
+The ``*_fast`` variants evaluate the same alternating series in
+compensated float arithmetic with a running error bound (see
+:mod:`repro.validation.fastpath`): they return the float when the
+bound certifies it and transparently fall back to the exact
+``Fraction`` path otherwise, counting the fallback in the metrics.
 """
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 from itertools import combinations
-from typing import Sequence
+from typing import List, Sequence
 
+from repro.errors import ValidationError
 from repro.probability.inclusion_exclusion import alternating_symmetric_sum
 from repro.symbolic.rational import (
     RationalLike,
@@ -42,25 +60,50 @@ from repro.symbolic.rational import (
     binomial,
     factorial,
 )
+from repro.validation.contracts import check_probability
+from repro.validation.fastpath import (
+    EPS,
+    certified_alternating_sum,
+    resolve_guarded,
+)
 
 __all__ = [
     "irwin_hall_cdf",
+    "irwin_hall_cdf_fast",
     "irwin_hall_pdf",
     "joint_sum_below_and_inside_boxes",
     "joint_sum_below_and_inside_high",
     "joint_sum_below_and_inside_low",
     "sum_uniform_cdf",
+    "sum_uniform_cdf_fast",
     "sum_uniform_pdf",
     "sum_uniform_tail_cdf",
 ]
 
 
-def _validated_positive(values: Sequence[RationalLike], name: str):
+def _validated_positive(
+    values: Sequence[RationalLike], name: str
+) -> List[Fraction]:
     out = [as_fraction(v) for v in values]
     for i, v in enumerate(out):
         if v <= 0:
-            raise ValueError(f"{name}[{i}] must be positive, got {v}")
+            raise ValidationError(f"{name}[{i}] must be positive, got {v}")
     return out
+
+
+def _validated_widths(
+    values: Sequence[RationalLike], name: str
+) -> List[Fraction]:
+    """Interval widths: non-negative, with zero-width (constant 0)
+    entries dropped -- adding the constant 0 never changes a sum."""
+    out = [as_fraction(v) for v in values]
+    for i, v in enumerate(out):
+        if v < 0:
+            raise ValidationError(
+                f"{name}[{i}] must be >= 0 (a zero-width interval is "
+                f"the constant 0), got {v}"
+            )
+    return [v for v in out if v != 0]
 
 
 def sum_uniform_cdf(t: RationalLike, uppers: Sequence[RationalLike]) -> Fraction:
@@ -68,11 +111,14 @@ def sum_uniform_cdf(t: RationalLike, uppers: Sequence[RationalLike]) -> Fraction
 
     For ``t <= 0`` returns 0; for ``t >= sum(uppers)`` returns 1 (both
     follow from the formula but are short-circuited for clarity and
-    speed).  Exponential in ``len(uppers)`` via subset enumeration --
+    speed).  Zero-width entries of *uppers* are the constant 0 and are
+    dropped; if every entry is zero-width the empty-sum convention
+    applies.  Exponential in ``len(uppers)`` via subset enumeration --
     fine for the paper's small ``m``; use :func:`irwin_hall_cdf` for the
-    identical-interval case, which is linear.
+    identical-interval case, which is linear, or
+    :func:`sum_uniform_cdf_fast` for a certified float.
     """
-    pi = _validated_positive(uppers, "uppers")
+    pi = _validated_widths(uppers, "uppers")
     m = len(pi)
     tt = as_fraction(t)
     if m == 0:
@@ -93,7 +139,61 @@ def sum_uniform_cdf(t: RationalLike, uppers: Sequence[RationalLike]) -> Fraction
             shift = sum(subset, Fraction(0))
             if shift < tt:
                 total += sign * (tt - shift) ** m
-    return total / normaliser
+    return check_probability("sum_uniform_cdf", total / normaliser)
+
+
+def sum_uniform_cdf_fast(
+    t: RationalLike,
+    uppers: Sequence[RationalLike],
+    rel_tol: float = 1e-9,
+    abs_tol: float = 1e-15,
+    fallback: str = "exact",
+) -> float:
+    """Guarded float fast path for :func:`sum_uniform_cdf`.
+
+    Evaluates the Lemma 2.4 alternating series in compensated float
+    arithmetic with a running error bound; returns the float when the
+    bound certifies it to *rel_tol* / *abs_tol* and otherwise falls
+    back to the exact path (``fallback="exact"``, counted in the
+    metrics as ``fastpath.fallbacks``) or raises
+    :class:`~repro.errors.NumericalInstabilityError`
+    (``fallback="raise"``).
+    """
+    pi = _validated_widths(uppers, "uppers")
+    m = len(pi)
+    tt = as_fraction(t)
+    if m == 0:
+        return 1.0 if tt >= 0 else 0.0
+    if tt <= 0:
+        return 0.0
+    if tt >= sum(pi, Fraction(0)):
+        return 1.0
+    normaliser = factorial(m)
+    for v in pi:
+        normaliser *= v
+    t_f = float(tt)
+    pi_f = [float(v) for v in pi]
+
+    def bases():
+        for size in range(m + 1):
+            sign = 1 if size % 2 == 0 else -1
+            for subset in combinations(pi_f, size):
+                shift = math.fsum(subset)
+                # t and the shift are correctly-rounded conversions and
+                # an exact fsum; the subtraction adds one more rounding.
+                error = 3.0 * EPS * (t_f + shift)
+                yield (sign, t_f - shift, error)
+
+    guarded = certified_alternating_sum(
+        bases(), m, float(normaliser), rel_tol=rel_tol, abs_tol=abs_tol
+    )
+    value = resolve_guarded(
+        "sum_uniform_cdf",
+        guarded,
+        lambda: sum_uniform_cdf(tt, pi),
+        fallback=fallback,
+    )
+    return min(1.0, max(0.0, value))
 
 
 def sum_uniform_pdf(t: RationalLike, uppers: Sequence[RationalLike]) -> Fraction:
@@ -101,13 +201,19 @@ def sum_uniform_pdf(t: RationalLike, uppers: Sequence[RationalLike]) -> Fraction
 
     This is the formula the paper offers as an answer to Rota's research
     problem.  The density is taken as the right-continuous version at
-    knots; it vanishes outside ``(0, sum(uppers))``.
+    knots; it vanishes outside ``(0, sum(uppers))``.  Zero-width
+    entries of *uppers* are dropped (they shift nothing); if every
+    entry is zero-width the sum is a point mass and has no density, so
+    a :class:`~repro.errors.ValidationError` is raised, exactly as for
+    an empty *uppers*.
     """
-    pi = _validated_positive(uppers, "uppers")
+    pi = _validated_widths(uppers, "uppers")
     m = len(pi)
     tt = as_fraction(t)
     if m == 0:
-        raise ValueError("the empty sum is a point mass; it has no density")
+        raise ValidationError(
+            "the empty sum is a point mass; it has no density"
+        )
     if tt <= 0 or tt >= sum(pi, Fraction(0)):
         return Fraction(0)
     normaliser = factorial(m - 1)
@@ -129,10 +235,11 @@ def irwin_hall_cdf(t: RationalLike, m: int) -> Fraction:
 
     ``F(t) = (1/m!) sum_{0 <= i <= m, i < t} (-1)^i C(m, i) (t - i)^m``
 
-    Linear in ``m``.  ``m = 0`` returns 1 for ``t >= 0`` (empty sum).
+    Linear in ``m``.  ``m = 0`` returns 1 for ``t >= 0`` (empty sum);
+    ``t <= 0`` returns 0 and ``t >= m`` returns 1.
     """
     if m < 0:
-        raise ValueError(f"m must be >= 0, got {m}")
+        raise ValidationError(f"m must be >= 0, got {m}")
     tt = as_fraction(t)
     if m == 0:
         return Fraction(1) if tt >= 0 else Fraction(0)
@@ -145,13 +252,70 @@ def irwin_hall_cdf(t: RationalLike, m: int) -> Fraction:
         term=lambda i: (tt - i) ** m,
         condition=lambda i: i < tt,
     )
-    return total / factorial(m)
+    return check_probability("irwin_hall_cdf", total / factorial(m))
+
+
+def irwin_hall_cdf_fast(
+    t: RationalLike,
+    m: int,
+    rel_tol: float = 1e-9,
+    abs_tol: float = 1e-15,
+    fallback: str = "exact",
+) -> float:
+    """Guarded float fast path for :func:`irwin_hall_cdf`.
+
+    The binomial weight and the ``1/m!`` normaliser are folded into
+    each term's base as ``(C(m, i)/m!)**(1/m)`` via log-gamma, so the
+    evaluation neither overflows nor underflows for large ``m`` -- the
+    regime where the exact path's integer arithmetic is slowest and
+    where naive float summation loses every digit to cancellation
+    (around ``m ~ 25`` at central ``t``).  Certification and fallback
+    behave exactly as in :func:`sum_uniform_cdf_fast`.
+    """
+    if m < 0:
+        raise ValidationError(f"m must be >= 0, got {m}")
+    tt = as_fraction(t)
+    if m == 0:
+        return 1.0 if tt >= 0 else 0.0
+    if tt <= 0:
+        return 0.0
+    if tt >= m:
+        return 1.0
+    t_f = float(tt)
+
+    def bases():
+        for i in range(m + 1):
+            if not i < tt:
+                break
+            sign = 1 if i % 2 == 0 else -1
+            # (C(m, i) / m!) ** (1/m) = (i! (m-i)!) ** (-1/m)
+            log_coeff = -(math.lgamma(i + 1) + math.lgamma(m - i + 1))
+            scale = math.exp(log_coeff / m)
+            base = scale * (t_f - i)
+            # conversion + subtraction errors, plus the log/exp route's
+            # relative error amplified by the later m-th power is
+            # covered by the derivative term in the certifier.
+            error = scale * 2.0 * EPS * (t_f + i) + abs(base) * EPS * (
+                abs(log_coeff) / m + 4.0
+            )
+            yield (sign, base, error)
+
+    guarded = certified_alternating_sum(
+        bases(), m, 1.0, rel_tol=rel_tol, abs_tol=abs_tol
+    )
+    value = resolve_guarded(
+        "irwin_hall_cdf",
+        guarded,
+        lambda: irwin_hall_cdf(tt, m),
+        fallback=fallback,
+    )
+    return min(1.0, max(0.0, value))
 
 
 def irwin_hall_pdf(t: RationalLike, m: int) -> Fraction:
     """Density of the Irwin-Hall distribution (Lemma 2.5 with unit boxes)."""
     if m < 1:
-        raise ValueError(f"m must be >= 1 for a density, got {m}")
+        raise ValidationError(f"m must be >= 1 for a density, got {m}")
     tt = as_fraction(t)
     if tt <= 0 or tt >= m:
         return Fraction(0)
@@ -174,7 +338,13 @@ def sum_uniform_tail_cdf(
              sum_{I : |I| < m - t + sum_{l in I} pi_l}
              (-1)^|I| (m - t - |I| + sum_{l in I} pi_l)^m``
 
-    Every ``lowers[i]`` must lie in ``[0, 1)``.
+    Every ``lowers[i]`` must lie in ``[0, 1)``; a degenerate
+    ``lowers[i] = 1`` would make ``x_i`` an atom at the boundary,
+    where the open/closed convention matters, so it is rejected with
+    :class:`~repro.errors.ValidationError`.  Boundary behaviour: 0 for
+    ``t <= sum(lowers)`` (the floor of the support), 1 for ``t >= m``,
+    and the empty sum follows the ``m = 0`` convention of
+    :func:`sum_uniform_cdf`.
     """
     pi = [as_fraction(v) for v in lowers]
     m = len(pi)
@@ -183,7 +353,9 @@ def sum_uniform_tail_cdf(
         return Fraction(1) if tt >= 0 else Fraction(0)
     for i, v in enumerate(pi):
         if not 0 <= v < 1:
-            raise ValueError(f"lowers[{i}] must be in [0, 1), got {v}")
+            raise ValidationError(
+                f"lowers[{i}] must be in [0, 1), got {v}"
+            )
     floor_sum = sum(pi, Fraction(0))
     if tt <= floor_sum:
         return Fraction(0)
@@ -191,7 +363,10 @@ def sum_uniform_tail_cdf(
         return Fraction(1)
     # Reflection: 1 - x_i ~ U[0, 1 - pi_i]; P(sum x <= t) =
     # 1 - P(sum (1 - x) <= m - t) evaluated with Lemma 2.4.
-    return 1 - sum_uniform_cdf(m - tt, [1 - v for v in pi])
+    return check_probability(
+        "sum_uniform_tail_cdf",
+        1 - sum_uniform_cdf(m - tt, [1 - v for v in pi]),
+    )
 
 
 def joint_sum_below_and_inside_low(
@@ -217,7 +392,9 @@ def joint_sum_below_and_inside_low(
         return Fraction(1) if tt >= 0 else Fraction(0)
     for i, v in enumerate(alpha):
         if not 0 <= v <= 1:
-            raise ValueError(f"alphas[{i}] must be in [0, 1], got {v}")
+            raise ValidationError(
+                f"alphas[{i}] must be in [0, 1], got {v}"
+            )
         if v == 0:
             # P(x_i <= 0) = 0: the joint event is null.
             return Fraction(0)
@@ -231,7 +408,9 @@ def joint_sum_below_and_inside_low(
             shift = sum(subset, Fraction(0))
             if shift < tt:
                 total += sign * (tt - shift) ** m
-    return total / factorial(m)
+    return check_probability(
+        "joint_sum_below_and_inside_low", total / factorial(m)
+    )
 
 
 def joint_sum_below_and_inside_boxes(
@@ -260,7 +439,7 @@ def joint_sum_below_and_inside_boxes(
     box = Fraction(1)
     for i, (lo, hi) in enumerate(pairs):
         if not 0 <= lo < hi <= 1:
-            raise ValueError(
+            raise ValidationError(
                 f"intervals[{i}] must satisfy 0 <= l < u <= 1, "
                 f"got [{lo}, {hi}]"
             )
@@ -289,7 +468,9 @@ def joint_sum_below_and_inside_high(
         return Fraction(1) if tt >= 0 else Fraction(0)
     for i, v in enumerate(alpha):
         if not 0 <= v <= 1:
-            raise ValueError(f"alphas[{i}] must be in [0, 1], got {v}")
+            raise ValidationError(
+                f"alphas[{i}] must be in [0, 1], got {v}"
+            )
     survival = Fraction(1)
     for v in alpha:
         survival *= 1 - v
@@ -301,7 +482,6 @@ def joint_sum_below_and_inside_high(
         return Fraction(0)
     if tt >= m:
         return survival
-
     total = Fraction(0)
     for size in range(m + 1):
         sign = (-1) ** size
@@ -309,4 +489,7 @@ def joint_sum_below_and_inside_high(
             shift = sum(subset, Fraction(0))
             if size < m - tt + shift:
                 total += sign * (m - tt - size + shift) ** m
-    return survival - total / factorial(m)
+    return check_probability(
+        "joint_sum_below_and_inside_high",
+        survival - total / factorial(m),
+    )

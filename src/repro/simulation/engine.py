@@ -26,8 +26,10 @@ from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.model.system import DistributedSystem
 from repro.observability import Instrumentation, get_instrumentation
+from repro.validation.contracts import check_probability
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.model.inputs import InputDistribution
@@ -122,7 +124,7 @@ class MonteCarloEngine:
         stream, so the summary stays bit-identical.
         """
         if trials < 1:
-            raise ValueError(f"trials must be >= 1, got {trials}")
+            raise ValidationError(f"trials must be >= 1, got {trials}")
         instr = self.instrumentation
         if workers is None and shards is None and fault_tolerance is None:
             with instr.span(
@@ -144,9 +146,11 @@ class MonteCarloEngine:
                 instr.increment("engine.wins", wins)
                 instr.observe("engine.serial_seconds", elapsed)
                 instr.throughput.record(trials, elapsed)
-            return BinomialSummary(
+            summary = BinomialSummary(
                 successes=wins, trials=trials, z_score=z_score
             )
+            check_probability("engine.estimate", summary.estimate)
+            return summary
         estimate = estimate_winning_probability_sharded(
             system,
             trials,
@@ -164,6 +168,7 @@ class MonteCarloEngine:
         if instr.enabled:
             instr.increment("engine.trials", trials)
             instr.increment("engine.wins", estimate.summary.successes)
+        check_probability("engine.estimate", estimate.summary.estimate)
         return estimate.summary
 
     def estimate_bin_load_distribution(

@@ -34,6 +34,7 @@ from fractions import Fraction
 from pathlib import Path
 from typing import Dict, List, Sequence, Union
 
+from repro.errors import ResultsStoreError
 from repro.simulation.runner import SweepPoint, SweepResult
 
 __all__ = [
@@ -47,16 +48,9 @@ __all__ = [
 
 SCHEMA_VERSION = 1
 
-
-class ResultsStoreError(ValueError):
-    """A stored sweep file could not be read back.
-
-    Raised by :func:`load_sweep` for every failure mode a reader should
-    handle uniformly -- a missing file, truncated or corrupted JSON, or
-    a payload that parses but violates the schema.  The message always
-    names the offending path.  Subclasses :class:`ValueError` so
-    callers written against the old bare-``ValueError`` behaviour keep
-    working."""
+# ResultsStoreError now lives in repro.errors (so the whole exception
+# hierarchy roots at ReproError) and is re-exported here for backwards
+# compatibility with callers importing it from this module.
 
 
 def _fraction_to_str(value: Fraction) -> str:

@@ -1,0 +1,207 @@
+"""Cheap runtime invariant checks for the numeric entry points.
+
+The exact layers (``probability``, ``geometry``, ``core``,
+``optimize``) and the simulation engine call these checks on their
+*results* -- post-conditions the mathematics guarantees, so any
+violation is a defect inside the library, never bad input.  Design
+constraints, mirroring :mod:`repro.observability`:
+
+* **Off by default, one branch when off.**  Every check starts with
+  ``if not _STATE.enabled: return`` so the exact hot paths pay a
+  single attribute load and branch.
+* **Observable.**  A violation increments ``contracts.violations``
+  (and a per-contract counter) on the active
+  :class:`~repro.observability.MetricsRegistry`, plus a module-level
+  tally readable without instrumentation.
+* **Strict mode raises.**  With ``enable_contracts(strict=True)`` (or
+  ``repro check --strict``) a violation raises the typed
+  :class:`~repro.errors.ContractViolation` instead of only counting --
+  the mode CI runs in, so a regression fails the build loudly.
+
+This module sits below the numeric layers: it imports nothing from the
+package except :mod:`repro.errors` and :mod:`repro.observability`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, Sequence
+
+from repro.errors import ContractViolation
+from repro.observability import get_instrumentation
+
+__all__ = [
+    "check_cdf_profile",
+    "check_probability",
+    "check_symmetry",
+    "check_volume_subadditive",
+    "contracts_enabled",
+    "contracts_strict",
+    "disable_contracts",
+    "enable_contracts",
+    "use_contracts",
+    "violation_count",
+]
+
+
+class _ContractState:
+    __slots__ = ("enabled", "strict", "violations")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.strict = False
+        self.violations = 0
+
+
+_STATE = _ContractState()
+
+
+def contracts_enabled() -> bool:
+    """Whether contract checks currently run at all."""
+    return _STATE.enabled
+
+
+def contracts_strict() -> bool:
+    """Whether a violation raises (strict) or only counts."""
+    return _STATE.enabled and _STATE.strict
+
+
+def violation_count() -> int:
+    """Violations recorded since the last :func:`enable_contracts`."""
+    return _STATE.violations
+
+
+def enable_contracts(strict: bool = False) -> None:
+    """Turn contract checking on (resets the violation tally)."""
+    _STATE.enabled = True
+    _STATE.strict = bool(strict)
+    _STATE.violations = 0
+
+
+def disable_contracts() -> None:
+    """Turn contract checking off (the default state)."""
+    _STATE.enabled = False
+    _STATE.strict = False
+
+
+@contextmanager
+def use_contracts(strict: bool = False) -> Iterator[None]:
+    """Scoped contract checking; restores the previous state on exit."""
+    previous = (_STATE.enabled, _STATE.strict, _STATE.violations)
+    enable_contracts(strict=strict)
+    try:
+        yield
+    finally:
+        _STATE.enabled, _STATE.strict, _STATE.violations = previous
+
+
+def _violated(contract: str, message: str) -> None:
+    _STATE.violations += 1
+    instr = get_instrumentation()
+    if instr.enabled:
+        instr.increment("contracts.violations")
+        instr.increment(f"contracts.violations.{contract}")
+    if _STATE.strict:
+        raise ContractViolation(contract, message)
+
+
+def check_probability(contract: str, value):
+    """Post-condition: *value* is a probability in ``[0, 1]``.
+
+    Returns *value* unchanged so call sites can wrap their ``return``
+    expression.  No-op (one branch) while contracts are disabled.
+    """
+    if not _STATE.enabled:
+        return value
+    if not 0 <= value <= 1:
+        _violated(
+            contract, f"expected a probability in [0, 1], got {value}"
+        )
+    return value
+
+
+def check_symmetry(contract: str, value, mirrored) -> None:
+    """Post-condition: two routes to the same quantity agree exactly.
+
+    Used for the ``alpha <-> 1 - alpha`` bin-relabelling symmetry of
+    the oblivious winning probability and for collapsed-vs-enumerated
+    route agreement inside the oracle.
+    """
+    if not _STATE.enabled:
+        return
+    if value != mirrored:
+        _violated(
+            contract,
+            f"symmetry broken: {value} != mirrored value {mirrored}",
+        )
+
+
+def check_volume_subadditive(
+    contract: str, volume, caps: Sequence
+) -> None:
+    """Post-condition: an intersection volume is non-negative and no
+    larger than any of the volumes it intersects (*caps*)."""
+    if not _STATE.enabled:
+        return
+    if volume < 0:
+        _violated(contract, f"volume must be >= 0, got {volume}")
+        return
+    for cap in caps:
+        if volume > cap:
+            _violated(
+                contract,
+                f"volume {volume} exceeds containing volume {cap}",
+            )
+            return
+
+
+def check_cdf_profile(
+    contract: str,
+    cdf: Callable,
+    points: Sequence,
+    lower_boundary=None,
+    upper_boundary=None,
+) -> None:
+    """Deep check: a CDF is monotone and in ``[0, 1]`` on a grid.
+
+    *points* must be sorted ascending.  *lower_boundary* /
+    *upper_boundary*, when given, pin the exact boundary values (e.g.
+    0 at ``t <= 0`` and 1 at ``t >= sum(uppers)``).  This evaluates
+    the CDF ``len(points)`` times, so unlike the post-conditions above
+    it is meant for the oracle and the test-suite, not for wrapping
+    every call.
+    """
+    if not _STATE.enabled:
+        return
+    previous = None
+    for point in points:
+        value = cdf(point)
+        if not 0 <= value <= 1:
+            _violated(
+                contract, f"cdf({point}) = {value} outside [0, 1]"
+            )
+            return
+        if previous is not None and value < previous:
+            _violated(
+                contract,
+                f"cdf not monotone: cdf({point}) = {value} < {previous}",
+            )
+            return
+        previous = value
+    if lower_boundary is not None:
+        first = cdf(points[0])
+        if first != lower_boundary:
+            _violated(
+                contract,
+                f"lower boundary: cdf({points[0]}) = {first}, "
+                f"expected {lower_boundary}",
+            )
+            return
+    if upper_boundary is not None:
+        last = cdf(points[-1])
+        if last != upper_boundary:
+            _violated(
+                contract,
+                f"upper boundary: cdf({points[-1]}) = {last}, "
+                f"expected {upper_boundary}",
+            )

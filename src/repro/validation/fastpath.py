@@ -1,0 +1,208 @@
+"""Certified float evaluation of alternating inclusion-exclusion sums.
+
+Every closed form in the paper is an alternating sum of large terms
+(Proposition 2.2, Lemmas 2.4-2.7): exact ``Fraction`` evaluation is
+always correct but the integer arithmetic grows quickly with the
+dimension, while naive float evaluation silently loses every digit to
+cancellation once the terms dwarf the result (the classic Irwin-Hall
+breakdown around ``m ~ 25``).
+
+This module implements the middle road: **compensated (Neumaier)
+summation with a running a-posteriori error bound**.  The sum is
+evaluated in floats, and alongside it two cheap accumulators are
+carried:
+
+* the sum of term magnitudes, bounding the rounding error injected by
+  the summation itself (``~ 2 eps * sum |term|`` for a compensated
+  sum);
+* the per-term error propagated from inexact inputs -- each caller
+  supplies, with every term, a bound on the absolute error of the
+  ``base`` being raised to the ``m``-th power, which a first-order
+  (derivative) bound converts to a term error, with an explicit slack
+  term when the base is close enough to zero that the paper's strict
+  ``> 0`` condition might be misclassified in float.
+
+The result is *certified* when the total bound is small relative to
+the computed value; otherwise callers fall back to the exact path
+(and count the event).  The bound is deliberately conservative -- a
+false "not certified" costs a fallback, a false "certified" would be a
+lie -- and the property suite asserts the certificate against exact
+values on randomized cases.
+
+Pure float/math code apart from :func:`resolve_guarded`, which lazily
+reaches into :mod:`repro.observability` to count certified results and
+exact fallbacks.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.errors import NumericalInstabilityError
+
+__all__ = [
+    "EPS",
+    "CertifiedFloat",
+    "certified_alternating_sum",
+    "neumaier_sum",
+    "resolve_guarded",
+]
+
+#: Machine epsilon of IEEE-754 double precision (2**-52).
+EPS: float = sys.float_info.epsilon
+
+
+@dataclass(frozen=True)
+class CertifiedFloat:
+    """A float result carrying its own a-posteriori error bound.
+
+    ``certified`` is the caller-policy verdict: the bound is small
+    enough (relative to *value*) that the float can replace the exact
+    result.  ``terms`` records how many series terms contributed.
+    """
+
+    value: float
+    error_bound: float
+    certified: bool
+    terms: int
+
+    def require_certified(self, context: str) -> "CertifiedFloat":
+        """Return self, raising :class:`NumericalInstabilityError` when
+        the bound failed to certify the value."""
+        if not self.certified:
+            raise NumericalInstabilityError(
+                f"{context}: float result {self.value!r} carries error "
+                f"bound {self.error_bound:.3e}, too wide to certify; "
+                "use the exact Fraction path"
+            )
+        return self
+
+
+def neumaier_sum(values: Iterable[float]) -> Tuple[float, float]:
+    """Compensated sum of *values*: returns ``(total, abs_sum)``.
+
+    Neumaier's variant of Kahan summation: the compensation term picks
+    whichever of the running sum and the addend is smaller in
+    magnitude, so it stays accurate even when an addend exceeds the
+    running sum.  ``abs_sum`` (the sum of magnitudes) is what the
+    caller needs to bound the residual rounding error.
+    """
+    total = 0.0
+    compensation = 0.0
+    abs_sum = 0.0
+    for value in values:
+        partial = total + value
+        if abs(total) >= abs(value):
+            compensation += (total - partial) + value
+        else:
+            compensation += (value - partial) + total
+        total = partial
+        abs_sum += abs(value)
+    return total + compensation, abs_sum
+
+
+def certified_alternating_sum(
+    signed_bases: Iterable[Tuple[int, float, float]],
+    power: int,
+    normaliser: float,
+    rel_tol: float = 1e-9,
+    abs_tol: float = 1e-15,
+) -> CertifiedFloat:
+    """Evaluate ``(1/normaliser) * sum sign * base**power`` with a bound.
+
+    *signed_bases* yields ``(sign, base, base_error)`` triples: the
+    paper's strict-condition convention applies, so terms with
+    ``base <= 0`` contribute nothing.  *base_error* bounds the absolute
+    error of *base* (from inexact shifts/ratios computed in float);
+    a first-order bound ``power * base**(power-1) * base_error`` plus a
+    relative ``(power + 1) * eps`` for the power itself converts it to
+    a term error.  When ``|base| <= base_error`` the sign of the exact
+    base is unknown, so the slack ``(2 * base_error)**power`` covers a
+    possible misclassification of the strict condition.
+
+    The result is certified when the accumulated bound does not exceed
+    ``max(abs_tol, rel_tol * |value|)``.
+    """
+    if power < 1:
+        raise ValueError(f"power must be >= 1, got {power}")
+    if normaliser == 0.0:
+        raise ValueError("normaliser must be nonzero")
+    total = 0.0
+    compensation = 0.0
+    abs_sum = 0.0
+    term_error = 0.0
+    count = 0
+    for sign, base, base_error in signed_bases:
+        if abs(base) <= base_error:
+            # The exact base may sit on the other side of the strict
+            # condition; whichever way, the term is at most this big.
+            term_error += (2.0 * base_error) ** power
+        if base <= 0.0:
+            continue
+        term = base**power
+        term_error += term * (power + 1) * EPS
+        if base_error > 0.0:
+            term_error += power * base ** (power - 1) * base_error
+        addend = term if sign > 0 else -term
+        partial = total + addend
+        if abs(total) >= abs(addend):
+            compensation += (total - partial) + addend
+        else:
+            compensation += (addend - partial) + total
+        total = partial
+        abs_sum += term
+        count += 1
+    raw = total + compensation
+    # Compensated summation leaves ~2 eps per unit of magnitude summed,
+    # plus one rounding for folding the compensation back in.
+    summation_error = 2.0 * EPS * abs_sum + EPS * abs(raw)
+    scale = abs(normaliser)
+    value = raw / normaliser
+    bound = (term_error + summation_error) / scale + 2.0 * EPS * abs(value)
+    certified = bound <= max(abs_tol, rel_tol * abs(value))
+    return CertifiedFloat(
+        value=value,
+        error_bound=bound,
+        certified=certified,
+        terms=count,
+    )
+
+
+def resolve_guarded(
+    context: str,
+    guarded: CertifiedFloat,
+    exact_thunk,
+    fallback: str = "exact",
+) -> float:
+    """Apply the fallback policy to a guarded evaluation.
+
+    Certified results are returned as-is.  Uncertified results either
+    fall back to *exact_thunk* (``fallback="exact"``, the transparent
+    default) or raise (``fallback="raise"``).  Both outcomes are
+    counted on the active metrics registry: ``fastpath.calls``,
+    ``fastpath.certified``, ``fastpath.fallbacks`` and a per-context
+    ``fastpath.fallbacks.<context>`` -- so an operator reading a
+    ``--profile`` report sees exactly how often the exact path had to
+    step in.
+    """
+    if fallback not in ("exact", "raise"):
+        raise ValueError(
+            f"fallback must be 'exact' or 'raise', got {fallback!r}"
+        )
+    from repro.observability import get_instrumentation
+
+    instr = get_instrumentation()
+    if instr.enabled:
+        instr.increment("fastpath.calls")
+        if guarded.certified:
+            instr.increment("fastpath.certified")
+        else:
+            instr.increment("fastpath.fallbacks")
+            instr.increment(f"fastpath.fallbacks.{context}")
+    if guarded.certified:
+        return guarded.value
+    if fallback == "raise":
+        guarded.require_certified(context)
+    return float(exact_thunk())

@@ -118,7 +118,16 @@ class TestSumUniformCdf:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            sum_uniform_cdf(1, [1, 0])
+            sum_uniform_cdf(1, [1, -1])
+
+    def test_zero_width_intervals_dropped(self):
+        # A zero-width interval is the constant 0: it contributes
+        # nothing to the sum, so the CDF ignores it.
+        assert sum_uniform_cdf(1, [1, 0]) == sum_uniform_cdf(1, [1])
+        assert sum_uniform_cdf(Fraction(1, 2), [0, 0, 1]) == Fraction(1, 2)
+        # All-zero-width degenerates to the point mass at 0.
+        assert sum_uniform_cdf(1, [0, 0]) == 1
+        assert sum_uniform_cdf(-1, [0]) == 0
 
     def test_volume_connection(self):
         # Lemma 2.4 proof: F(t) = Vol(SigmaPi(t*1, pi)) / Vol(box)
