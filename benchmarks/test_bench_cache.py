@@ -1,0 +1,130 @@
+"""Speedup delivered by the exact-kernel memoization cache.
+
+Two measurements, both on the Section 5.2 symmetric-threshold sweep
+(the workload ``repro figure1`` and ``repro uniformity`` repeat):
+
+1. **Warm repeated sweep.**  Run the same beta-grid sweep twice with
+   the memory tier on; the second pass must be at least
+   ``WARM_SPEEDUP_FLOOR`` times faster than a cache-bypassed pass.
+   Asserted, and written to ``BENCH_5.json`` at the repo root as the
+   speedup artifact for the trajectory record.
+2. **Disk-tier restart.**  Persist the sweep, drop the memory tier
+   (simulating a fresh process), and re-run from disk; every value
+   must be identical and the disk tier must serve every kernel call.
+
+Values are compared exactly (``Fraction ==``): the cache may only ever
+change wall-clock time.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from fractions import Fraction
+from pathlib import Path
+
+from conftest import record
+
+from repro.cache import bypass_cache, cache_stats, clear_cache, configure_cache
+from repro.core.nonoblivious import symmetric_threshold_winning_probability
+from repro.core.oblivious import optimal_oblivious_winning_probability
+
+#: The acceptance floor for the warm repeated-sweep speedup.  In
+#: practice a memory hit is thousands of times faster than the O(n^2)
+#: exact recurrence; 3x leaves room for the noisiest CI box.
+WARM_SPEEDUP_FLOOR = 3.0
+
+NS = [3, 4, 5]
+GRID = 121
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_5.json"
+
+
+def sweep() -> list:
+    values = []
+    for n in NS:
+        values.append(optimal_oblivious_winning_probability(1, n))
+        for i in range(GRID):
+            values.append(
+                symmetric_threshold_winning_probability(
+                    Fraction(i, GRID - 1), n, 1
+                )
+            )
+    return values
+
+
+def _timed_sweep():
+    start = time.perf_counter()
+    values = sweep()
+    return values, time.perf_counter() - start
+
+
+def test_bench_warm_sweep_speedup():
+    """Cold vs warm wall-clock on the repeated sweep, with artifact."""
+    clear_cache()
+    with bypass_cache():
+        fresh, t_fresh = _timed_sweep()
+    cold, t_cold = _timed_sweep()  # populates the memory tier
+    warm, t_warm = _timed_sweep()  # served entirely from memory
+
+    assert cold == fresh  # caching never changes a value
+    assert warm == cold
+    speedup = t_fresh / max(t_warm, 1e-9)
+    record(
+        "cache.warm_sweep",
+        grid_points=len(cold),
+        fresh_seconds=round(t_fresh, 4),
+        cold_seconds=round(t_cold, 4),
+        warm_seconds=round(t_warm, 4),
+        speedup=round(speedup, 1),
+    )
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "benchmark": "warm_repeated_sweep",
+                "workload": {
+                    "ns": NS,
+                    "grid_size": GRID,
+                    "delta": "1",
+                    "kernel_calls": len(cold),
+                },
+                "uncached_seconds": t_fresh,
+                "cold_seconds": t_cold,
+                "warm_seconds": t_warm,
+                "speedup": speedup,
+                "floor": WARM_SPEEDUP_FLOOR,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm sweep only {speedup:.1f}x faster than uncached "
+        f"(need >= {WARM_SPEEDUP_FLOOR}x); see BENCH_5.json"
+    )
+
+
+def test_bench_disk_restart_identical(tmp_path):
+    """A fresh process with a warm disk tier recomputes nothing."""
+    configure_cache(directory=tmp_path)
+    try:
+        clear_cache()
+        cold, t_cold = _timed_sweep()
+        written = cache_stats()["disk"]["writes"]
+        assert written > 0
+
+        clear_cache(include_disk=False)  # "restart": memory gone, disk kept
+        restarted, t_restart = _timed_sweep()
+        assert restarted == cold
+        stats = cache_stats()["disk"]
+        record(
+            "cache.disk_restart",
+            entries=stats["entries"],
+            cold_seconds=round(t_cold, 4),
+            restart_seconds=round(t_restart, 4),
+            disk_hits=stats["hits"],
+        )
+        # Every kernel call after the restart was served from disk.
+        assert stats["hits"] >= len(restarted)
+    finally:
+        configure_cache(directory=None)
+        clear_cache()

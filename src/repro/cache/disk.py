@@ -1,0 +1,218 @@
+"""Persistent cache tier: one checksummed JSON file per entry.
+
+Storage discipline reuses the hardening of
+:mod:`repro.simulation.results_store`:
+
+* **Atomic writes.**  Every entry is written to a temporary file in
+  the cache directory, flushed, ``fsync``-ed, then moved over the
+  final name with :func:`os.replace` -- a crash or a concurrent
+  reader/writer sees either a complete entry or none.  Two processes
+  racing to cache the same key write byte-identical payloads, so the
+  race is harmless.
+* **Per-entry checksums.**  The payload carries a SHA-256 checksum of
+  its own canonical serialisation; a flipped bit, a truncated file, or
+  a hand-edited value fails verification and the entry is *deleted and
+  recomputed*, counted as ``cache.disk_corrupt`` -- never served.
+* **Version pinning.**  The kernel's code fingerprint is baked into
+  the key (see :mod:`repro.cache.keys`), so an entry written by an
+  older formula is simply never addressed again; as defence in depth
+  the fingerprint is also stored *inside* the entry and re-verified on
+  read, so even a hand-renamed or key-colliding file cannot smuggle a
+  stale value in (counted as ``cache.disk_stale``).
+
+Entries are small (a key, a rational, a checksum), and the directory
+is flat: ``<cache_dir>/<key>.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.cache.codec import decode_value
+from repro.cache.keys import CACHE_SCHEMA_VERSION
+from repro.observability import get_instrumentation
+
+__all__ = ["DiskCache"]
+
+_ENTRY_SUFFIX = ".json"
+
+
+def _entry_checksum(
+    key: str, kernel: str, fingerprint: str, value_payload: Any
+) -> str:
+    canonical = json.dumps(
+        {
+            "key": key,
+            "kernel": kernel,
+            "fingerprint": fingerprint,
+            "value": value_payload,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class DiskCache:
+    """The persistent tier: ``get``/``put``/``clear`` over a directory."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self._directory = Path(directory)
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+        self._corrupt = 0
+        self._stale = 0
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def _path_for(self, key: str) -> Path:
+        return self._directory / f"{key}{_ENTRY_SUFFIX}"
+
+    def _count(self, field: str, metric: str) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + 1)
+        get_instrumentation().increment(metric)
+
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def get(
+        self, key: str, fingerprint: str
+    ) -> Tuple[bool, Optional[Any]]:
+        """``(found, value)``; corrupt or stale entries are deleted.
+
+        Every failure mode -- unreadable file, invalid JSON, checksum
+        mismatch, undecodable value -- degrades to a miss plus a
+        recompute; the cache can lose time to damage, never
+        correctness.
+        """
+        path = self._path_for(key)
+        try:
+            raw = path.read_text()
+        except OSError:
+            self._count("_misses", "cache.disk_misses")
+            return False, None
+        try:
+            payload = json.loads(raw)
+            if not isinstance(payload, dict):
+                raise ValueError("entry is not a JSON object")
+            if payload.get("schema_version") != CACHE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"schema_version {payload.get('schema_version')!r}"
+                )
+            expected = _entry_checksum(
+                payload["key"],
+                payload["kernel"],
+                payload["fingerprint"],
+                payload["value"],
+            )
+            if payload.get("checksum") != expected or payload["key"] != key:
+                raise ValueError("checksum mismatch")
+            value = decode_value(payload["value"])
+        except (ValueError, KeyError, TypeError):
+            self._count("_corrupt", "cache.disk_corrupt")
+            self._discard(path)
+            return False, None
+        if payload["fingerprint"] != fingerprint:
+            self._count("_stale", "cache.disk_stale")
+            self._discard(path)
+            return False, None
+        self._count("_hits", "cache.disk_hits")
+        return True, value
+
+    def put(
+        self, key: str, fingerprint: str, kernel: str, value_payload: Any
+    ) -> None:
+        """Persist one encoded entry atomically (tmp + fsync + replace).
+
+        An unwritable directory degrades to a no-op: the disk tier is
+        an accelerator, never a correctness dependency.
+        """
+        entry = {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "kernel": kernel,
+            "fingerprint": fingerprint,
+            "value": value_payload,
+            "checksum": _entry_checksum(
+                key, kernel, fingerprint, value_payload
+            ),
+        }
+        target = self._path_for(key)
+        try:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            descriptor, temp_name = tempfile.mkstemp(
+                dir=str(self._directory),
+                prefix=f".{key[:16]}.",
+                suffix=".tmp",
+            )
+            try:
+                with os.fdopen(descriptor, "w") as handle:
+                    json.dump(entry, handle, separators=(",", ":"))
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(temp_name, target)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        self._count("_writes", "cache.disk_writes")
+
+    def entry_count(self) -> int:
+        """How many entries currently sit in the directory."""
+        try:
+            return sum(
+                1
+                for p in self._directory.iterdir()
+                if p.suffix == _ENTRY_SUFFIX
+            )
+        except OSError:
+            return 0
+
+    def clear(self) -> int:
+        """Delete every entry file; returns how many were removed."""
+        removed = 0
+        try:
+            entries = list(self._directory.iterdir())
+        except OSError:
+            return 0
+        for path in entries:
+            if path.suffix == _ENTRY_SUFFIX:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "directory": str(self._directory),
+                "entries": self.entry_count(),
+                "hits": self._hits,
+                "misses": self._misses,
+                "writes": self._writes,
+                "corrupt": self._corrupt,
+                "stale": self._stale,
+            }
+
+    def __repr__(self) -> str:
+        return f"DiskCache({self._directory})"

@@ -21,6 +21,14 @@ Every subcommand additionally accepts the instrumentation flags
 flags only observe: simulated results are bit-identical with and
 without them (see :mod:`repro.observability`).
 
+Caching flags ride on the same shared group: ``--cache-dir DIR``
+attaches the persistent exact-kernel cache (see :mod:`repro.cache`)
+and ``--no-cache`` disables memoization entirely; both only change
+wall-clock time, never values.  ``repro cache stats|clear|warm``
+manages the cache itself, and ``repro check`` always runs
+cache-*bypassed* so the oracle cross-validates freshly recomputed
+values against whatever other runs may have cached.
+
 ``repro validate`` further exposes the fault-tolerance machinery of
 :mod:`repro.simulation.faulttolerance`: ``--max-retries`` /
 ``--shard-timeout`` harden long runs, ``--checkpoint`` /``--resume``
@@ -39,6 +47,7 @@ from fractions import Fraction
 from pathlib import Path
 from typing import List, Optional
 
+from repro.cache import bypass_cache, configure_cache
 from repro.errors import ContractViolation, ValidationError
 from repro.experiments.figures import figure1, figure2, render_figure
 from repro.experiments.tables import (
@@ -85,12 +94,33 @@ def _parse_fraction(text: str) -> Fraction:
 
 
 def _observability_parent() -> argparse.ArgumentParser:
-    """The shared ``--profile/--metrics-out/--trace-out`` flag group.
+    """The shared instrumentation and caching flag groups.
 
     Built as an ``add_help=False`` parent so every subcommand gains the
-    same three flags without each declaration being repeated.
+    same flags without each declaration being repeated.
     """
     parent = argparse.ArgumentParser(add_help=False)
+    cache_group = parent.add_argument_group("caching")
+    cache_group.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist memoized exact-kernel results to DIR (atomic, "
+            "checksummed, invalidated automatically when a formula "
+            "changes); also honours the REPRO_CACHE_DIR environment "
+            "variable"
+        ),
+    )
+    cache_group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "disable all memoization for this run (every kernel value "
+            "is recomputed from scratch); also honours REPRO_NO_CACHE"
+        ),
+    )
     group = parent.add_argument_group("instrumentation")
     group.add_argument(
         "--profile",
@@ -364,6 +394,36 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    cache = sub.add_parser(
+        "cache",
+        help="inspect, clear or warm the exact-kernel memoization cache",
+        parents=[obs],
+    )
+    cache.add_argument(
+        "action",
+        choices=["stats", "clear", "warm"],
+        help=(
+            "stats: print tier statistics as JSON; clear: drop every "
+            "entry; warm: precompute the standard sweep grids into the "
+            "persistent tier (requires --cache-dir or REPRO_CACHE_DIR)"
+        ),
+    )
+    cache.add_argument(
+        "--ns", type=int, nargs="+", default=[2, 3, 4, 5]
+    )
+    cache.add_argument(
+        "--deltas",
+        type=_parse_fraction,
+        nargs="+",
+        default=[Fraction(1)],
+    )
+    cache.add_argument(
+        "--grid-size",
+        type=int,
+        default=101,
+        help="beta grid resolution used by warm (default 101)",
+    )
+
     return parser
 
 
@@ -501,6 +561,57 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"all {len(result.points)} grid points consistent")
     elif args.command == "check":
         return _run_check(args)
+    elif args.command == "cache":
+        return _run_cache(args)
+    return 0
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    """``repro cache stats|clear|warm``."""
+    import json
+
+    from repro.cache import cache_stats, clear_cache
+
+    if args.action == "stats":
+        print(json.dumps(cache_stats(), indent=2, sort_keys=True))
+        return 0
+    if args.action == "clear":
+        removed = clear_cache()
+        print(
+            f"cleared {removed['memory']} memory and "
+            f"{removed['disk']} disk entries"
+        )
+        return 0
+    # warm: precompute the standard sweep grids so later runs start hot.
+    stats = cache_stats()
+    if stats["disk"] is None:
+        print(
+            "repro cache warm: no persistent tier configured "
+            "(pass --cache-dir DIR or set REPRO_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.core.nonoblivious import (
+        symmetric_threshold_winning_probability,
+    )
+    from repro.core.oblivious import (
+        optimal_oblivious_winning_probability,
+    )
+
+    kernel_calls = 0
+    for n in args.ns:
+        for delta in args.deltas:
+            optimal_oblivious_winning_probability(delta, n)
+            kernel_calls += 1
+            for i in range(args.grid_size):
+                beta = Fraction(i, max(args.grid_size - 1, 1))
+                symmetric_threshold_winning_probability(beta, n, delta)
+                kernel_calls += 1
+    after = cache_stats()["disk"]
+    print(
+        f"warmed {kernel_calls} kernel evaluations; persistent tier "
+        f"now holds {after['entries']} entries in {after['directory']}"
+    )
     return 0
 
 
@@ -519,7 +630,10 @@ def _run_check(args: argparse.Namespace) -> int:
                 shard_timeout=args.shard_timeout,
             )
         )
-    with use_contracts(strict=args.strict):
+    # The oracle must never compare a cached value with itself: running
+    # cache-bypassed recomputes every analytic route from scratch, so
+    # cached results elsewhere are cross-validated against fresh ones.
+    with bypass_cache(), use_contracts(strict=args.strict):
         cases = default_case_grid(
             args.ns, args.deltas, algorithms=args.algorithms
         )
@@ -605,6 +719,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     disagreement (or a strict-mode contract violation).
     """
     args = _build_parser().parse_args(argv)
+    if args.no_cache:
+        configure_cache(enabled=False)
+    if args.cache_dir is not None:
+        configure_cache(directory=args.cache_dir)
     profiled = bool(
         args.profile or args.metrics_out or args.trace_out
     )

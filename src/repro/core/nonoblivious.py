@@ -37,6 +37,7 @@ from fractions import Fraction
 from itertools import product
 from typing import List, Sequence
 
+from repro.cache import memoized_kernel
 from repro.errors import ValidationError
 from repro.probability.uniform_sums import (
     joint_sum_below_and_inside_high,
@@ -60,6 +61,7 @@ __all__ = [
 ]
 
 
+@memoized_kernel
 def threshold_winning_probability(
     delta: RationalLike, thresholds: Sequence[RationalLike]
 ) -> Fraction:
@@ -121,6 +123,7 @@ def _b_factor(beta: Fraction, k: int, delta: Fraction) -> Fraction:
     return (1 - beta) ** k - total / factorial(k)
 
 
+@memoized_kernel
 def symmetric_threshold_winning_probability(
     beta: RationalLike, n: int, delta: RationalLike
 ) -> Fraction:
@@ -178,6 +181,7 @@ def symmetric_threshold_breakpoints(
     return sorted(points)
 
 
+@memoized_kernel(persist=False)
 def symmetric_threshold_winning_polynomial(
     n: int, delta: RationalLike
 ) -> PiecewisePolynomial:

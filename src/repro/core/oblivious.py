@@ -24,6 +24,7 @@ from fractions import Fraction
 from itertools import product
 from typing import List, Sequence
 
+from repro.cache import memoized_kernel
 from repro.core.phi import phi_table
 from repro.errors import ValidationError
 from repro.symbolic.rational import RationalLike, as_fraction, binomial
@@ -76,6 +77,7 @@ def number_of_ones_distribution(
     return pmf
 
 
+@memoized_kernel
 def oblivious_winning_probability(
     t: RationalLike, alphas: Sequence[RationalLike]
 ) -> Fraction:
@@ -122,6 +124,7 @@ def oblivious_winning_probability_enumerated(
     return check_probability("oblivious_winning_probability_enumerated", total)
 
 
+@memoized_kernel
 def symmetric_oblivious_winning_probability(
     t: RationalLike, n: int, alpha: RationalLike
 ) -> Fraction:
@@ -139,6 +142,7 @@ def symmetric_oblivious_winning_probability(
     return check_probability("symmetric_oblivious_winning_probability", total)
 
 
+@memoized_kernel
 def optimal_oblivious_winning_probability(t: RationalLike, n: int) -> Fraction:
     """Theorem 4.3: the optimal oblivious value, at ``alpha = 1/2``.
 

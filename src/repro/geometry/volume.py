@@ -28,6 +28,7 @@ from fractions import Fraction
 from itertools import combinations
 from typing import Sequence, Tuple
 
+from repro.cache import memoized_kernel
 from repro.errors import ValidationError
 from repro.geometry.box import Box
 from repro.geometry.polytope import Polytope
@@ -91,6 +92,7 @@ def corner_simplex_volume(
     return base * (1 - ratio_sum) ** m
 
 
+@memoized_kernel
 def intersection_volume(
     sigma: Sequence[RationalLike], pi: Sequence[RationalLike]
 ) -> Fraction:

@@ -175,7 +175,13 @@ class IntervalRule(DecisionAlgorithm):
         return table[idx]
 
     def probability_of_zero(self, own_input: float) -> float:
-        return 1.0 - float(self.decide(own_input, {}, np.random.default_rng(0)))
+        # The rule is deterministic: read the cut table directly rather
+        # than constructing a throwaway Generator for decide()'s
+        # signature (which was pure per-call allocation overhead).
+        for cut, bit in zip(self._cuts, self._outputs):
+            if own_input <= float(cut):
+                return 1.0 - bit
+        return 1.0 - self._outputs[-1]
 
     def measure_of_zero(self) -> Fraction:
         """Lebesgue measure of ``{x : rule(x) = 0}`` -- handy in analysis."""

@@ -165,8 +165,12 @@ class DistributedSystem:
         for i, player in enumerate(self._players):
             outputs[:, i] = player.algorithm.decide_batch(inputs[:, i], rng)
         cap = float(self._capacity)
+        # Each bin load is summed directly over its own players, exactly
+        # as the scalar run() does -- deriving load0 as total - load1
+        # differs by an ulp for some inputs and can flip the verdict
+        # right at the load0 <= cap boundary.
+        load0 = np.where(outputs == 0, inputs, 0.0).sum(axis=1)
         load1 = np.where(outputs == 1, inputs, 0.0).sum(axis=1)
-        load0 = inputs.sum(axis=1) - load1
         return (load0 <= cap) & (load1 <= cap)
 
     def __repr__(self) -> str:

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import List
 
+from repro.cache import memoized_kernel
 from repro.core.oblivious import (
     optimal_oblivious_winning_probability,
     symmetric_oblivious_winning_probability,
@@ -103,6 +104,7 @@ def verify_fair_coin_stationary(
     return oblivious_gradient(t, half)
 
 
+@memoized_kernel(persist=False)
 def solve_oblivious_optimum(
     t: RationalLike,
     n: int,

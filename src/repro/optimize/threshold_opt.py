@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import List, Tuple
 
+from repro.cache import memoized_kernel
 from repro.core.nonoblivious import symmetric_threshold_winning_polynomial
 from repro.errors import ValidationError
 from repro.observability import get_instrumentation
@@ -68,6 +69,7 @@ class ThresholdOptimum:
         )
 
 
+@memoized_kernel(persist=False)
 def optimal_symmetric_threshold(
     n: int,
     delta: RationalLike,

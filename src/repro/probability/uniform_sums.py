@@ -52,6 +52,7 @@ from fractions import Fraction
 from itertools import combinations
 from typing import List, Sequence
 
+from repro.cache import memoized_kernel
 from repro.errors import ValidationError
 from repro.probability.inclusion_exclusion import alternating_symmetric_sum
 from repro.symbolic.rational import (
@@ -106,6 +107,7 @@ def _validated_widths(
     return [v for v in out if v != 0]
 
 
+@memoized_kernel
 def sum_uniform_cdf(t: RationalLike, uppers: Sequence[RationalLike]) -> Fraction:
     """Lemma 2.4: ``P(sum x_i <= t)`` for independent ``x_i ~ U[0, uppers[i]]``.
 
@@ -196,6 +198,7 @@ def sum_uniform_cdf_fast(
     return min(1.0, max(0.0, value))
 
 
+@memoized_kernel
 def sum_uniform_pdf(t: RationalLike, uppers: Sequence[RationalLike]) -> Fraction:
     """Lemma 2.5: density of the sum of independent ``x_i ~ U[0, uppers[i]]``.
 
@@ -230,6 +233,7 @@ def sum_uniform_pdf(t: RationalLike, uppers: Sequence[RationalLike]) -> Fraction
     return total / normaliser
 
 
+@memoized_kernel
 def irwin_hall_cdf(t: RationalLike, m: int) -> Fraction:
     """Corollary 2.6: ``P(sum of m U[0,1] <= t)``, the Irwin-Hall CDF.
 
@@ -312,6 +316,7 @@ def irwin_hall_cdf_fast(
     return min(1.0, max(0.0, value))
 
 
+@memoized_kernel
 def irwin_hall_pdf(t: RationalLike, m: int) -> Fraction:
     """Density of the Irwin-Hall distribution (Lemma 2.5 with unit boxes)."""
     if m < 1:
@@ -327,6 +332,7 @@ def irwin_hall_pdf(t: RationalLike, m: int) -> Fraction:
     return total / factorial(m - 1)
 
 
+@memoized_kernel
 def sum_uniform_tail_cdf(
     t: RationalLike, lowers: Sequence[RationalLike]
 ) -> Fraction:
@@ -369,6 +375,7 @@ def sum_uniform_tail_cdf(
     )
 
 
+@memoized_kernel
 def joint_sum_below_and_inside_low(
     t: RationalLike, alphas: Sequence[RationalLike]
 ) -> Fraction:
@@ -413,6 +420,7 @@ def joint_sum_below_and_inside_low(
     )
 
 
+@memoized_kernel
 def joint_sum_below_and_inside_boxes(
     t: RationalLike, intervals: Sequence
 ) -> Fraction:
@@ -449,6 +457,7 @@ def joint_sum_below_and_inside_boxes(
     return box * sum_uniform_cdf(tt - offset, widths)
 
 
+@memoized_kernel
 def joint_sum_below_and_inside_high(
     t: RationalLike, alphas: Sequence[RationalLike]
 ) -> Fraction:

@@ -201,8 +201,11 @@ def sweep_players(
         simulate=simulate,
     ):
         for n in ns:
-            if n < 1:
-                raise ValueError(f"player counts must be >= 1, got {n}")
+            # The distributed model needs at least two players; n = 1
+            # used to slip past this guard and fail deep inside the
+            # kernels instead of at the API boundary.
+            if n < 2:
+                raise ValueError(f"player counts must be >= 2, got {n}")
             d = as_fraction(delta_of_n(n))
             with instr.span("sweep.point", n=n, delta=str(d)):
                 simulated = None

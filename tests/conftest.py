@@ -17,6 +17,25 @@ import numpy as np
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def fresh_kernel_cache():
+    """Isolate the memoization cache between tests.
+
+    The cache is process-wide by design; without this, one test's warm
+    entries would mask another test's counters and call-count
+    assertions.  Dropping the memory tier before each test restores
+    cold-cache behaviour (tests that want a disk tier configure their
+    own directory and are responsible for detaching it).
+    """
+    from repro.cache import clear_cache, configure_cache
+
+    configure_cache(enabled=True, directory=None)
+    clear_cache(include_disk=False)
+    yield
+    configure_cache(enabled=True, directory=None)
+    clear_cache(include_disk=False)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic generator for tests that sample."""

@@ -1,0 +1,254 @@
+"""Scalar/batch path-consistency: ``run()`` and ``run_batch()`` must
+return identical verdicts, trial for trial.
+
+The Monte Carlo engine's sharding correctness rests on the two
+execution paths of :class:`DistributedSystem` being interchangeable.
+That is only true if both paths make *bitwise* identical decisions --
+including at the measure-zero boundaries (inputs pinned exactly at a
+threshold or cut point, loads landing exactly on the capacity) where
+an ulp of disagreement flips a verdict.
+
+Regression anchor: ``run_batch`` used to derive the bin-0 load as
+``total - load1`` (a float subtraction) while ``run`` summed the bin-0
+inputs directly; for inputs like ``[0.1, 0.2, 0.3]`` the two spellings
+differ by an ulp and disagreed with the scalar path exactly at
+``load0 == capacity``.
+
+Player counts stay in ``2..7`` throughout: numpy switches to pairwise
+summation at 8 addends, which is a *different* (and here irrelevant)
+source of scalar/batch divergence; the fix under test is about which
+inputs are summed, not the association order.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.algorithms import (
+    CallableRule,
+    IntervalRule,
+    ObliviousCoin,
+    SingleThresholdRule,
+)
+from repro.model.system import DistributedSystem
+
+unit_floats = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+def scalar_verdicts(
+    system: DistributedSystem, inputs: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    return np.array(
+        [system.run(row, rng).won for row in inputs], dtype=bool
+    )
+
+
+def assert_paths_agree(system: DistributedSystem, inputs: np.ndarray):
+    """Deterministic rules: verdicts must match for any generators."""
+    scalar = scalar_verdicts(system, inputs, np.random.default_rng(0))
+    batch = system.run_batch(inputs, np.random.default_rng(0))
+    assert batch.tolist() == scalar.tolist()
+
+
+class TestDeterministicFamilies:
+    def test_regression_bin0_summed_directly(self):
+        """The ulp case: 0.1 + 0.3 == 0.4 exactly, but
+        (0.1 + 0.2 + 0.3) - 0.2 == 0.4000000000000001 > capacity."""
+        rule = IntervalRule(
+            [Fraction(3, 20), Fraction(1, 4)], [0, 1, 0]
+        )  # 0.1 -> bin 0, 0.2 -> bin 1, 0.3 -> bin 0
+        system = DistributedSystem([rule] * 3, capacity=Fraction(2, 5))
+        inputs = np.array([[0.1, 0.2, 0.3]])
+        outcome = system.run(inputs[0], np.random.default_rng(0))
+        assert outcome.outputs == (0, 1, 0)
+        assert outcome.won  # 0.1 + 0.3 == 0.4 <= 0.4
+        batch = system.run_batch(inputs, np.random.default_rng(0))
+        assert batch.tolist() == [True]
+
+    def test_single_threshold_inputs_pinned_at_threshold(self):
+        threshold = Fraction(1, 2)
+        system = DistributedSystem(
+            [SingleThresholdRule(threshold)] * 2, capacity=1
+        )
+        # Rows hit the threshold exactly, straddle it by one ulp, and
+        # land the bin-0 load exactly on the capacity (0.5 + 0.5 == 1).
+        half = float(threshold)
+        inputs = np.array(
+            [
+                [half, half],
+                [np.nextafter(half, 0.0), np.nextafter(half, 1.0)],
+                [half, np.nextafter(half, 1.0)],
+                [0.0, 1.0],
+                [1.0, 1.0],
+            ]
+        )
+        assert_paths_agree(system, inputs)
+
+    def test_interval_rule_inputs_pinned_at_cuts(self):
+        cuts = [Fraction(1, 4), Fraction(3, 4)]
+        rule = IntervalRule(cuts, [0, 1, 0])
+        system = DistributedSystem([rule] * 3, capacity=Fraction(3, 2))
+        pins = [float(c) for c in cuts]
+        rows = [
+            [pins[0], pins[1], 0.5],
+            [np.nextafter(pins[0], 1.0), pins[1], pins[0]],
+            [pins[1], np.nextafter(pins[1], 1.0), 1.0],
+            [0.0, 0.0, 0.0],
+            [1.0, 1.0, 1.0],
+        ]
+        assert_paths_agree(system, np.array(rows))
+
+    def test_callable_rule_uses_default_batch_loop(self):
+        # CallableRule has no decide_batch override, so this exercises
+        # the DecisionAlgorithm default loop against the scalar path.
+        rule = CallableRule(lambda x: 1 if x == 0.2 else 0, name="eq")
+        system = DistributedSystem([rule] * 3, capacity=Fraction(2, 5))
+        inputs = np.array([[0.1, 0.2, 0.3], [0.2, 0.2, 0.2]])
+        assert_paths_agree(system, inputs)
+
+    def test_mixed_rule_families_per_player(self):
+        system = DistributedSystem(
+            [
+                SingleThresholdRule(Fraction(1, 3)),
+                IntervalRule([Fraction(1, 2)], [1, 0]),
+                CallableRule(lambda x: 0 if x < 0.9 else 1, name="hi"),
+            ],
+            capacity=1,
+        )
+        rng = np.random.default_rng(7)
+        inputs = rng.random((64, 3))
+        inputs[0] = [1 / 3, 0.5, 0.9]  # pin every rule's boundary
+        assert_paths_agree(system, inputs)
+
+
+class TestObliviousCoin:
+    @pytest.mark.parametrize("alpha", [0, 1])
+    def test_degenerate_coins_agree_trial_for_trial(self, alpha):
+        # alpha in {0, 1} makes the coin deterministic, so the two
+        # paths' different draw orders cannot matter.
+        system = DistributedSystem(
+            [ObliviousCoin(alpha)] * 4, capacity=Fraction(4, 3)
+        )
+        inputs = np.random.default_rng(3).random((32, 4))
+        assert_paths_agree(system, inputs)
+
+    def test_single_player_seeded_streams_match(self):
+        # With one player, run() draws rng.random() once per trial and
+        # run_batch() draws rng.random(trials): the same stream in the
+        # same order, so even the randomized verdicts must be equal.
+        system = DistributedSystem(
+            [ObliviousCoin(Fraction(1, 2))], capacity=Fraction(1, 2)
+        )
+        inputs = np.random.default_rng(5).random((50, 1))
+        scalar = scalar_verdicts(system, inputs, np.random.default_rng(11))
+        batch = system.run_batch(inputs, np.random.default_rng(11))
+        assert batch.tolist() == scalar.tolist()
+
+    def test_coin_mixed_with_thresholds_at_alpha_one(self):
+        system = DistributedSystem(
+            [
+                ObliviousCoin(1),
+                SingleThresholdRule(Fraction(1, 2)),
+                ObliviousCoin(0),
+            ],
+            capacity=1,
+        )
+        inputs = np.random.default_rng(9).random((32, 3))
+        inputs[0] = [0.5, 0.5, 0.5]
+        assert_paths_agree(system, inputs)
+
+
+@st.composite
+def deterministic_systems(draw):
+    """A system of 2..7 players, each with a deterministic local rule."""
+    n = draw(st.integers(min_value=2, max_value=7))
+    rules = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["threshold", "interval", "coin"]))
+        if kind == "threshold":
+            rules.append(
+                SingleThresholdRule(
+                    draw(
+                        st.fractions(
+                            min_value=0, max_value=1, max_denominator=16
+                        )
+                    )
+                )
+            )
+        elif kind == "interval":
+            cuts = sorted(
+                draw(
+                    st.sets(
+                        st.fractions(
+                            min_value="1/16",
+                            max_value="15/16",
+                            max_denominator=16,
+                        ),
+                        min_size=1,
+                        max_size=3,
+                    )
+                )
+            )
+            outputs = draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=1),
+                    min_size=len(cuts) + 1,
+                    max_size=len(cuts) + 1,
+                )
+            )
+            rules.append(IntervalRule(cuts, outputs))
+        else:
+            rules.append(ObliviousCoin(draw(st.sampled_from([0, 1]))))
+    capacity = draw(
+        st.fractions(min_value="1/4", max_value=n, max_denominator=12)
+    )
+    return DistributedSystem(rules, capacity=capacity)
+
+
+class TestPropertyAgreement:
+    @settings(max_examples=80, deadline=None)
+    @given(deterministic_systems(), st.data())
+    def test_verdicts_identical_trial_for_trial(self, system, data):
+        trials = data.draw(st.integers(min_value=1, max_value=12))
+        rows = []
+        # Candidate boundary values for this system: every threshold
+        # and cut point (exactly representable or not), plus 0 and 1.
+        pins = [0.0, 1.0]
+        for alg in system.algorithms:
+            if isinstance(alg, SingleThresholdRule):
+                pins.append(float(alg.threshold))
+            elif isinstance(alg, IntervalRule):
+                pins.extend(float(c) for c in alg.cuts)
+        for _ in range(trials):
+            rows.append(
+                [
+                    data.draw(
+                        st.one_of(unit_floats, st.sampled_from(pins))
+                    )
+                    for _ in range(system.n)
+                ]
+            )
+        assert_paths_agree(system, np.array(rows))
+
+    @settings(max_examples=40, deadline=None)
+    @given(deterministic_systems())
+    def test_loads_pinned_exactly_at_capacity(self, system):
+        # Split the capacity into n dyadic shares so the float sums are
+        # exact and the total lands exactly on the capacity boundary.
+        n = system.n
+        cap = system.capacity
+        shares = [cap / 2] + [cap / 2 ** (i + 1) for i in range(1, n - 1)]
+        shares.append(cap - sum(shares, Fraction(0)))
+        floats = [float(s) for s in shares]
+        if any(not 0 <= f <= 1 for f in floats):
+            return  # capacity too large to pin inside the unit cube
+        if any(Fraction(f) != s for f, s in zip(floats, shares)):
+            return  # shares not exactly representable; nothing pinned
+        assert_paths_agree(system, np.array([floats]))

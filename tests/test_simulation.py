@@ -299,6 +299,15 @@ class TestSweeps:
         with pytest.raises(ValueError):
             sweep_players([0], delta_of_n=lambda n: 1)
 
+    def test_player_sweep_rejects_single_player(self):
+        """Regression: the guard used to admit n = 1, which the model
+        does not define, and the failure surfaced deep in the kernels;
+        it must be rejected at the API boundary with a clear message."""
+        with pytest.raises(ValueError, match=r"player counts must be >= 2, got 1"):
+            sweep_players([1], delta_of_n=lambda n: 1)
+        with pytest.raises(ValueError, match=r"must be >= 2"):
+            sweep_players([3, 1, 4], delta_of_n=lambda n: 1)
+
     def test_player_sweep_with_simulation(self):
         beta = Fraction(1, 2)
         result = sweep_players(
