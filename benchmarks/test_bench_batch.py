@@ -1,0 +1,154 @@
+"""Cold-sweep speedup of the batch layer (BENCH_6.json).
+
+The workload is the Issue-6 acceptance grid: the Theorem 5.1
+threshold curve for ``n = 4`` over several capacities, evaluated on a
+>= 10k-point (beta, delta) grid that includes every float breakpoint.
+Two timed passes over the identical grid:
+
+1. **per-point exact** -- ``symmetric_threshold_winning_probability``
+   at every point, cache-bypassed (the honest first-visit cost the
+   PR-5 cache cannot hide);
+2. **batch cold** -- from an empty cache: build the exact piecewise
+   polynomial, compile it to float64 tables, evaluate the whole grid
+   vectorised with per-point certification and exact fallback.
+
+The floor asserted here is 20x (target 100x); the artifact also
+records the warm (tables already compiled) pass, the fallback rate,
+and the batch-vs-exact agreement verdict on the same grid.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from fractions import Fraction
+from pathlib import Path
+
+import numpy as np
+from conftest import record
+
+from repro.batch import compiled_threshold_curve, run_batch_agreement
+from repro.cache import bypass_cache, clear_cache
+from repro.core.nonoblivious import symmetric_threshold_winning_probability
+
+#: Acceptance floor for the cold batch-vs-exact speedup (target 100x).
+COLD_SPEEDUP_FLOOR = 20.0
+
+N = 4
+DELTAS = [Fraction(k, 6) for k in range(3, 11)]  # 1/2 .. 5/3, 8 capacities
+BETAS_PER_DELTA = 1280
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_6.json"
+
+
+def _grids():
+    """One float64 beta grid per delta, breakpoint-stressed."""
+    grids = []
+    for delta in DELTAS:
+        base = np.linspace(0.0, 1.0, BETAS_PER_DELTA)
+        edges = compiled_threshold_curve(N, delta).edges
+        grids.append(np.unique(np.concatenate([base, edges])))
+    return grids
+
+
+def test_bench_batch_cold_sweep_speedup():
+    grids = _grids()  # grid layout fixed before any timing
+    total_points = sum(len(g) for g in grids)
+    assert total_points >= 10_000
+
+    # Pass 1: per-point exact, cache-bypassed.
+    start = time.perf_counter()
+    exact_values = []
+    with bypass_cache():
+        for delta, grid in zip(DELTAS, grids):
+            exact_values.append(
+                [
+                    symmetric_threshold_winning_probability(
+                        Fraction(float(b)), N, delta
+                    )
+                    for b in grid
+                ]
+            )
+    exact_seconds = time.perf_counter() - start
+
+    # Pass 2: batch cold -- nothing compiled, nothing cached.
+    clear_cache()
+    start = time.perf_counter()
+    cold_results = [
+        compiled_threshold_curve(N, delta).evaluate_certified(grid)
+        for delta, grid in zip(DELTAS, grids)
+    ]
+    cold_seconds = time.perf_counter() - start
+
+    # Pass 3: batch warm (tables already compiled).
+    start = time.perf_counter()
+    warm_results = [
+        compiled_threshold_curve(N, delta).evaluate_certified(grid)
+        for delta, grid in zip(DELTAS, grids)
+    ]
+    warm_seconds = time.perf_counter() - start
+
+    # Every point certified-or-fallback, and correct either way.
+    fallbacks = 0
+    for delta_values, result in zip(exact_values, cold_results):
+        fallbacks += result.fallback_count
+        for i, exact in enumerate(delta_values):
+            if result.certified[i]:
+                assert abs(result.values[i] - float(exact)) <= (
+                    result.error_bounds[i] + 1e-15
+                )
+            else:
+                assert result.exact_fallbacks[i] == exact
+    for cold, warm in zip(cold_results, warm_results):
+        assert cold.values.tobytes() == warm.values.tobytes()
+
+    agreement = run_batch_agreement([N], DELTAS[:2], grid_size=128)
+    assert agreement.passed, agreement.render()
+
+    cold_speedup = exact_seconds / max(cold_seconds, 1e-9)
+    warm_speedup = exact_seconds / max(warm_seconds, 1e-9)
+    fallback_rate = fallbacks / total_points
+    record(
+        "batch.cold_sweep",
+        points=total_points,
+        exact_seconds=round(exact_seconds, 4),
+        cold_seconds=round(cold_seconds, 4),
+        warm_seconds=round(warm_seconds, 4),
+        cold_speedup=round(cold_speedup, 1),
+        warm_speedup=round(warm_speedup, 1),
+        fallback_rate=round(fallback_rate, 6),
+    )
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "benchmark": "batch_cold_sweep",
+                "workload": {
+                    "n": N,
+                    "deltas": [str(d) for d in DELTAS],
+                    "betas_per_delta": BETAS_PER_DELTA,
+                    "grid_points": total_points,
+                },
+                "exact_seconds": exact_seconds,
+                "cold_seconds": cold_seconds,
+                "warm_seconds": warm_seconds,
+                "cold_speedup": cold_speedup,
+                "warm_speedup": warm_speedup,
+                "floor": COLD_SPEEDUP_FLOOR,
+                "target": 100.0,
+                "certified_points": total_points - fallbacks,
+                "fallback_points": fallbacks,
+                "fallback_rate": fallback_rate,
+                "agreement_passed": agreement.passed,
+                "agreement_points": agreement.points,
+                "agreement_max_certified_error": (
+                    agreement.max_certified_error
+                ),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert cold_speedup >= COLD_SPEEDUP_FLOOR, (
+        f"cold batch sweep only {cold_speedup:.1f}x faster than the "
+        f"per-point exact path (need >= {COLD_SPEEDUP_FLOOR}x); "
+        "see BENCH_6.json"
+    )

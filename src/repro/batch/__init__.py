@@ -1,0 +1,41 @@
+"""Compile-once / evaluate-many batch kernels (vectorised sweeps).
+
+The paper's winning probabilities are piecewise polynomials in the
+threshold and capacity parameters; this package lowers them to float64
+coefficient tables once and evaluates whole NumPy grids with
+vectorised Horner -- with every point either certified by an
+a-posteriori error bound or transparently served by the exact
+``Fraction`` kernel.  See :mod:`repro.batch.compile` for the
+evaluation pipeline, :mod:`repro.batch.tables` for the cached curve
+families, and :mod:`repro.batch.agreement` for the batch-vs-exact
+integrity check wired into ``repro check --batch-grid``.
+"""
+
+from repro.batch.agreement import (
+    AgreementReport,
+    agreement_grid,
+    run_batch_agreement,
+)
+from repro.batch.compile import BatchResult, CompiledPiecewise
+from repro.batch.tables import (
+    compiled_irwin_hall_cdf,
+    compiled_oblivious_curve,
+    compiled_threshold_curve,
+    irwin_hall_piecewise,
+    piecewise_from_table,
+    piecewise_table,
+)
+
+__all__ = [
+    "AgreementReport",
+    "BatchResult",
+    "CompiledPiecewise",
+    "agreement_grid",
+    "compiled_irwin_hall_cdf",
+    "compiled_oblivious_curve",
+    "compiled_threshold_curve",
+    "irwin_hall_piecewise",
+    "piecewise_from_table",
+    "piecewise_table",
+    "run_batch_agreement",
+]

@@ -1,0 +1,164 @@
+"""Cached compilation of the paper's curve families.
+
+Two cache tiers, split on purpose:
+
+* the **exact coefficient tables** (nested tuples of ``Fraction``:
+  breakpoints plus per-piece coefficient rows) are pure, losslessly
+  JSON-encodable values, so they ride the persistent disk tier of
+  :mod:`repro.cache` (``persist=True``), keyed -- like every kernel --
+  by a source fingerprint that invalidates them when a formula
+  changes;
+* the **compiled float objects** (:class:`~repro.batch.compile.CompiledPiecewise`,
+  holding NumPy arrays) are memory-tier only (``persist=False``): they
+  are cheap to rebuild from a table and have no lossless JSON form.
+
+A cold process with a warm disk cache therefore skips the expensive
+part (the symbolic construction of the piecewise polynomial) and pays
+only the float conversion; the test-suite pins that cold-vs-warm
+compiled tables evaluate byte-identically.
+
+Curve families provided:
+
+* :func:`compiled_threshold_curve` -- Theorem 5.1's symmetric
+  threshold winning probability ``beta -> P(beta)`` on ``[0, 1]``;
+* :func:`compiled_oblivious_curve` -- the symmetric oblivious profile
+  ``alpha -> P(alpha, ..., alpha)`` on ``[0, 1]`` (a single piece);
+* :func:`compiled_irwin_hall_cdf` -- the Irwin-Hall CDF on ``[0, m]``
+  (Corollary 2.6), pieces between consecutive integers.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Tuple
+
+from repro.batch.compile import CompiledPiecewise
+from repro.cache import memoized_kernel
+from repro.core.nonoblivious import symmetric_threshold_winning_polynomial
+from repro.errors import ValidationError
+from repro.observability import get_instrumentation
+from repro.optimize.oblivious_opt import symmetric_oblivious_polynomial
+from repro.symbolic.piecewise import PiecewisePolynomial
+from repro.symbolic.polynomial import Polynomial
+from repro.symbolic.rational import RationalLike, as_fraction, binomial, factorial
+
+__all__ = [
+    "compiled_irwin_hall_cdf",
+    "compiled_oblivious_curve",
+    "compiled_threshold_curve",
+    "irwin_hall_piecewise",
+    "piecewise_from_table",
+    "piecewise_table",
+]
+
+#: (breakpoints, per-piece ascending coefficient rows), all Fractions.
+PiecewiseTable = Tuple[
+    Tuple[Fraction, ...], Tuple[Tuple[Fraction, ...], ...]
+]
+
+
+def piecewise_table(curve: PiecewisePolynomial) -> PiecewiseTable:
+    """Flatten an exact piecewise polynomial to a pure-Fraction table
+    (the losslessly disk-encodable form)."""
+    breakpoints = tuple(curve.breakpoints)
+    coefficients = tuple(
+        tuple(p.polynomial.coefficients) for p in curve.pieces
+    )
+    return breakpoints, coefficients
+
+
+def piecewise_from_table(table: PiecewiseTable) -> PiecewisePolynomial:
+    """Rebuild the exact piecewise polynomial from its flat table."""
+    breakpoints, coefficients = table
+    return PiecewisePolynomial.from_breakpoints(
+        list(breakpoints), [Polynomial(row) for row in coefficients]
+    )
+
+
+@memoized_kernel
+def threshold_curve_table(n: int, delta: RationalLike) -> PiecewiseTable:
+    """Exact coefficient table of the Theorem 5.1 threshold curve
+    (disk-persistable)."""
+    return piecewise_table(
+        symmetric_threshold_winning_polynomial(n, as_fraction(delta))
+    )
+
+
+@memoized_kernel
+def oblivious_profile_table(
+    t: RationalLike, n: int
+) -> Tuple[Fraction, ...]:
+    """Exact coefficient tuple of the symmetric oblivious profile
+    polynomial (disk-persistable)."""
+    return tuple(symmetric_oblivious_polynomial(as_fraction(t), n).coefficients)
+
+
+@memoized_kernel
+def irwin_hall_table(m: int) -> PiecewiseTable:
+    """Exact coefficient table of the Irwin-Hall CDF on ``[0, m]``
+    (disk-persistable)."""
+    return piecewise_table(irwin_hall_piecewise(m))
+
+
+def irwin_hall_piecewise(m: int) -> PiecewisePolynomial:
+    """The Irwin-Hall CDF (Corollary 2.6) as an exact piecewise
+    polynomial on ``[0, m]``.
+
+    On ``[i, i + 1]`` the CDF is
+    ``(1/m!) * sum_{j <= i} (-1)^j C(m, j) (t - j)^m`` -- the strict
+    condition ``j < t`` of the scalar formula admits exactly the terms
+    ``j <= i`` throughout the piece's interior, and the resulting
+    polynomials agree at the shared integer breakpoints (the CDF is
+    continuous), so the half-open dispatch convention never changes a
+    value.
+    """
+    if m < 1:
+        raise ValidationError(f"m must be >= 1, got {m}")
+    inv_norm = Fraction(1, factorial(m))
+    pieces = []
+    running = Polynomial.zero()
+    for i in range(m):
+        sign = 1 if i % 2 == 0 else -1
+        running = running + (
+            sign * binomial(m, i) * Polynomial([-i, 1]) ** m
+        )
+        pieces.append(running * inv_norm)
+    return PiecewisePolynomial.from_breakpoints(
+        [Fraction(i) for i in range(m + 1)], pieces
+    )
+
+
+def _count_compiled() -> None:
+    instr = get_instrumentation()
+    if instr.enabled:
+        instr.increment("batch.tables_compiled")
+
+
+@memoized_kernel(persist=False)
+def compiled_threshold_curve(
+    n: int, delta: RationalLike
+) -> CompiledPiecewise:
+    """The Theorem 5.1 threshold curve, compiled for batched grids."""
+    _count_compiled()
+    return CompiledPiecewise(
+        piecewise_from_table(threshold_curve_table(n, as_fraction(delta)))
+    )
+
+
+@memoized_kernel(persist=False)
+def compiled_oblivious_curve(
+    t: RationalLike, n: int
+) -> CompiledPiecewise:
+    """The symmetric oblivious profile on ``[0, 1]``, compiled."""
+    _count_compiled()
+    coefficients = oblivious_profile_table(as_fraction(t), n)
+    return CompiledPiecewise.from_polynomial(
+        Polynomial(coefficients), Fraction(0), Fraction(1)
+    )
+
+
+@memoized_kernel(persist=False)
+def compiled_irwin_hall_cdf(m: int) -> CompiledPiecewise:
+    """The Irwin-Hall CDF on ``[0, m]``, compiled."""
+    _count_compiled()
+    return CompiledPiecewise(piecewise_from_table(irwin_hall_table(m)))

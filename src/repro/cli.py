@@ -319,6 +319,29 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    swp = sub.add_parser(
+        "sweep",
+        help="evaluate the threshold curve on a beta grid (exact or batched)",
+        parents=[obs],
+    )
+    swp.add_argument("--n", type=int, default=3)
+    swp.add_argument("--delta", type=_parse_fraction, default=Fraction(1))
+    swp.add_argument(
+        "--grid-size",
+        type=int,
+        default=1001,
+        help="number of evenly spaced beta points (default 1001)",
+    )
+    swp.add_argument(
+        "--batch",
+        action="store_true",
+        help=(
+            "serve the exact column from the vectorised batch layer: "
+            "one compiled evaluation of the whole grid, every point "
+            "certified or exact-fallback (see docs/architecture.md)"
+        ),
+    )
+
     check = sub.add_parser(
         "check",
         help="cross-validate analytic formulas, MC and bounds",
@@ -382,6 +405,18 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SECONDS",
         help="wall-clock limit per MC shard attempt",
+    )
+    check.add_argument(
+        "--batch-grid",
+        type=int,
+        default=0,
+        metavar="SIZE",
+        help=(
+            "also run the batch-vs-exact agreement grid with SIZE "
+            "uniform beta points per case (plus every breakpoint and "
+            "its float neighbours); disagreement exits with code 6 "
+            "like any other integrity failure (0 = skip, the default)"
+        ),
     )
     check.add_argument(
         "--inject-analytic-error",
@@ -559,10 +594,43 @@ def _dispatch(args: argparse.Namespace) -> int:
             print("VALIDATION FAILED", file=sys.stderr)
             return 1
         print(f"all {len(result.points)} grid points consistent")
+    elif args.command == "sweep":
+        return _run_sweep(args)
     elif args.command == "check":
         return _run_check(args)
     elif args.command == "cache":
         return _run_cache(args)
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep``: one beta-grid sweep, exact or batched."""
+    import time
+
+    start = time.perf_counter()
+    result = sweep_thresholds(
+        args.n,
+        args.delta,
+        grid_size=args.grid_size,
+        batch=args.batch,
+    )
+    elapsed = time.perf_counter() - start
+    best = result.best()
+    mode = "batch" if args.batch else "exact"
+    print(
+        f"sweep [{mode}] n={args.n} delta={args.delta}: "
+        f"{len(result.points)} points in {elapsed:.3f}s"
+    )
+    print(
+        f"  best beta={float(best.parameter):.6f}  "
+        f"P={float(best.exact):.6f}"
+    )
+    if result.batch is not None:
+        print(
+            f"  certified {result.batch.certified}/{result.batch.points}, "
+            f"{result.batch.fallbacks} exact fallbacks "
+            f"(rate {result.batch.fallback_rate:.2%})"
+        )
     return 0
 
 
@@ -653,6 +721,16 @@ def _run_check(args: argparse.Namespace) -> int:
     if not report.passed:
         print("INTEGRITY CHECK FAILED", file=sys.stderr)
         return EXIT_INTEGRITY_MISMATCH
+    if args.batch_grid:
+        from repro.batch import run_batch_agreement
+
+        agreement = run_batch_agreement(
+            args.ns, args.deltas, grid_size=args.batch_grid
+        )
+        print(agreement.render())
+        if not agreement.passed:
+            print("BATCH AGREEMENT FAILED", file=sys.stderr)
+            return EXIT_INTEGRITY_MISMATCH
     return 0
 
 

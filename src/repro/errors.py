@@ -22,11 +22,18 @@ genuine bug surfacing as an arbitrary exception.  The hierarchy:
     the caller forbade the exact fallback;
 ``ResultsStoreError`` (also a :class:`ValueError`)
     a stored sweep file could not be read back (re-exported by
-    :mod:`repro.simulation.results_store`, its historical home).
+    :mod:`repro.simulation.results_store`, its historical home);
+``PiecewiseDomainError`` (also a :class:`ValueError`)
+    a piecewise polynomial was built from a malformed piece layout --
+    zero-width or inverted pieces, non-contiguous intervals,
+    out-of-order breakpoints -- or evaluated outside its domain.  Such
+    layouts used to be accepted silently and then mis-dispatched at
+    shared breakpoints; they are now rejected at construction time.
 
-``ValidationError`` and ``ResultsStoreError`` keep :class:`ValueError`
-as a base so code written against the old bare-``ValueError``
-behaviour -- including every pre-existing test -- continues to work.
+``ValidationError``, ``ResultsStoreError`` and ``PiecewiseDomainError``
+keep :class:`ValueError` as a base so code written against the old
+bare-``ValueError`` behaviour -- including every pre-existing test --
+continues to work.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ from __future__ import annotations
 __all__ = [
     "ContractViolation",
     "NumericalInstabilityError",
+    "PiecewiseDomainError",
     "ReproError",
     "ResultsStoreError",
     "ValidationError",
@@ -69,6 +77,18 @@ class NumericalInstabilityError(ReproError, ArithmeticError):
     Raised only when the caller explicitly forbids the exact
     ``Fraction`` fallback (``fallback="raise"``); the default policy
     falls back silently and counts the event in the metrics."""
+
+
+class PiecewiseDomainError(ReproError, ValueError):
+    """A piecewise polynomial's piece layout is malformed.
+
+    Raised by :mod:`repro.symbolic.piecewise` for zero-width or
+    inverted pieces, non-contiguous layouts, out-of-order breakpoint
+    sequences, and evaluation outside the domain.  Before this class
+    existed some of these layouts were accepted silently and a point
+    on a shared breakpoint could dispatch into a zero-width piece.
+    Subclasses :class:`ValueError` so callers written against the old
+    bare-``ValueError`` behaviour keep working."""
 
 
 class ResultsStoreError(ReproError, ValueError):

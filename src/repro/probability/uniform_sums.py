@@ -69,6 +69,8 @@ from repro.validation.fastpath import (
 )
 
 __all__ = [
+    "IrwinHallFastContext",
+    "SumUniformFastContext",
     "irwin_hall_cdf",
     "irwin_hall_cdf_fast",
     "irwin_hall_pdf",
@@ -144,6 +146,89 @@ def sum_uniform_cdf(t: RationalLike, uppers: Sequence[RationalLike]) -> Fraction
     return check_probability("sum_uniform_cdf", total / normaliser)
 
 
+class SumUniformFastContext:
+    """Hoisted precomputation for grid evaluation of :func:`sum_uniform_cdf_fast`.
+
+    The Lemma 2.4 series depends on *t* only through the per-subset
+    base ``t - shift``: the subset enumeration, the exact subset shifts
+    (an ``fsum`` each), the normaliser and the float conversions are
+    all functions of *uppers* alone.  A loop over a ``t`` grid used to
+    redo that ``O(2^m)`` prefix on every call; building the context
+    once hoists it, and :meth:`cdf` then reuses it per point.
+
+    The per-point arithmetic -- term order, base subtraction, error
+    model, certification, fallback -- is *identical* to a fresh
+    :func:`sum_uniform_cdf_fast` call, so the hoisted path returns
+    bit-identical certified values (pinned by a regression test).
+    """
+
+    __slots__ = ("_pi", "_m", "_normaliser", "_t_span", "_shifts")
+
+    def __init__(self, uppers: Sequence[RationalLike]):
+        self._pi = _validated_widths(uppers, "uppers")
+        self._m = len(self._pi)
+        normaliser = factorial(self._m)
+        for v in self._pi:
+            normaliser *= v
+        self._normaliser = normaliser
+        self._t_span = sum(self._pi, Fraction(0))
+        pi_f = [float(v) for v in self._pi]
+        # (sign, shift) per subset, in the exact enumeration order of
+        # the un-hoisted implementation: sizes ascending, and within a
+        # size the itertools.combinations order.
+        shifts = []
+        for size in range(self._m + 1):
+            sign = 1 if size % 2 == 0 else -1
+            for subset in combinations(pi_f, size):
+                shifts.append((sign, math.fsum(subset)))
+        self._shifts = tuple(shifts)
+
+    @property
+    def m(self) -> int:
+        """Number of (positive-width) summands."""
+        return self._m
+
+    def cdf(
+        self,
+        t: RationalLike,
+        rel_tol: float = 1e-9,
+        abs_tol: float = 1e-15,
+        fallback: str = "exact",
+    ) -> float:
+        """One guarded evaluation, bit-identical to
+        :func:`sum_uniform_cdf_fast` at the same arguments."""
+        tt = as_fraction(t)
+        if self._m == 0:
+            return 1.0 if tt >= 0 else 0.0
+        if tt <= 0:
+            return 0.0
+        if tt >= self._t_span:
+            return 1.0
+        t_f = float(tt)
+
+        def bases():
+            for sign, shift in self._shifts:
+                # t and the shift are correctly-rounded conversions and
+                # an exact fsum; the subtraction adds one more rounding.
+                error = 3.0 * EPS * (t_f + shift)
+                yield (sign, t_f - shift, error)
+
+        guarded = certified_alternating_sum(
+            bases(),
+            self._m,
+            float(self._normaliser),
+            rel_tol=rel_tol,
+            abs_tol=abs_tol,
+        )
+        value = resolve_guarded(
+            "sum_uniform_cdf",
+            guarded,
+            lambda: sum_uniform_cdf(tt, self._pi),
+            fallback=fallback,
+        )
+        return min(1.0, max(0.0, value))
+
+
 def sum_uniform_cdf_fast(
     t: RationalLike,
     uppers: Sequence[RationalLike],
@@ -160,42 +245,15 @@ def sum_uniform_cdf_fast(
     metrics as ``fastpath.fallbacks``) or raises
     :class:`~repro.errors.NumericalInstabilityError`
     (``fallback="raise"``).
+
+    Calling this in a loop over a ``t`` grid redoes the ``O(2^m)``
+    subset precomputation every time; build a
+    :class:`SumUniformFastContext` once instead (this function is a
+    thin wrapper over a fresh context, so the two paths cannot drift).
     """
-    pi = _validated_widths(uppers, "uppers")
-    m = len(pi)
-    tt = as_fraction(t)
-    if m == 0:
-        return 1.0 if tt >= 0 else 0.0
-    if tt <= 0:
-        return 0.0
-    if tt >= sum(pi, Fraction(0)):
-        return 1.0
-    normaliser = factorial(m)
-    for v in pi:
-        normaliser *= v
-    t_f = float(tt)
-    pi_f = [float(v) for v in pi]
-
-    def bases():
-        for size in range(m + 1):
-            sign = 1 if size % 2 == 0 else -1
-            for subset in combinations(pi_f, size):
-                shift = math.fsum(subset)
-                # t and the shift are correctly-rounded conversions and
-                # an exact fsum; the subtraction adds one more rounding.
-                error = 3.0 * EPS * (t_f + shift)
-                yield (sign, t_f - shift, error)
-
-    guarded = certified_alternating_sum(
-        bases(), m, float(normaliser), rel_tol=rel_tol, abs_tol=abs_tol
+    return SumUniformFastContext(uppers).cdf(
+        t, rel_tol=rel_tol, abs_tol=abs_tol, fallback=fallback
     )
-    value = resolve_guarded(
-        "sum_uniform_cdf",
-        guarded,
-        lambda: sum_uniform_cdf(tt, pi),
-        fallback=fallback,
-    )
-    return min(1.0, max(0.0, value))
 
 
 @memoized_kernel
@@ -259,6 +317,87 @@ def irwin_hall_cdf(t: RationalLike, m: int) -> Fraction:
     return check_probability("irwin_hall_cdf", total / factorial(m))
 
 
+class IrwinHallFastContext:
+    """Hoisted precomputation for grid evaluation of :func:`irwin_hall_cdf_fast`.
+
+    The per-term weight ``(C(m, i)/m!)**(1/m)`` (taken via log-gamma)
+    depends only on ``m`` and ``i``; a scalar loop over a ``t`` grid
+    used to recompute the two ``lgamma`` calls and the ``exp`` for
+    every term of every point.  The context computes the per-``i``
+    ``(sign, scale, log_coeff)`` triples once; :meth:`cdf` replays the
+    same term order (including the ``i < t`` truncation) with the same
+    arithmetic, so certified values are bit-identical to the un-hoisted
+    path (pinned by a regression test).
+    """
+
+    __slots__ = ("_m", "_terms")
+
+    def __init__(self, m: int):
+        if m < 0:
+            raise ValidationError(f"m must be >= 0, got {m}")
+        self._m = m
+        terms = []
+        for i in range(m + 1):
+            sign = 1 if i % 2 == 0 else -1
+            if m == 0:
+                terms.append((sign, 1.0, 0.0))
+                continue
+            # (C(m, i) / m!) ** (1/m) = (i! (m-i)!) ** (-1/m)
+            log_coeff = -(math.lgamma(i + 1) + math.lgamma(m - i + 1))
+            scale = math.exp(log_coeff / m)
+            terms.append((sign, scale, log_coeff))
+        self._terms = tuple(terms)
+
+    @property
+    def m(self) -> int:
+        """Number of unit-uniform summands."""
+        return self._m
+
+    def cdf(
+        self,
+        t: RationalLike,
+        rel_tol: float = 1e-9,
+        abs_tol: float = 1e-15,
+        fallback: str = "exact",
+    ) -> float:
+        """One guarded evaluation, bit-identical to
+        :func:`irwin_hall_cdf_fast` at the same arguments."""
+        m = self._m
+        tt = as_fraction(t)
+        if m == 0:
+            return 1.0 if tt >= 0 else 0.0
+        if tt <= 0:
+            return 0.0
+        if tt >= m:
+            return 1.0
+        t_f = float(tt)
+
+        def bases():
+            for i, (sign, scale, log_coeff) in enumerate(self._terms):
+                if not i < tt:
+                    break
+                base = scale * (t_f - i)
+                # conversion + subtraction errors, plus the log/exp
+                # route's relative error amplified by the later m-th
+                # power is covered by the derivative term in the
+                # certifier.
+                error = scale * 2.0 * EPS * (t_f + i) + abs(base) * EPS * (
+                    abs(log_coeff) / m + 4.0
+                )
+                yield (sign, base, error)
+
+        guarded = certified_alternating_sum(
+            bases(), m, 1.0, rel_tol=rel_tol, abs_tol=abs_tol
+        )
+        value = resolve_guarded(
+            "irwin_hall_cdf",
+            guarded,
+            lambda: irwin_hall_cdf(tt, m),
+            fallback=fallback,
+        )
+        return min(1.0, max(0.0, value))
+
+
 def irwin_hall_cdf_fast(
     t: RationalLike,
     m: int,
@@ -275,45 +414,15 @@ def irwin_hall_cdf_fast(
     where naive float summation loses every digit to cancellation
     (around ``m ~ 25`` at central ``t``).  Certification and fallback
     behave exactly as in :func:`sum_uniform_cdf_fast`.
+
+    Calling this in a loop over a ``t`` grid recomputes the log-gamma
+    weights every time; build an :class:`IrwinHallFastContext` once
+    instead (this function is a thin wrapper over a fresh context, so
+    the two paths cannot drift).
     """
-    if m < 0:
-        raise ValidationError(f"m must be >= 0, got {m}")
-    tt = as_fraction(t)
-    if m == 0:
-        return 1.0 if tt >= 0 else 0.0
-    if tt <= 0:
-        return 0.0
-    if tt >= m:
-        return 1.0
-    t_f = float(tt)
-
-    def bases():
-        for i in range(m + 1):
-            if not i < tt:
-                break
-            sign = 1 if i % 2 == 0 else -1
-            # (C(m, i) / m!) ** (1/m) = (i! (m-i)!) ** (-1/m)
-            log_coeff = -(math.lgamma(i + 1) + math.lgamma(m - i + 1))
-            scale = math.exp(log_coeff / m)
-            base = scale * (t_f - i)
-            # conversion + subtraction errors, plus the log/exp route's
-            # relative error amplified by the later m-th power is
-            # covered by the derivative term in the certifier.
-            error = scale * 2.0 * EPS * (t_f + i) + abs(base) * EPS * (
-                abs(log_coeff) / m + 4.0
-            )
-            yield (sign, base, error)
-
-    guarded = certified_alternating_sum(
-        bases(), m, 1.0, rel_tol=rel_tol, abs_tol=abs_tol
+    return IrwinHallFastContext(m).cdf(
+        t, rel_tol=rel_tol, abs_tol=abs_tol, fallback=fallback
     )
-    value = resolve_guarded(
-        "irwin_hall_cdf",
-        guarded,
-        lambda: irwin_hall_cdf(tt, m),
-        fallback=fallback,
-    )
-    return min(1.0, max(0.0, value))
 
 
 @memoized_kernel

@@ -29,7 +29,28 @@ from repro.simulation.engine import MonteCarloEngine
 from repro.simulation.faulttolerance import FaultToleranceConfig
 from repro.symbolic.rational import RationalLike, as_fraction, rational_range
 
-__all__ = ["SweepPoint", "SweepResult", "sweep_players", "sweep_thresholds"]
+__all__ = [
+    "BatchSweepStats",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_players",
+    "sweep_thresholds",
+]
+
+
+@dataclass(frozen=True)
+class BatchSweepStats:
+    """How the batch layer served a sweep: points evaluated, points
+    certified within the float error bound, and points that fell back
+    to the exact ``Fraction`` kernel."""
+
+    points: int
+    certified: int
+    fallbacks: int
+
+    @property
+    def fallback_rate(self) -> float:
+        return self.fallbacks / self.points if self.points else 0.0
 
 
 @dataclass(frozen=True)
@@ -54,10 +75,14 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """A labelled series of sweep points."""
+    """A labelled series of sweep points.
+
+    ``batch`` records how the batch layer served the sweep when it ran
+    in batched mode (``None`` for the scalar exact path)."""
 
     label: str
     points: List[SweepPoint] = field(default_factory=list)
+    batch: Optional[BatchSweepStats] = None
 
     @property
     def parameters(self) -> List[Fraction]:
@@ -101,6 +126,7 @@ def sweep_thresholds(
     workers: Optional[int] = None,
     shards: Optional[int] = None,
     fault_tolerance: Optional[FaultToleranceConfig] = None,
+    batch: bool = False,
 ) -> SweepResult:
     """Winning probability of the symmetric threshold rule over a ``beta`` grid.
 
@@ -112,6 +138,17 @@ def sweep_thresholds(
     :meth:`MonteCarloEngine.estimate_winning_probability`; because each
     grid point runs on its own named stream, one checkpoint file can
     carry an entire interrupted sweep across a resume.
+
+    With ``batch=True`` the exact column is served by the vectorised
+    batch layer (:mod:`repro.batch`): the grid is evaluated **at the
+    float64 image of each beta** in one compiled pass, each point's
+    value is either certified within the fastpath error bound (and
+    recorded as the certified float's rational image) or served by the
+    exact ``Fraction`` kernel at that float point.  The returned
+    result carries :class:`BatchSweepStats`; ``sweep.batch_points`` is
+    counted on the metrics.  Betas that are not exactly
+    float64-representable are evaluated at their rounded image -- use
+    the scalar path when exact evaluation at such betas matters.
     """
     d = as_fraction(delta)
     betas = (
@@ -122,6 +159,29 @@ def sweep_thresholds(
     engine = MonteCarloEngine(seed=seed) if simulate else None
     instr = get_instrumentation()
     points = []
+    batch_stats = None
+    batch_exacts: Optional[List[Fraction]] = None
+    if batch:
+        import numpy as np
+
+        from repro.batch.tables import compiled_threshold_curve
+
+        compiled = compiled_threshold_curve(n, d)
+        xs = np.array([float(b) for b in betas], dtype=np.float64)
+        result = compiled.evaluate_certified(xs)
+        batch_exacts = [
+            result.exact_fallbacks.get(i, None) for i in range(len(betas))
+        ]
+        batch_exacts = [
+            as_fraction(result.values[i]) if exact_value is None else exact_value
+            for i, exact_value in enumerate(batch_exacts)
+        ]
+        batch_stats = BatchSweepStats(
+            points=result.points,
+            certified=result.points - result.fallback_count,
+            fallbacks=result.fallback_count,
+        )
+        instr.increment("sweep.batch_points", result.points)
     with instr.span(
         "sweep.thresholds",
         n=n,
@@ -129,9 +189,13 @@ def sweep_thresholds(
         grid_points=len(betas),
         simulate=simulate,
     ):
-        for beta in betas:
+        for index, beta in enumerate(betas):
             with instr.span("sweep.point", beta=str(beta)):
-                exact = symmetric_threshold_winning_probability(beta, n, d)
+                exact = (
+                    batch_exacts[index]
+                    if batch_exacts is not None
+                    else symmetric_threshold_winning_probability(beta, n, d)
+                )
                 simulated = None
                 interval = None
                 if engine is not None:
@@ -158,7 +222,9 @@ def sweep_thresholds(
                     interval=interval,
                 )
             )
-    return SweepResult(label=f"n={n}, delta={d}", points=points)
+    return SweepResult(
+        label=f"n={n}, delta={d}", points=points, batch=batch_stats
+    )
 
 
 def sweep_players(

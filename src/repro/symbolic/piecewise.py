@@ -8,14 +8,29 @@ points where one of the strict inclusion-exclusion conditions
 the operations the reproduction needs: exact evaluation, arithmetic,
 differentiation piece-by-piece, and exact global maximisation (compare
 all stationary points, breakpoints and endpoints).
+
+**Dispatch convention.**  Pieces are *dispatched* half-open: a point on
+a shared breakpoint belongs to the piece that *starts* there
+(``[lower, upper)``), except that the last piece also owns the domain's
+right endpoint.  This is the only convention a vectorised
+``searchsorted`` dispatch can implement exactly, so scalar dispatch
+(:meth:`PiecewisePolynomial.piece_at`, :meth:`evaluate_float`) and the
+batch layer (:mod:`repro.batch`) share it; an earlier revision
+dispatched scalar lookups to the *left* piece, which disagreed with the
+batch layer at every interior breakpoint.  For the continuous functions
+this package builds the *value* is the same either way; the convention
+matters for derivatives and for identifying which polynomial a
+breakpoint "belongs" to.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.errors import PiecewiseDomainError
 from repro.symbolic.polynomial import Polynomial
 from repro.symbolic.rational import RationalLike, as_fraction
 from repro.symbolic.roots import real_roots
@@ -25,12 +40,17 @@ __all__ = ["Piece", "PiecewisePolynomial"]
 
 @dataclass(frozen=True)
 class Piece:
-    """One polynomial piece valid on the closed interval ``[lower, upper]``.
+    """One polynomial piece valid on the interval from ``lower`` to ``upper``.
 
-    Adjacent pieces of a continuous piecewise function agree at the
-    shared breakpoint, so representing the pieces as closed intervals is
-    unambiguous for the functions this package builds (winning
-    probabilities are continuous in the threshold).
+    Geometrically the piece covers the closed interval (adjacent pieces
+    of a continuous function agree at the shared breakpoint); for
+    *dispatch* the interval is treated as half-open ``[lower, upper)``
+    with the final piece of a function also owning ``upper`` -- see
+    :meth:`owns` and the module docstring.  Zero-width and inverted
+    pieces are rejected: a zero-width piece can never own any point
+    under the half-open convention, so accepting one silently would
+    reintroduce the ambiguous-dispatch bug this class now guards
+    against.
     """
 
     lower: Fraction
@@ -38,12 +58,29 @@ class Piece:
     polynomial: Polynomial
 
     def __post_init__(self) -> None:
-        if self.lower > self.upper:
-            raise ValueError(f"empty piece: [{self.lower}, {self.upper}]")
+        if self.lower >= self.upper:
+            raise PiecewiseDomainError(
+                f"piece must have positive width, got "
+                f"[{self.lower}, {self.upper}]"
+            )
 
     def contains(self, point: Fraction) -> bool:
-        """Whether *point* lies in this piece's closed interval."""
+        """Whether *point* lies in this piece's closed interval.
+
+        This is geometric membership: both endpoints count, so a shared
+        breakpoint is contained in *two* adjacent pieces.  Use
+        :meth:`owns` (or :meth:`PiecewisePolynomial.piece_at`) for
+        dispatch, where every point resolves to exactly one piece.
+        """
         return self.lower <= point <= self.upper
+
+    def owns(self, point: Fraction, last: bool = False) -> bool:
+        """Whether *point* dispatches to this piece: ``lower <= point <
+        upper``, closed on the right as well when this is the *last*
+        piece of its function."""
+        if last:
+            return self.lower <= point <= self.upper
+        return self.lower <= point < self.upper
 
     def width(self) -> Fraction:
         """Length of the piece's interval."""
@@ -61,15 +98,22 @@ class PiecewisePolynomial:
 
     def __init__(self, pieces: Sequence[Piece]):
         if not pieces:
-            raise ValueError("a PiecewisePolynomial needs at least one piece")
+            raise PiecewiseDomainError(
+                "a PiecewisePolynomial needs at least one piece"
+            )
         ordered = sorted(pieces, key=lambda p: (p.lower, p.upper))
         for prev, nxt in zip(ordered, ordered[1:]):
             if prev.upper != nxt.lower:
-                raise ValueError(
+                raise PiecewiseDomainError(
                     f"pieces are not contiguous: [{prev.lower}, {prev.upper}] "
                     f"then [{nxt.lower}, {nxt.upper}]"
                 )
         self._pieces: Tuple[Piece, ...] = tuple(ordered)
+        # Lazily-built float dispatch/evaluation table (see
+        # _float_table): [float breakpoints], [[float coeffs], ...].
+        self._floats: Optional[
+            Tuple[List[float], List[List[float]]]
+        ] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -80,13 +124,28 @@ class PiecewisePolynomial:
         breakpoints: Sequence[RationalLike],
         polynomials: Sequence[Polynomial],
     ) -> "PiecewisePolynomial":
-        """Build from ``n+1`` breakpoints and ``n`` polynomials."""
+        """Build from ``n+1`` strictly increasing breakpoints and ``n``
+        polynomials.
+
+        Repeated or out-of-order breakpoints are rejected with
+        :class:`~repro.errors.PiecewiseDomainError`: a repeated
+        breakpoint would create a zero-width piece that silently
+        swallows its polynomial (no point can ever dispatch to it), and
+        an out-of-order sequence would silently pair polynomials with
+        intervals the caller did not intend.
+        """
         points = [as_fraction(b) for b in breakpoints]
         if len(points) != len(polynomials) + 1:
-            raise ValueError(
+            raise PiecewiseDomainError(
                 f"need len(breakpoints) == len(polynomials) + 1, got "
                 f"{len(points)} and {len(polynomials)}"
             )
+        for prev, nxt in zip(points, points[1:]):
+            if prev >= nxt:
+                raise PiecewiseDomainError(
+                    f"breakpoints must be strictly increasing, got "
+                    f"{prev} then {nxt}"
+                )
         pieces = [
             Piece(points[i], points[i + 1], polynomials[i])
             for i in range(len(polynomials))
@@ -109,7 +168,9 @@ class PiecewisePolynomial:
         """
         points = sorted({as_fraction(b) for b in breakpoints})
         if len(points) < 2:
-            raise ValueError("need at least two distinct breakpoints")
+            raise PiecewiseDomainError(
+                "need at least two distinct breakpoints"
+            )
         pieces = []
         for lo, hi in zip(points, points[1:]):
             mid = (lo + hi) / 2
@@ -138,15 +199,37 @@ class PiecewisePolynomial:
         """All breakpoints including the two domain endpoints."""
         return [p.lower for p in self._pieces] + [self.upper]
 
-    def piece_at(self, point: RationalLike) -> Piece:
-        """The piece containing *point* (the left piece at shared breakpoints)."""
+    def piece_index_at(self, point: RationalLike) -> int:
+        """Index of the unique piece that *owns* *point*.
+
+        Pieces own their interval half-open (``[lower, upper)``); the
+        last piece also owns the domain's right endpoint.  A point on a
+        shared breakpoint therefore resolves to exactly one piece --
+        the one that *starts* there -- matching the
+        ``searchsorted``-based dispatch of the vectorised batch layer
+        (:mod:`repro.batch`) exactly.
+        """
         x = as_fraction(point)
         if not self.lower <= x <= self.upper:
-            raise ValueError(f"{x} outside domain [{self.lower}, {self.upper}]")
-        for piece in self._pieces:
-            if x <= piece.upper:
-                return piece
-        return self._pieces[-1]
+            raise PiecewiseDomainError(
+                f"{x} outside domain [{self.lower}, {self.upper}]"
+            )
+        # Binary search over the piece lower bounds: the owning piece is
+        # the last one whose lower bound is <= x (clamped so the domain
+        # upper endpoint stays with the final piece).
+        lowers = [p.lower for p in self._pieces]
+        index = bisect.bisect_right(lowers, x) - 1
+        return min(max(index, 0), len(self._pieces) - 1)
+
+    def piece_at(self, point: RationalLike) -> Piece:
+        """The unique piece that owns *point* (see :meth:`piece_index_at`).
+
+        At a shared breakpoint this is the piece that *starts* there --
+        the half-open dispatch convention shared with the batch layer.
+        (An earlier revision returned the *left* piece, disagreeing
+        with vectorised dispatch at every interior breakpoint.)
+        """
+        return self._pieces[self.piece_index_at(point)]
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -156,9 +239,50 @@ class PiecewisePolynomial:
         x = as_fraction(point)
         return self.piece_at(x).polynomial(x)
 
+    def _float_table(self) -> Tuple[List[float], List[List[float]]]:
+        """The cached float dispatch table: breakpoints and per-piece
+        coefficients converted once (correctly rounded) to float64."""
+        if self._floats is None:
+            edges = [float(p.lower) for p in self._pieces]
+            edges.append(float(self.upper))
+            coeffs = [
+                [float(c) for c in p.polynomial.coefficients]
+                for p in self._pieces
+            ]
+            self._floats = (edges, coeffs)
+        return self._floats
+
     def evaluate_float(self, point: float) -> float:
-        """Float evaluation (for plotting grids)."""
-        return float(self(as_fraction(point)))
+        """True float64 evaluation: float dispatch + float Horner.
+
+        Dispatch happens on the float64 images of the breakpoints with
+        the same half-open convention as :meth:`piece_at` and the batch
+        layer, and the owning piece is evaluated by Horner's rule in
+        float64 -- identical operations, in the same order, as the
+        vectorised :class:`repro.batch.CompiledPiecewise`, so the two
+        agree bit-for-bit on every point (including points that sit
+        exactly on representable breakpoints).
+
+        An earlier revision round-tripped the float through
+        ``as_fraction`` and ran the exact kernel -- as slow as the
+        exact path, and dispatched in *exact* arithmetic, which can
+        pick a different piece than float dispatch at representable
+        breakpoints.
+        """
+        x = float(point)
+        edges, coeffs = self._float_table()
+        if not edges[0] <= x <= edges[-1]:
+            raise PiecewiseDomainError(
+                f"{x!r} outside float domain [{edges[0]}, {edges[-1]}]"
+            )
+        # Same half-open dispatch as piece_index_at, on float edges:
+        # the owning piece is the last whose lower edge is <= x.
+        index = bisect.bisect_right(edges, x, hi=len(edges) - 1) - 1
+        index = max(index, 0)
+        result = 0.0
+        for c in reversed(coeffs[index]):
+            result = result * x + c
+        return result
 
     def sample(self, count: int) -> List[Tuple[Fraction, Fraction]]:
         """Evaluate on *count* evenly spaced points across the domain."""

@@ -5,11 +5,15 @@ from fractions import Fraction
 import pytest
 
 from repro.probability.uniform_sums import (
+    IrwinHallFastContext,
+    SumUniformFastContext,
     irwin_hall_cdf,
+    irwin_hall_cdf_fast,
     irwin_hall_pdf,
     joint_sum_below_and_inside_high,
     joint_sum_below_and_inside_low,
     sum_uniform_cdf,
+    sum_uniform_cdf_fast,
     sum_uniform_pdf,
     sum_uniform_tail_cdf,
 )
@@ -257,3 +261,59 @@ class TestJointProbabilities:
             t, [a]
         ) + joint_sum_below_and_inside_high(t, [a])
         assert lhs == rhs
+
+
+class TestHoistedFastContexts:
+    """The grid-loop contexts must be bit-identical to the per-call
+    fast paths -- the hoisting may only ever move work, not change a
+    single returned bit."""
+
+    def test_sum_uniform_context_bit_identical(self):
+        uppers = [Fraction(1, 2), Fraction(1, 3), Fraction(3, 4), 1]
+        ctx = SumUniformFastContext(uppers)
+        for numerator in range(0, 52):
+            t = Fraction(numerator, 20)
+            hoisted = ctx.cdf(t)
+            fresh = sum_uniform_cdf_fast(t, uppers)
+            assert hoisted == fresh, t
+        assert ctx.m == 4
+
+    def test_irwin_hall_context_bit_identical(self):
+        for m in (1, 3, 7, 20):
+            ctx = IrwinHallFastContext(m)
+            for numerator in range(0, 4 * m + 1):
+                t = Fraction(numerator, 4)
+                hoisted = ctx.cdf(t)
+                fresh = irwin_hall_cdf_fast(t, m)
+                assert hoisted == fresh, (m, t)
+            assert ctx.m == m
+
+    def test_context_reuse_is_stable(self):
+        # Evaluating the same point twice through one context returns
+        # the same bits (no state leaks between calls).
+        ctx = SumUniformFastContext([1, 1, 1])
+        assert ctx.cdf(Fraction(3, 2)) == ctx.cdf(Fraction(3, 2))
+
+    def test_context_matches_exact_kernel(self):
+        ctx = IrwinHallFastContext(6)
+        for numerator in range(1, 24):
+            t = Fraction(numerator, 4)
+            assert ctx.cdf(t) == pytest.approx(
+                float(irwin_hall_cdf(t, 6)), abs=1e-12
+            )
+
+    def test_context_boundary_conventions(self):
+        ctx = SumUniformFastContext([Fraction(1, 2), Fraction(1, 2)])
+        assert ctx.cdf(0) == 0.0
+        assert ctx.cdf(1) == 1.0
+        assert ctx.cdf(2) == 1.0
+        empty = SumUniformFastContext([])
+        assert empty.cdf(0) == 1.0
+        assert empty.cdf(-1) == 0.0
+
+    def test_zero_width_entries_dropped(self):
+        with_zero = SumUniformFastContext([0, 1, 0, Fraction(1, 2)])
+        without = SumUniformFastContext([1, Fraction(1, 2)])
+        for numerator in range(0, 7):
+            t = Fraction(numerator, 4)
+            assert with_zero.cdf(t) == without.cdf(t)

@@ -4,6 +4,7 @@ from fractions import Fraction
 
 import pytest
 
+from repro.errors import PiecewiseDomainError, ReproError
 from repro.symbolic.piecewise import Piece, PiecewisePolynomial
 from repro.symbolic.polynomial import Polynomial
 
@@ -21,12 +22,37 @@ class TestPiece:
         with pytest.raises(ValueError):
             Piece(Fraction(1), Fraction(0), Polynomial.one())
 
+    def test_inverted_piece_raises_typed_error(self):
+        with pytest.raises(PiecewiseDomainError):
+            Piece(Fraction(1), Fraction(0), Polynomial.one())
+
+    def test_zero_width_piece_rejected(self):
+        # A zero-width piece can never own a point under half-open
+        # dispatch; accepting one would silently swallow its polynomial.
+        with pytest.raises(PiecewiseDomainError):
+            Piece(Fraction(1, 2), Fraction(1, 2), Polynomial.one())
+
+    def test_domain_error_is_repro_and_value_error(self):
+        try:
+            Piece(Fraction(1), Fraction(0), Polynomial.one())
+        except PiecewiseDomainError as exc:
+            assert isinstance(exc, ReproError)
+            assert isinstance(exc, ValueError)
+        else:
+            pytest.fail("expected PiecewiseDomainError")
+
     def test_contains_and_width(self):
         p = Piece(Fraction(0), Fraction(1, 2), Polynomial.one())
         assert p.contains(Fraction(1, 4))
         assert p.contains(Fraction(1, 2))
         assert not p.contains(Fraction(3, 4))
         assert p.width() == Fraction(1, 2)
+
+    def test_owns_is_half_open(self):
+        p = Piece(Fraction(0), Fraction(1, 2), Polynomial.one())
+        assert p.owns(Fraction(0))
+        assert not p.owns(Fraction(1, 2))
+        assert p.owns(Fraction(1, 2), last=True)
 
 
 class TestConstruction:
@@ -80,6 +106,22 @@ class TestConstruction:
                 lambda mid: Polynomial.one(), [0]
             )
 
+    def test_from_breakpoints_rejects_repeated(self):
+        # A repeated breakpoint used to build a zero-width piece that
+        # silently mis-dispatched; now it is a typed error.
+        with pytest.raises(PiecewiseDomainError):
+            PiecewisePolynomial.from_breakpoints(
+                [0, Fraction(1, 2), Fraction(1, 2), 1],
+                [Polynomial.one()] * 3,
+            )
+
+    def test_from_breakpoints_rejects_out_of_order(self):
+        with pytest.raises(PiecewiseDomainError):
+            PiecewisePolynomial.from_breakpoints(
+                [0, Fraction(3, 4), Fraction(1, 2), 1],
+                [Polynomial.one()] * 3,
+            )
+
 
 class TestEvaluation:
     def test_values(self):
@@ -92,12 +134,53 @@ class TestEvaluation:
         with pytest.raises(ValueError):
             make_hat()(Fraction(3, 2))
 
-    def test_piece_at_breakpoint_prefers_left(self):
+    def test_piece_at_interior_breakpoint_prefers_right(self):
+        # Half-open dispatch: a shared breakpoint belongs to the piece
+        # that starts there (matching the batch layer's searchsorted).
         hat = make_hat()
-        assert hat.piece_at(Fraction(1, 2)).lower == 0
+        assert hat.piece_at(Fraction(1, 2)).lower == Fraction(1, 2)
+
+    def test_piece_at_lower_endpoint(self):
+        assert make_hat().piece_at(Fraction(0)).lower == 0
+
+    def test_piece_at_upper_endpoint_stays_with_last_piece(self):
+        assert make_hat().piece_at(Fraction(1)).lower == Fraction(1, 2)
+
+    def test_every_breakpoint_owned_by_exactly_one_piece(self):
+        hat = make_hat()
+        last = len(hat.pieces) - 1
+        for bp in hat.breakpoints:
+            owners = [
+                i
+                for i, p in enumerate(hat.pieces)
+                if p.owns(bp, last=(i == last))
+            ]
+            assert owners == [hat.piece_index_at(bp)]
 
     def test_float_evaluation(self):
         assert make_hat().evaluate_float(0.25) == pytest.approx(0.25)
+
+    def test_float_evaluation_is_true_horner(self):
+        # The float path must agree with exact evaluation at exactly
+        # representable points without any Fraction round-trip.
+        hat = make_hat()
+        for x in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert hat.evaluate_float(x) == float(hat(Fraction(x)))
+
+    def test_float_dispatch_at_breakpoint_uses_right_piece(self):
+        # A function discontinuous at the breakpoint exposes which
+        # piece float dispatch picks: half-open means the right piece.
+        step = PiecewisePolynomial.from_breakpoints(
+            [0, Fraction(1, 2), 1],
+            [Polynomial.zero(), Polynomial.one()],
+        )
+        assert step.evaluate_float(0.5) == 1.0
+        assert step.evaluate_float(1.0) == 1.0
+        assert step.evaluate_float(0.0) == 0.0
+
+    def test_float_evaluation_outside_domain_rejected(self):
+        with pytest.raises(PiecewiseDomainError):
+            make_hat().evaluate_float(1.5)
 
     def test_sample(self):
         pts = make_hat().sample(5)
