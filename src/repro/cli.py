@@ -59,11 +59,23 @@ from repro.experiments.tables import (
     uniformity_table,
 )
 from repro.observability import Instrumentation, use_instrumentation
+from repro.observability.dashboard import Dashboard
+from repro.observability.events import (
+    EventBus,
+    counter_samples_from_events,
+)
 from repro.observability.reporting import (
     render_report,
     write_chrome_trace,
     write_metrics_jsonl,
 )
+from repro.observability.runlog import (
+    RunStore,
+    RunStoreError,
+    render_comparison,
+    render_run,
+)
+from repro.observability.runmeta import new_run_context, set_current_run
 from repro.simulation.faulttolerance import (
     CheckpointError,
     CheckpointFingerprintError,
@@ -82,6 +94,7 @@ EXIT_FINGERPRINT_MISMATCH = 3
 EXIT_CHECKPOINT_ERROR = 4
 EXIT_RETRIES_EXHAUSTED = 5
 EXIT_INTEGRITY_MISMATCH = 6
+EXIT_PERF_REGRESSION = 7
 
 
 def _parse_fraction(text: str) -> Fraction:
@@ -142,6 +155,35 @@ def _observability_parent() -> argparse.ArgumentParser:
         help=(
             "write spans in Chrome trace-event JSON, loadable in "
             "chrome://tracing or Perfetto (implies --profile)"
+        ),
+    )
+    telemetry = parent.add_argument_group("telemetry")
+    telemetry.add_argument(
+        "--dashboard",
+        action="store_true",
+        help=(
+            "show a live progress panel on stderr (redrawn in place on "
+            "a TTY, plain log lines otherwise); purely observational -- "
+            "results are bit-identical with it on or off"
+        ),
+    )
+    telemetry.add_argument(
+        "--record-run",
+        action="store_true",
+        help=(
+            "stream this run's telemetry events to the run-history "
+            "store and finalise a summary (inspect with "
+            "'repro runs list|show|compare')"
+        ),
+    )
+    telemetry.add_argument(
+        "--runs-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "root of the run-history store (default .repro/runs; also "
+            "honours the REPRO_RUNS_DIR environment variable)"
         ),
     )
     return parent
@@ -459,6 +501,130 @@ def _build_parser() -> argparse.ArgumentParser:
         help="beta grid resolution used by warm (default 101)",
     )
 
+    runs = sub.add_parser(
+        "runs",
+        help="inspect the run-history store written by --record-run",
+        parents=[obs],
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_sub.add_parser(
+        "list", help="one line per recorded run, oldest first"
+    )
+    runs_show = runs_sub.add_parser(
+        "show", help="identity, timing and counters of one run"
+    )
+    runs_show.add_argument(
+        "run",
+        nargs="?",
+        default="latest",
+        help="run id prefix, directory-name prefix, or 'latest'",
+    )
+    runs_cmp = runs_sub.add_parser(
+        "compare", help="counter-by-counter diff of two recorded runs"
+    )
+    runs_cmp.add_argument("left", help="baseline run reference")
+    runs_cmp.add_argument(
+        "right",
+        nargs="?",
+        default="latest",
+        help="candidate run reference (default: latest)",
+    )
+    runs_cmp.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="hide counters with a zero delta",
+    )
+    runs_prune = runs_sub.add_parser(
+        "prune", help="delete the oldest recorded runs"
+    )
+    runs_prune.add_argument(
+        "--keep",
+        type=int,
+        required=True,
+        metavar="N",
+        help="number of most recent runs to keep",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="render a recorded run as a self-contained HTML report",
+        parents=[obs],
+    )
+    report.add_argument(
+        "run",
+        nargs="?",
+        default="latest",
+        help="run id prefix or 'latest'",
+    )
+    report.add_argument(
+        "--html",
+        type=Path,
+        required=True,
+        metavar="PATH",
+        help=(
+            "write the report here (single file, inline CSS and SVG, "
+            "no external references)"
+        ),
+    )
+    report.add_argument(
+        "--bench-root",
+        type=Path,
+        default=Path("."),
+        metavar="DIR",
+        help=(
+            "directory holding the BENCH_*.json lineage rendered as "
+            "sparklines (default: current directory)"
+        ),
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="perf-regression gate over committed BENCH_*.json artifacts",
+        parents=[obs],
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_cmp = bench_sub.add_parser(
+        "compare",
+        help=(
+            "gate CANDIDATE against BASELINE (or BASELINE against its "
+            "own committed floor); exits 7 on regression"
+        ),
+    )
+    bench_cmp.add_argument(
+        "baseline", type=Path, help="baseline BENCH_*.json artifact"
+    )
+    bench_cmp.add_argument(
+        "candidate",
+        type=Path,
+        nargs="?",
+        default=None,
+        help=(
+            "candidate artifact to gate (default: re-check the "
+            "baseline's own floor)"
+        ),
+    )
+    bench_cmp.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.5,
+        metavar="R",
+        help=(
+            "minimum fraction of every baseline speedup the candidate "
+            "must retain (default 0.5)"
+        ),
+    )
+    bench_cmp.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        metavar="R",
+        help=(
+            "maximum multiple of every baseline *_seconds (and the "
+            "fallback-rate ceiling) the candidate may reach "
+            "(default 2.0)"
+        ),
+    )
+
     return parser
 
 
@@ -600,6 +766,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_check(args)
     elif args.command == "cache":
         return _run_cache(args)
+    elif args.command == "runs":
+        return _run_runs(args)
+    elif args.command == "report":
+        return _run_report(args)
+    elif args.command == "bench":
+        return _run_bench(args)
     return 0
 
 
@@ -734,13 +906,108 @@ def _run_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_runs(args: argparse.Namespace) -> int:
+    """``repro runs list|show|compare|prune``."""
+    store = RunStore(args.runs_dir)
+    try:
+        if args.runs_command == "list":
+            runs = store.list_runs()
+            if not runs:
+                print(
+                    f"no recorded runs under {store.root} "
+                    "(record one with --record-run)"
+                )
+                return 0
+            for run in runs:
+                state = "complete" if run.complete else "INCOMPLETE"
+                elapsed = (
+                    "?"
+                    if run.elapsed_seconds is None
+                    else f"{run.elapsed_seconds:.3f}s"
+                )
+                print(
+                    f"{run.run_id}  {run.started_utc or '?':<20}  "
+                    f"{run.command or '?':<10}  exit="
+                    f"{run.exit_code if run.exit_code is not None else '?'}"
+                    f"  {elapsed:>10}  [{state}]"
+                )
+        elif args.runs_command == "show":
+            print(render_run(store.find(args.run)))
+        elif args.runs_command == "compare":
+            print(
+                render_comparison(
+                    store.find(args.left),
+                    store.find(args.right),
+                    changed_only=args.changed_only,
+                )
+            )
+        elif args.runs_command == "prune":
+            removed = store.prune(keep=args.keep)
+            print(
+                f"pruned {removed} run(s); {len(store.list_runs())} kept"
+            )
+    except RunStoreError as exc:
+        print(f"repro runs: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    """``repro report --html``: the self-contained HTML run report."""
+    from repro.observability.htmlreport import (
+        load_bench_history,
+        write_html_report,
+    )
+
+    store = RunStore(args.runs_dir)
+    try:
+        run = store.find(args.run)
+    except RunStoreError as exc:
+        print(f"repro report: {exc}", file=sys.stderr)
+        return 2
+    target = write_html_report(
+        args.html,
+        run,
+        bench_history=load_bench_history(args.bench_root),
+    )
+    print(f"report written to {target}")
+    return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    """``repro bench compare``: the perf-regression gate."""
+    import json
+
+    from repro.observability.regression import (
+        compare_bench_files,
+        render_bench_comparison,
+    )
+
+    try:
+        comparison = compare_bench_files(
+            args.baseline,
+            args.candidate,
+            min_ratio=args.min_ratio,
+            max_ratio=args.max_ratio,
+        )
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"repro bench compare: {exc}", file=sys.stderr)
+        return 2
+    print(render_bench_comparison(comparison))
+    return 0 if comparison.passed else EXIT_PERF_REGRESSION
+
+
 def _emit_instrumentation(
-    instr: Instrumentation, args: argparse.Namespace
+    instr: Instrumentation,
+    args: argparse.Namespace,
+    counter_samples: Optional[List[dict]] = None,
 ) -> None:
     """Write the requested observability artefacts after a profiled run.
 
     The report goes to stderr so stdout stays exactly the command's
     artefact (tables/CSV announcements), pipeable as before.
+    *counter_samples* (from the run's event stream, when one was
+    active) add throughput/cache/batch counter tracks to the trace.
     """
     if args.profile:
         print(
@@ -755,7 +1022,9 @@ def _emit_instrumentation(
         )
         print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     if args.trace_out is not None:
-        write_chrome_trace(args.trace_out, instr.tracer)
+        write_chrome_trace(
+            args.trace_out, instr.tracer, counter_samples=counter_samples
+        )
         print(f"trace written to {args.trace_out}", file=sys.stderr)
 
 
@@ -794,22 +1063,85 @@ def main(argv: Optional[List[str]] = None) -> int:
     checkpoint from a different run; 4 unusable checkpoint (unwritable
     path, corrupt header); 5 a shard exhausted its ``--max-retries``
     budget; 6 the ``repro check`` integrity oracle found a
-    disagreement (or a strict-mode contract violation).
+    disagreement (or a strict-mode contract violation); 7 the
+    ``repro bench compare`` perf-regression gate failed.
     """
     args = _build_parser().parse_args(argv)
     if args.no_cache:
         configure_cache(enabled=False)
     if args.cache_dir is not None:
         configure_cache(directory=args.cache_dir)
+    context = new_run_context(
+        command=args.command,
+        argv=list(sys.argv[1:] if argv is None else argv),
+    )
+    set_current_run(context)
+    # The store-introspection commands read telemetry; they never
+    # produce it (recording a run of `repro runs list` would pollute
+    # the very store it lists).
+    introspection = args.command in ("runs", "report", "bench")
+    dashboard_on = args.dashboard and not introspection
+    record_on = args.record_run and not introspection
     profiled = bool(
-        args.profile or args.metrics_out or args.trace_out
+        args.profile
+        or args.metrics_out
+        or args.trace_out
+        or dashboard_on
+        or record_on
     )
     if not profiled:
         return _dispatch_mapped(args)
+    store = RunStore(args.runs_dir) if record_on else None
+    collected: List[dict] = []
+    subscribers: List = [collected.append]
+    if dashboard_on:
+        subscribers.append(Dashboard(stream=sys.stderr))
     with use_instrumentation() as instr:
-        with instr.span(f"repro.{args.command}"):
-            code = _dispatch_mapped(args)
-    _emit_instrumentation(instr, args)
+        bus = None
+        if dashboard_on or record_on:
+            bus = EventBus(
+                path=(
+                    store.events_path(context)
+                    if store is not None
+                    else None
+                ),
+                context=context,
+                subscribers=subscribers,
+                metrics=instr.metrics,
+            )
+            instr.events = bus
+        code: Optional[int] = None
+        try:
+            with instr.span(f"repro.{args.command}"):
+                code = _dispatch_mapped(args)
+        finally:
+            # Seal the log even on an unexpected exception; a null
+            # exit_code in run_end marks the run as aborted.
+            if bus is not None:
+                instr.events = None
+                bus.close(exit_code=code)
+    _emit_instrumentation(
+        instr,
+        args,
+        counter_samples=(
+            counter_samples_from_events(collected) if collected else None
+        ),
+    )
+    if store is not None:
+        artifacts = {}
+        if args.metrics_out is not None:
+            artifacts["metrics"] = str(args.metrics_out)
+        if args.trace_out is not None:
+            artifacts["trace"] = str(args.trace_out)
+        if getattr(args, "checkpoint", None) is not None:
+            artifacts["checkpoint"] = str(args.checkpoint)
+        store.finalize(
+            context, code, instr.metrics.snapshot(), artifacts
+        )
+        print(
+            f"run recorded: {store.root / context.directory_name}",
+            file=sys.stderr,
+        )
     return code
 
 

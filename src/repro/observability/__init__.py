@@ -36,6 +36,11 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
+from repro.observability.events import (
+    EventBus,
+    read_events,
+    reconstruct_metrics,
+)
 from repro.observability.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
@@ -54,24 +59,39 @@ from repro.observability.reporting import (
     write_chrome_trace,
     write_metrics_jsonl,
 )
+from repro.observability.runmeta import (
+    RunContext,
+    current_run,
+    new_run_context,
+    run_header,
+    set_current_run,
+)
 from repro.observability.tracing import Span, Tracer, traced
 
 __all__ = [
+    "EventBus",
     "Instrumentation",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NULL_INSTRUMENTATION",
     "ProgressCallback",
+    "RunContext",
     "ShardProgress",
     "Span",
     "ThroughputTracker",
     "TimingStats",
     "Tracer",
+    "current_run",
     "format_rate",
     "get_instrumentation",
     "merge_snapshots",
+    "new_run_context",
+    "read_events",
+    "reconstruct_metrics",
     "render_report",
     "render_span_tree",
+    "run_header",
+    "set_current_run",
     "set_instrumentation",
     "traced",
     "use_instrumentation",
@@ -89,13 +109,18 @@ class Instrumentation:
     instrumented hot paths cost one branch when observability is off.
     """
 
-    __slots__ = ("_enabled", "metrics", "tracer", "throughput")
+    __slots__ = ("_enabled", "metrics", "tracer", "throughput", "events")
 
     def __init__(self, enabled: bool = True):
         self._enabled = bool(enabled)
         self.metrics = MetricsRegistry(enabled=self._enabled)
         self.tracer = Tracer(enabled=self._enabled)
         self.throughput = ThroughputTracker(enabled=self._enabled)
+        #: Optional :class:`EventBus`: attach one to stream run events
+        #: (shard completions, faults, periodic metrics snapshots) to
+        #: the dashboard and/or the run-history store.  ``None`` keeps
+        #: every ``emit`` call a single branch.
+        self.events: Optional[EventBus] = None
 
     @property
     def enabled(self) -> bool:
@@ -123,6 +148,16 @@ class Instrumentation:
     def set_gauge(self, name: str, value: float) -> None:
         """Shorthand for ``self.metrics.set_gauge(name, value)``."""
         self.metrics.set_gauge(name, value)
+
+    def emit(self, event_type: str, **payload: Any) -> None:
+        """Emit a run event onto the attached bus (no-op without one).
+
+        This is the hook instrumented call sites use -- one attribute
+        load and one ``is None`` branch when no bus is attached, so
+        the disabled path stays within the observability overhead
+        gate."""
+        if self.events is not None:
+            self.events.emit(event_type, **payload)
 
     def __repr__(self) -> str:
         state = "enabled" if self._enabled else "disabled"

@@ -1,0 +1,388 @@
+"""A self-contained static HTML report for one recorded run.
+
+``repro report --html`` renders everything the run store knows about a
+run -- identity, exit status, final metrics, timing histograms, the
+rate series the dashboard showed live, and (when the run recorded a
+Chrome trace artifact) the span tree -- into one file with inline CSS
+and inline SVG.  No scripts are fetched, no CDN is touched, nothing
+external is referenced: the file can be archived as a CI artifact and
+opened years later, offline, exactly as written.
+
+Bench lineage sparklines come from the committed ``BENCH_*.json``
+artifacts: every numeric field that appears in at least two lineage
+entries becomes a small inline SVG polyline, so a report shows at a
+glance whether the cache and batch speedups have been drifting across
+PRs.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.observability.events import (
+    EventLogRead,
+    counter_samples_from_events,
+    read_events,
+    reconstruct_metrics,
+)
+from repro.observability.runlog import RunSummary
+
+__all__ = [
+    "load_bench_history",
+    "render_html_report",
+    "sparkline_svg",
+    "write_html_report",
+]
+
+_BENCH_PATTERN = re.compile(r"BENCH_(\d+)\.json$")
+
+
+def load_bench_history(
+    root: Union[str, Path] = ".",
+) -> List[Tuple[str, Dict[str, Any]]]:
+    """The committed bench lineage, oldest first.
+
+    Returns ``(name, payload)`` pairs for every parseable
+    ``BENCH_<k>.json`` under *root*, ordered by ``k``.  Unparseable
+    artifacts are skipped, not fatal -- the report degrades to fewer
+    sparklines.
+    """
+    entries = []
+    for path in Path(root).glob("BENCH_*.json"):
+        match = _BENCH_PATTERN.search(path.name)
+        if not match:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(payload, dict):
+            entries.append((int(match.group(1)), path.name, payload))
+    entries.sort()
+    return [(name, payload) for _, name, payload in entries]
+
+
+def sparkline_svg(
+    values: Sequence[float],
+    width: int = 160,
+    height: int = 36,
+) -> str:
+    """An inline SVG polyline through *values* (left = oldest).
+
+    A flat series draws a centred horizontal line; a single point
+    draws a dot.  Everything is sized in-element -- no CSS classes, no
+    external references.
+    """
+    if not values:
+        return ""
+    pad = 3
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    inner_w, inner_h = width - 2 * pad, height - 2 * pad
+
+    def x(i: int) -> float:
+        if len(values) == 1:
+            return width / 2
+        return pad + inner_w * i / (len(values) - 1)
+
+    def y(v: float) -> float:
+        if span == 0:
+            return height / 2
+        return pad + inner_h * (1 - (v - lo) / span)
+
+    points = " ".join(
+        f"{x(i):.1f},{y(v):.1f}" for i, v in enumerate(values)
+    )
+    last_x, last_y = x(len(values) - 1), y(values[-1])
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+        f'<polyline points="{points}" fill="none" '
+        'stroke="#2a6fb0" stroke-width="1.5"/>'
+        f'<circle cx="{last_x:.1f}" cy="{last_y:.1f}" r="2.5" '
+        'fill="#2a6fb0"/>'
+        "</svg>"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Span tree from a recorded Chrome trace artifact
+# ---------------------------------------------------------------------------
+
+
+def _span_tree_from_trace(path: Path) -> List[Dict[str, Any]]:
+    """Rebuild span nesting from a ``--trace-out`` artifact.
+
+    Chrome ``"X"`` (complete) events carry ``ts``/``dur`` in
+    microseconds; nesting is containment, recovered with a stack over
+    events sorted by start time.  Returns a forest of
+    ``{"name", "dur_us", "depth"}`` rows in render order; empty on any
+    damage (missing file, bad JSON) -- the report just omits the
+    section.
+    """
+    try:
+        payload = json.loads(path.read_text())
+        events = [
+            e
+            for e in payload.get("traceEvents", [])
+            if e.get("ph") == "X"
+        ]
+    except (OSError, json.JSONDecodeError, AttributeError):
+        return []
+    events.sort(key=lambda e: (e.get("ts", 0), -e.get("dur", 0)))
+    rows: List[Dict[str, Any]] = []
+    stack: List[Tuple[float, float]] = []  # (start, end) of open spans
+    for event in events:
+        start = float(event.get("ts", 0))
+        end = start + float(event.get("dur", 0))
+        while stack and start >= stack[-1][1]:
+            stack.pop()
+        rows.append(
+            {
+                "name": str(event.get("name", "?")),
+                "dur_us": float(event.get("dur", 0)),
+                "depth": len(stack),
+            }
+        )
+        stack.append((start, end))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# HTML assembly
+# ---------------------------------------------------------------------------
+
+_CSS = """
+body { font: 14px/1.5 -apple-system, 'Segoe UI', sans-serif;
+       margin: 2em auto; max-width: 60em; color: #1c2733; }
+h1 { font-size: 1.4em; border-bottom: 2px solid #2a6fb0;
+     padding-bottom: .2em; }
+h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: .5em 0; }
+th, td { text-align: left; padding: .15em .8em .15em 0;
+         font-variant-numeric: tabular-nums; }
+th { border-bottom: 1px solid #aab4bf; }
+td.num { text-align: right; }
+code, .mono { font-family: ui-monospace, 'SF Mono', Consolas, monospace;
+              font-size: .93em; }
+.kv td:first-child { color: #5a6a7a; padding-right: 1.5em; }
+.span-name { white-space: pre; }
+.muted { color: #5a6a7a; }
+.badge-ok { color: #1d7a3d; font-weight: 600; }
+.badge-bad { color: #b02a2a; font-weight: 600; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def _kv_table(rows: Sequence[Tuple[str, str]]) -> str:
+    body = "".join(
+        f"<tr><td>{_esc(k)}</td><td class='mono'>{_esc(v)}</td></tr>"
+        for k, v in rows
+    )
+    return f"<table class='kv'>{body}</table>"
+
+
+def render_html_report(
+    run: RunSummary,
+    events: Optional[EventLogRead] = None,
+    bench_history: Optional[
+        Sequence[Tuple[str, Mapping[str, Any]]]
+    ] = None,
+) -> str:
+    """The full report document as an HTML string.
+
+    *events* defaults to reading the run's own log; *bench_history*
+    defaults to none (pass :func:`load_bench_history` output to get
+    the lineage sparklines).  Every section tolerates absent data by
+    disappearing rather than erroring.
+    """
+    if events is None:
+        try:
+            events = read_events(run.events_path)
+        except OSError:
+            events = EventLogRead(events=[], corrupt_lines=0)
+
+    exit_text = (
+        "?" if run.exit_code is None else str(run.exit_code)
+    )
+    exit_class = "badge-ok" if run.exit_code == 0 else "badge-bad"
+    sections: List[str] = [
+        f"<h1>repro run <span class='mono'>{_esc(run.run_id)}</span></h1>",
+        _kv_table(
+            [
+                ("command", run.command or "?"),
+                ("argv", " ".join(run.argv) if run.argv else "?"),
+                ("version", run.version or "?"),
+                ("started (UTC)", run.started_utc or "?"),
+                ("finished (UTC)", run.finished_utc or "?"),
+                (
+                    "elapsed",
+                    "?"
+                    if run.elapsed_seconds is None
+                    else f"{run.elapsed_seconds:.3f} s",
+                ),
+                ("state", "complete" if run.complete else "INCOMPLETE"),
+            ]
+        ),
+        f"<p>exit code: <span class='{exit_class}'>{exit_text}</span>"
+        + (
+            f"  <span class='muted'>({events.corrupt_lines} corrupt "
+            "event line(s) skipped)</span>"
+            if events.corrupt_lines
+            else ""
+        )
+        + "</p>",
+    ]
+
+    snapshot = reconstruct_metrics(events) if events.events else None
+    if snapshot is not None and snapshot.counters:
+        rows = "".join(
+            f"<tr><td class='mono'>{_esc(name)}</td>"
+            f"<td class='num'>{snapshot.counters[name]:,}</td></tr>"
+            for name in sorted(snapshot.counters)
+        )
+        sections.append(
+            "<h2>Counters</h2><table><tr><th>name</th>"
+            f"<th>value</th></tr>{rows}</table>"
+        )
+    if snapshot is not None and snapshot.timings:
+        rows = "".join(
+            "<tr>"
+            f"<td class='mono'>{_esc(name)}</td>"
+            f"<td class='num'>{stats.count:,}</td>"
+            f"<td class='num'>{stats.total_seconds:.4f}</td>"
+            f"<td class='num'>{stats.mean_seconds:.6f}</td>"
+            f"<td class='num'>{stats.min_seconds:.6f}</td>"
+            f"<td class='num'>{stats.max_seconds:.6f}</td>"
+            "</tr>"
+            for name, stats in sorted(snapshot.timings.items())
+        )
+        sections.append(
+            "<h2>Timings (seconds)</h2><table><tr><th>name</th>"
+            "<th>count</th><th>total</th><th>mean</th><th>min</th>"
+            f"<th>max</th></tr>{rows}</table>"
+        )
+
+    samples = counter_samples_from_events(events.events)
+    series = [
+        ("throughput (trials/s)", "trials_per_second"),
+        ("cache hit rate", "cache_hit_rate"),
+        ("batch fallback rate", "batch_fallback_rate"),
+    ]
+    rate_rows = []
+    for label, key in series:
+        values = [s[key] for s in samples if s.get(key) is not None]
+        if len(values) >= 2:
+            rate_rows.append(
+                f"<tr><td>{_esc(label)}</td>"
+                f"<td>{sparkline_svg(values)}</td>"
+                f"<td class='num mono'>{values[-1]:,.4g}</td></tr>"
+            )
+    if rate_rows:
+        sections.append(
+            "<h2>Rates over the run</h2><table><tr><th>series</th>"
+            "<th>trend</th><th>final</th></tr>"
+            + "".join(rate_rows)
+            + "</table>"
+        )
+
+    trace_rows: List[Dict[str, Any]] = []
+    summary_path = run.directory / "run.json"
+    try:
+        artifacts = json.loads(summary_path.read_text()).get(
+            "artifacts", {}
+        )
+    except (OSError, json.JSONDecodeError, AttributeError):
+        artifacts = {}
+    trace_name = artifacts.get("trace") if isinstance(artifacts, dict) else None
+    if trace_name:
+        trace_path = Path(trace_name)
+        if not trace_path.is_absolute():
+            trace_path = run.directory / trace_path
+        trace_rows = _span_tree_from_trace(trace_path)
+    if trace_rows:
+        rows = "".join(
+            "<tr><td class='mono span-name'>"
+            f"{_esc('  ' * row['depth'] + row['name'])}</td>"
+            f"<td class='num'>{row['dur_us'] / 1e6:.4f}</td></tr>"
+            for row in trace_rows[:400]
+        )
+        more = (
+            f"<p class='muted'>... {len(trace_rows) - 400} more "
+            "span(s)</p>"
+            if len(trace_rows) > 400
+            else ""
+        )
+        sections.append(
+            "<h2>Span tree</h2><table><tr><th>span</th>"
+            f"<th>seconds</th></tr>{rows}</table>{more}"
+        )
+
+    if bench_history:
+        keys: List[str] = []
+        for _, payload in bench_history:
+            for key, value in payload.items():
+                if (
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    and key not in keys
+                ):
+                    keys.append(key)
+        bench_rows = []
+        for key in keys:
+            points = [
+                (name, payload[key])
+                for name, payload in bench_history
+                if isinstance(payload.get(key), (int, float))
+                and not isinstance(payload.get(key), bool)
+            ]
+            if len(points) < 2:
+                continue
+            values = [value for _, value in points]
+            bench_rows.append(
+                f"<tr><td class='mono'>{_esc(key)}</td>"
+                f"<td>{sparkline_svg(values)}</td>"
+                f"<td class='num mono'>{values[-1]:,.4g}</td>"
+                f"<td class='muted'>{_esc(points[0][0])} &rarr; "
+                f"{_esc(points[-1][0])}</td></tr>"
+            )
+        if bench_rows:
+            sections.append(
+                "<h2>Bench lineage</h2><table><tr><th>metric</th>"
+                "<th>trend</th><th>latest</th><th>range</th></tr>"
+                + "".join(bench_rows)
+                + "</table>"
+            )
+
+    body = "\n".join(sections)
+    return (
+        "<!DOCTYPE html>\n<html lang='en'><head>"
+        "<meta charset='utf-8'>"
+        f"<title>repro run {_esc(run.run_id)}</title>"
+        f"<style>{_CSS}</style></head>\n"
+        f"<body>\n{body}\n</body></html>\n"
+    )
+
+
+def write_html_report(
+    path: Union[str, Path],
+    run: RunSummary,
+    events: Optional[EventLogRead] = None,
+    bench_history: Optional[
+        Sequence[Tuple[str, Mapping[str, Any]]]
+    ] = None,
+) -> Path:
+    """Render and write the report; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        render_html_report(run, events, bench_history)
+    )
+    return target

@@ -21,6 +21,7 @@ checkpoint) are still reported once, flagged via
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -53,9 +54,20 @@ class ShardProgress:
 
     @property
     def trials_per_second(self) -> Optional[float]:
-        """This shard's throughput (None when timing is unavailable)."""
-        if not self.elapsed_seconds:
+        """This shard's throughput.
+
+        ``None`` only when timing is genuinely unavailable
+        (``elapsed_seconds is None``, e.g. a checkpoint record written
+        without timings).  A measured ``0.0`` -- a shard faster than
+        the clock's resolution -- is *timed*, not unknown, and reports
+        ``inf``; an earlier revision's ``if not self.elapsed_seconds``
+        conflated the two and silently dropped the rate for instant
+        shards.
+        """
+        if self.elapsed_seconds is None:
             return None
+        if self.elapsed_seconds == 0.0:
+            return math.inf
         return self.trials / self.elapsed_seconds
 
     @property
@@ -143,4 +155,6 @@ def format_rate(rate: Optional[float], unit: str = "trials/s") -> str:
     """Human-readable rate string (``"n/a"`` when unknown)."""
     if rate is None:
         return "n/a"
+    if math.isinf(rate):
+        return f"inf {unit}"
     return f"{rate:,.0f} {unit}"

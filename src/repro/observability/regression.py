@@ -1,0 +1,288 @@
+"""The perf-regression gate over the committed bench lineage.
+
+Every perf-bearing PR in this repo leaves a ``BENCH_<k>.json`` artifact
+(the cache bench's ``speedup``/``floor``, the batch bench's
+``cold_speedup``/``floor``/``fallback_rate``).  Until now those floors
+were only asserted by the benchmarks that *produced* them; nothing
+stopped a later PR from quietly eroding a committed artifact.  This
+module closes that gap: ``repro bench compare BASELINE [CANDIDATE]``
+re-checks an artifact's own floor and, given two artifacts of the same
+benchmark, gates the candidate against the baseline ratio-wise.
+
+Three gate families, all tolerant of absent fields (a gate over a
+field an artifact does not carry simply does not fire):
+
+``floor``
+    The candidate's primary speedup (``speedup``, else
+    ``cold_speedup``) must meet the candidate's own committed
+    ``floor``.  With no candidate given, the baseline is its own
+    candidate -- the self-check CI runs on every push.
+
+``ratio``
+    For every ``*speedup*`` field both artifacts share, the candidate
+    must retain at least ``min_ratio`` (default 0.5) of the baseline;
+    for every ``*_seconds`` field, the candidate must take at most
+    ``max_ratio`` (default 2.0) times the baseline.  Generous bounds
+    on purpose: machines differ, and the gate exists to catch
+    order-of-magnitude erosion, not timing noise.
+
+``ceiling``
+    ``fallback_rate`` may not exceed ``max(max_ratio x baseline,
+    0.01)`` -- the batch fast path must not silently decay into the
+    exact fallback.
+
+A failed comparison renders a human-readable diff and exits with code
+7 (``EXIT_PERF_REGRESSION``) so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "BenchComparison",
+    "GateResult",
+    "compare_bench",
+    "compare_bench_files",
+    "render_bench_comparison",
+]
+
+#: Fields holding "bigger is better" multipliers.
+_SPEEDUP_MARKER = "speedup"
+#: Fields holding "smaller is better" wall-clock measurements.
+_SECONDS_SUFFIX = "_seconds"
+#: The batch layer's exact-fallback fraction (smaller is better).
+_FALLBACK_RATE = "fallback_rate"
+#: Absolute slack on the fallback-rate ceiling: a baseline of zero
+#: fallbacks must not make any nonzero candidate a regression.
+_FALLBACK_SLACK = 0.01
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """One gate's verdict: the field, both values, the limit it was
+    held to, and whether it passed."""
+
+    name: str
+    kind: str  # "floor" | "ratio" | "ceiling" | "identity"
+    baseline: Optional[float]
+    candidate: Optional[float]
+    limit: float
+    passed: bool
+
+    @property
+    def message(self) -> str:
+        side = "ok" if self.passed else "REGRESSION"
+        if self.kind == "floor":
+            return (
+                f"{side}: {self.name} = {self.candidate:.4g} "
+                f"(committed floor {self.limit:.4g})"
+            )
+        if self.kind == "ceiling":
+            return (
+                f"{side}: {self.name} = {self.candidate:.4g} "
+                f"(ceiling {self.limit:.4g}, baseline "
+                f"{self.baseline:.4g})"
+            )
+        if self.kind == "identity":
+            return f"{side}: {self.name}"
+        direction = (
+            ">=" if _SPEEDUP_MARKER in self.name else "<="
+        )
+        return (
+            f"{side}: {self.name} = {self.candidate:.4g} vs baseline "
+            f"{self.baseline:.4g} (must stay {direction} "
+            f"{self.limit:.4g})"
+        )
+
+
+@dataclass
+class BenchComparison:
+    """The full verdict of one baseline/candidate comparison."""
+
+    baseline_name: str
+    candidate_name: str
+    gates: List[GateResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(gate.passed for gate in self.gates)
+
+    @property
+    def failures(self) -> List[GateResult]:
+        return [gate for gate in self.gates if not gate.passed]
+
+
+def _number(payload: Mapping[str, Any], key: str) -> Optional[float]:
+    value = payload.get(key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _primary_speedup_key(payload: Mapping[str, Any]) -> Optional[str]:
+    """The field the artifact's own ``floor`` applies to."""
+    for key in ("speedup", "cold_speedup"):
+        if _number(payload, key) is not None:
+            return key
+    return None
+
+
+def compare_bench(
+    baseline: Mapping[str, Any],
+    candidate: Optional[Mapping[str, Any]] = None,
+    min_ratio: float = 0.5,
+    max_ratio: float = 2.0,
+    baseline_name: str = "baseline",
+    candidate_name: str = "candidate",
+) -> BenchComparison:
+    """Gate *candidate* against *baseline* (or baseline against its
+    own committed floor when no candidate is given)."""
+    self_check = candidate is None
+    if candidate is None:
+        candidate = baseline
+        candidate_name = baseline_name
+    comparison = BenchComparison(
+        baseline_name=baseline_name, candidate_name=candidate_name
+    )
+    gates = comparison.gates
+
+    bench_a = baseline.get("benchmark")
+    bench_b = candidate.get("benchmark")
+    if bench_a is not None and bench_b is not None:
+        gates.append(
+            GateResult(
+                name=(
+                    f"benchmark identity ({bench_a!r} vs {bench_b!r})"
+                ),
+                kind="identity",
+                baseline=None,
+                candidate=None,
+                limit=0.0,
+                passed=bench_a == bench_b,
+            )
+        )
+
+    floor = _number(candidate, "floor")
+    primary = _primary_speedup_key(candidate)
+    if floor is not None and primary is not None:
+        value = _number(candidate, primary)
+        gates.append(
+            GateResult(
+                name=primary,
+                kind="floor",
+                baseline=_number(baseline, primary),
+                candidate=value,
+                limit=floor,
+                passed=value >= floor,
+            )
+        )
+
+    if not self_check:
+        for key in sorted(baseline.keys() & candidate.keys()):
+            base_value = _number(baseline, key)
+            cand_value = _number(candidate, key)
+            if base_value is None or cand_value is None:
+                continue
+            if _SPEEDUP_MARKER in key:
+                limit = base_value * min_ratio
+                gates.append(
+                    GateResult(
+                        name=key,
+                        kind="ratio",
+                        baseline=base_value,
+                        candidate=cand_value,
+                        limit=limit,
+                        passed=cand_value >= limit,
+                    )
+                )
+            elif key.endswith(_SECONDS_SUFFIX):
+                limit = base_value * max_ratio
+                gates.append(
+                    GateResult(
+                        name=key,
+                        kind="ratio",
+                        baseline=base_value,
+                        candidate=cand_value,
+                        limit=limit,
+                        passed=cand_value <= limit,
+                    )
+                )
+            elif key == _FALLBACK_RATE:
+                limit = max(base_value * max_ratio, _FALLBACK_SLACK)
+                gates.append(
+                    GateResult(
+                        name=key,
+                        kind="ceiling",
+                        baseline=base_value,
+                        candidate=cand_value,
+                        limit=limit,
+                        passed=cand_value <= limit,
+                    )
+                )
+    return comparison
+
+
+def compare_bench_files(
+    baseline_path: Union[str, Path],
+    candidate_path: Optional[Union[str, Path]] = None,
+    min_ratio: float = 0.5,
+    max_ratio: float = 2.0,
+) -> BenchComparison:
+    """File-level front end for the CLI: load, then compare.
+
+    Raises ``OSError``/``json.JSONDecodeError``/``ValueError`` for
+    unreadable or non-object artifacts -- a broken artifact must fail
+    loudly here, not read as a passing gate.
+    """
+
+    def load(path: Union[str, Path]) -> Tuple[str, Mapping[str, Any]]:
+        target = Path(path)
+        payload = json.loads(target.read_text())
+        if not isinstance(payload, dict):
+            raise ValueError(f"{target} is not a JSON object")
+        return target.name, payload
+
+    baseline_name, baseline = load(baseline_path)
+    candidate_name: str = baseline_name
+    candidate: Optional[Mapping[str, Any]] = None
+    if candidate_path is not None:
+        candidate_name, candidate = load(candidate_path)
+    return compare_bench(
+        baseline,
+        candidate,
+        min_ratio=min_ratio,
+        max_ratio=max_ratio,
+        baseline_name=baseline_name,
+        candidate_name=candidate_name,
+    )
+
+
+def render_bench_comparison(comparison: BenchComparison) -> str:
+    """The gate's human-readable verdict, one line per gate."""
+    verdict = "PASS" if comparison.passed else "FAIL"
+    title = (
+        f"bench compare: {comparison.baseline_name}"
+        if comparison.baseline_name == comparison.candidate_name
+        else (
+            f"bench compare: {comparison.baseline_name} -> "
+            f"{comparison.candidate_name}"
+        )
+    )
+    lines = [f"{title}  [{verdict}]"]
+    if not comparison.gates:
+        lines.append(
+            "  (no comparable fields -- nothing gated, trivially "
+            "passing)"
+        )
+    for gate in comparison.gates:
+        lines.append(f"  {gate.message}")
+    if not comparison.passed:
+        lines.append(
+            f"  {len(comparison.failures)} gate(s) failed -- exiting "
+            "nonzero (EXIT_PERF_REGRESSION)"
+        )
+    return "\n".join(lines)

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, List, Optional, Union
 
 from repro.observability.metrics import MetricsSnapshot
 from repro.observability.progress import format_rate
+from repro.observability.runmeta import run_header
 from repro.observability.tracing import Span, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
@@ -33,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
 __all__ = [
     "FAILURE_COUNTERS",
     "METRICS_JSONL_SCHEMA_VERSION",
+    "chrome_counter_events",
     "render_failure_section",
     "render_report",
     "render_span_tree",
@@ -198,9 +200,12 @@ def write_metrics_jsonl(
 ) -> Path:
     """Write a snapshot as JSONL; returns the path written.
 
-    Line 1 is a ``{"type": "meta", ...}`` header; every further line is
-    one metric.  Timing durations are exported in integer nanoseconds,
-    exactly as accumulated.
+    Line 1 is a ``{"type": "meta", ...}`` header carrying the common
+    run stamp (run id, ISO-8601 UTC start time, repro version, argv --
+    see :func:`repro.observability.runmeta.run_header`), so the export
+    is joinable with every other artifact of the same run; every
+    further line is one metric.  Timing durations are exported in
+    integer nanoseconds, exactly as accumulated.
     """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
@@ -208,6 +213,7 @@ def write_metrics_jsonl(
         header = {
             "type": "meta",
             "schema_version": METRICS_JSONL_SCHEMA_VERSION,
+            **run_header(),
         }
         if label is not None:
             header["label"] = label
@@ -254,15 +260,68 @@ def write_metrics_jsonl(
     return target
 
 
+#: The Chrome counter tracks rendered from telemetry rate samples:
+#: (sample key, track name, value label).
+_COUNTER_TRACKS = (
+    ("trials_per_second", "throughput", "trials/s"),
+    ("cache_hit_rate", "cache hit rate", "hit fraction"),
+    ("batch_fallback_rate", "batch fallback rate", "fallback fraction"),
+)
+
+
+def chrome_counter_events(
+    samples: List[dict],
+) -> List[dict]:
+    """Chrome counter events (``"ph": "C"``) from telemetry samples.
+
+    *samples* come from :func:`repro.observability.events.
+    counter_samples_from_events`: one dict per periodic metrics
+    snapshot with ``t_us`` plus the rates at that instant.  Each
+    non-``None`` rate becomes one point on its counter track, so
+    Perfetto shows throughput, cache hit-rate and batch fallback-rate
+    *over time* alongside the span rows.
+    """
+    events: List[dict] = []
+    for sample in samples:
+        for key, track, label in _COUNTER_TRACKS:
+            value = sample.get(key)
+            if value is None:
+                continue
+            events.append(
+                {
+                    "name": track,
+                    "cat": "repro",
+                    "ph": "C",
+                    "ts": sample["t_us"],
+                    "pid": 1,
+                    "args": {label: value},
+                }
+            )
+    return events
+
+
 def write_chrome_trace(
-    path: Union[str, Path], tracer: Tracer
+    path: Union[str, Path],
+    tracer: Tracer,
+    counter_samples: Optional[List[dict]] = None,
 ) -> Path:
-    """Write the span forest as a Chrome trace-event JSON file."""
+    """Write the span forest as a Chrome trace-event JSON file.
+
+    The payload is stamped with the common run header under
+    ``"metadata"`` (ignored by chrome://tracing and Perfetto, joinable
+    by everything else).  *counter_samples*, when given, add
+    throughput / cache hit-rate / batch fallback-rate counter tracks
+    (see :func:`chrome_counter_events`).
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
+    events = tracer.chrome_trace_events()
+    if counter_samples:
+        events.extend(chrome_counter_events(counter_samples))
     payload = {
-        "traceEvents": tracer.chrome_trace_events(),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
+        "metadata": run_header(),
     }
     with target.open("w") as handle:
         json.dump(payload, handle, indent=2)

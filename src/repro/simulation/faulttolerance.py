@@ -41,6 +41,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.observability.runmeta import run_header
+
 __all__ = [
     "CHECKPOINT_VERSION",
     "CheckpointError",
@@ -417,11 +419,16 @@ class CheckpointWriter:
                 _read_header(self._path, self._root_seed)
             self._handle = self._path.open("a")
             if fresh:
+                # the common run stamp (run id, UTC time, version,
+                # argv) makes the checkpoint joinable with the metrics
+                # / trace / event-log artifacts of the same run; the
+                # resume path ignores it, so old checkpoints load fine
                 self._write_line(
                     {
                         "type": "header",
                         "version": CHECKPOINT_VERSION,
                         "root_seed": self._root_seed,
+                        "meta": run_header(),
                     }
                 )
         except OSError as exc:

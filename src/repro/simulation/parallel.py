@@ -35,6 +35,7 @@ never discarded: when the pool cannot be (re)built, only the
 
 from __future__ import annotations
 
+import math
 import pickle
 import time
 from collections import deque
@@ -185,9 +186,17 @@ class ShardOutcome:
 
     @property
     def trials_per_second(self) -> Optional[float]:
-        """This shard's throughput (None when timing is unavailable)."""
-        if not self.elapsed_seconds:
+        """This shard's throughput.
+
+        ``None`` only when timing is unavailable (``elapsed_seconds is
+        None``); a measured ``0.0`` elapsed -- an instant shard --
+        reports ``inf``, mirroring
+        :attr:`repro.observability.progress.ShardProgress.trials_per_second`.
+        """
+        if self.elapsed_seconds is None:
             return None
+        if self.elapsed_seconds == 0.0:
+            return math.inf
         return self.trials / self.elapsed_seconds
 
 
@@ -712,20 +721,33 @@ def estimate_winning_probability_sharded(
         # in index order -- deterministic regardless of completion order
         nonlocal fired
         while fired < len(plan) and fired in completed:
+            wins, elapsed, _, attempt, was_resumed = completed[fired]
+            report = ShardProgress(
+                index=fired,
+                trials=plan[fired],
+                wins=wins,
+                elapsed_seconds=elapsed,
+                completed_shards=fired + 1,
+                total_shards=len(plan),
+                attempt=attempt,
+                recovered=was_resumed or attempt > 0,
+            )
             if progress is not None:
-                wins, elapsed, _, attempt, was_resumed = completed[fired]
-                progress(
-                    ShardProgress(
-                        index=fired,
-                        trials=plan[fired],
-                        wins=wins,
-                        elapsed_seconds=elapsed,
-                        completed_shards=fired + 1,
-                        total_shards=len(plan),
-                        attempt=attempt,
-                        recovered=was_resumed or attempt > 0,
-                    )
-                )
+                progress(report)
+            instr.emit(
+                "shard",
+                stream=stream,
+                index=fired,
+                trials=report.trials,
+                wins=report.wins,
+                elapsed_ns=(
+                    None if elapsed is None else int(round(elapsed * 1e9))
+                ),
+                attempt=attempt,
+                recovered=report.recovered,
+                completed=report.completed_shards,
+                total=report.total_shards,
+            )
             fired += 1
 
     def on_success(index: int, result: _Result, attempt: int) -> None:
@@ -745,6 +767,14 @@ def estimate_winning_probability_sharded(
 
     def on_failure(failure: ShardFailure) -> None:
         failures.append(failure)
+        instr.emit(
+            "fault",
+            kind=failure.kind,
+            index=failure.index,
+            stream=failure.stream,
+            attempt=failure.attempt,
+            message=failure.message,
+        )
 
     workers_used = min(workers, len(plan))
     pool_used = False

@@ -182,6 +182,12 @@ def sweep_thresholds(
             fallbacks=result.fallback_count,
         )
         instr.increment("sweep.batch_points", result.points)
+        instr.emit(
+            "batch",
+            points=batch_stats.points,
+            certified=batch_stats.certified,
+            fallbacks=batch_stats.fallbacks,
+        )
     with instr.span(
         "sweep.thresholds",
         n=n,
@@ -214,6 +220,12 @@ def sweep_thresholds(
                     interval = summary.interval
                     instr.increment("sweep.points_simulated")
                 instr.increment("sweep.points")
+                instr.emit(
+                    "point",
+                    label=f"beta={beta}",
+                    index=index,
+                    total=len(betas),
+                )
             points.append(
                 SweepPoint(
                     parameter=beta,
@@ -266,7 +278,7 @@ def sweep_players(
         grid_points=len(ns),
         simulate=simulate,
     ):
-        for n in ns:
+        for point_index, n in enumerate(ns):
             # The distributed model needs at least two players; n = 1
             # used to slip past this guard and fail deep inside the
             # kernels instead of at the API boundary.
@@ -289,6 +301,12 @@ def sweep_players(
                     interval = summary.interval
                     instr.increment("sweep.points_simulated")
                 instr.increment("sweep.points")
+                instr.emit(
+                    "point",
+                    label=f"n={n}",
+                    index=point_index,
+                    total=len(ns),
+                )
             points.append(
                 SweepPoint(
                     parameter=Fraction(n),

@@ -577,11 +577,15 @@ class TestCliInstrumentation:
         first = json.loads(
             metrics_path.read_text().splitlines()[0]
         )
-        assert first == {
-            "type": "meta",
-            "schema_version": METRICS_JSONL_SCHEMA_VERSION,
-            "label": "repro validate",
-        }
+        assert first["type"] == "meta"
+        assert first["schema_version"] == METRICS_JSONL_SCHEMA_VERSION
+        assert first["label"] == "repro validate"
+        # The meta line now carries the common run stamp so the export
+        # is joinable with the trace, checkpoint and event log.
+        assert first["command"] == "validate"
+        assert len(first["run_id"]) == 16
+        assert first["started_utc"].endswith("Z")
+        assert trace["metadata"]["run_id"] == first["run_id"]
 
     def test_every_subcommand_accepts_flags(self, capsys, tmp_path):
         """The flag group is attached to all subcommands, not just the
