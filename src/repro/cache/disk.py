@@ -36,6 +36,7 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.cache.codec import decode_value
 from repro.cache.keys import CACHE_SCHEMA_VERSION
+from repro.fsutil import fsync_directory
 from repro.observability import get_instrumentation
 
 __all__ = ["DiskCache"]
@@ -165,6 +166,9 @@ class DiskCache:
                     handle.flush()
                     os.fsync(handle.fileno())
                 os.replace(temp_name, target)
+                # second fsync, on the directory: the rename is not
+                # durable until its entry is flushed
+                fsync_directory(self._directory)
             except BaseException:
                 try:
                     os.unlink(temp_name)

@@ -37,18 +37,33 @@ one shard to exercise recovery.  Predictable failures map to distinct
 exit codes (3: checkpoint belongs to a different run; 4: checkpoint
 unusable; 5: a shard exhausted its retry budget) with a one-line
 message instead of a traceback.
+
+``repro coordinate`` / ``repro work`` run one estimate across machine
+boundaries (see :mod:`repro.distributed`): the coordinator serves
+shard leases over TCP, workers execute them through the same shard
+entry point as the local executors, and the result is bit-identical
+to serial under any worker count or injected fault (``--chaos
+KIND:SHARD[:SECONDS]`` covers both compute and network kinds).
+``--distributed-smoke W`` self-tests the whole stack by spawning
+``W`` local worker subprocesses and verifying bit-identity against
+the serial engine.  An unrecoverable transport failure exits 8.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from fractions import Fraction
 from pathlib import Path
 from typing import List, Optional
 
 from repro.cache import bypass_cache, configure_cache
-from repro.errors import ContractViolation, ValidationError
+from repro.errors import (
+    ContractViolation,
+    DistributedError,
+    ValidationError,
+)
 from repro.experiments.figures import figure1, figure2, render_figure
 from repro.experiments.tables import (
     case_study,
@@ -95,6 +110,7 @@ EXIT_CHECKPOINT_ERROR = 4
 EXIT_RETRIES_EXHAUSTED = 5
 EXIT_INTEGRITY_MISMATCH = 6
 EXIT_PERF_REGRESSION = 7
+EXIT_DISTRIBUTED = 8
 
 
 def _parse_fraction(text: str) -> Fraction:
@@ -625,6 +641,138 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    coord = sub.add_parser(
+        "coordinate",
+        help=(
+            "serve shard leases to `repro work` processes over TCP; "
+            "bit-identical to serial under any fault"
+        ),
+        parents=[obs],
+    )
+    coord.add_argument("--n", type=int, default=3)
+    coord.add_argument("--delta", type=_parse_fraction, default=Fraction(1))
+    coord.add_argument(
+        "--beta",
+        type=_parse_fraction,
+        default=Fraction(3, 5),
+        help="the symmetric threshold every player uses (default 3/5)",
+    )
+    coord.add_argument("--trials", type=int, default=100_000)
+    coord.add_argument("--seed", type=int, default=0)
+    coord.add_argument("--shards", type=int, default=None)
+    coord.add_argument("--host", default="127.0.0.1")
+    coord.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to listen on (default 0: pick a free port)",
+    )
+    coord.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        help=(
+            "how long a granted shard may stay unreported before it "
+            "is reassigned (default 30)"
+        ),
+    )
+    coord.add_argument(
+        "--wait-for-workers",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help=(
+            "how long to wait for a first worker before degrading to "
+            "local execution (default 10)"
+        ),
+    )
+    coord.add_argument(
+        "--idle-grace",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help=(
+            "how long to wait after the last worker disconnects "
+            "before finishing locally (default 2)"
+        ),
+    )
+    coord.add_argument(
+        "--max-phase-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "hard budget for the distributed phase; on expiry the "
+            "remaining shards run locally (default: unbounded)"
+        ),
+    )
+    coord.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="K",
+        help=(
+            "retry budget for the local-salvage path (default 2)"
+        ),
+    )
+    coord.add_argument(
+        "--chaos",
+        action="append",
+        default=[],
+        metavar="KIND:SHARD[:SECONDS]",
+        help=(
+            "inject one deterministic fault at attempt 0 of SHARD; "
+            "KIND is crash/hang/slow/corrupt (compute layer) or "
+            "drop/delay/partition/dup (frame layer); repeatable; the "
+            "output must be identical to a clean run"
+        ),
+    )
+    coord.add_argument(
+        "--distributed-smoke",
+        type=int,
+        default=None,
+        metavar="W",
+        help=(
+            "self-test: spawn W local `repro work` subprocesses, run "
+            "the estimate through them, then verify the result is "
+            "bit-identical to the serial engine (exit 1 on mismatch)"
+        ),
+    )
+
+    work = sub.add_parser(
+        "work",
+        help="serve one coordinator as a lease-holding worker",
+        parents=[obs],
+    )
+    work.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="the coordinator's address (from `repro coordinate`)",
+    )
+    work.add_argument(
+        "--worker-id",
+        default=None,
+        help="identity shown in coordinator telemetry (default: pid)",
+    )
+    work.add_argument(
+        "--connect-retries",
+        type=int,
+        default=40,
+        metavar="K",
+        help=(
+            "connection attempts before giving up (jittered backoff "
+            "between attempts; default 40)"
+        ),
+    )
+    work.add_argument(
+        "--frame-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-frame read/write timeout (default 60)",
+    )
+
     return parser
 
 
@@ -772,6 +920,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_report(args)
     elif args.command == "bench":
         return _run_bench(args)
+    elif args.command == "coordinate":
+        return _run_coordinate(args)
+    elif args.command == "work":
+        return _run_work(args)
     return 0
 
 
@@ -997,6 +1149,176 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0 if comparison.passed else EXIT_PERF_REGRESSION
 
 
+def _run_coordinate(args: argparse.Namespace) -> int:
+    """``repro coordinate``: one estimate served over shard leases."""
+    import subprocess
+
+    from repro.distributed import (
+        DistributedConfig,
+        estimate_winning_probability_distributed,
+    )
+    from repro.distributed.chaos import parse_chaos_specs
+    from repro.model.algorithms import SingleThresholdRule
+    from repro.model.system import DistributedSystem
+    from repro.simulation.parallel import (
+        estimate_winning_probability_sharded,
+    )
+    from repro.simulation.rng import SeedSequenceFactory
+
+    smoke = args.distributed_smoke
+    if smoke is not None and smoke < 1:
+        print(
+            "repro coordinate: --distributed-smoke needs >= 1 worker",
+            file=sys.stderr,
+        )
+        return 2
+    system = DistributedSystem(
+        [SingleThresholdRule(args.beta)] * args.n, args.delta
+    )
+    fault_tolerance = FaultToleranceConfig(
+        retry=RetryPolicy(max_retries=args.max_retries),
+        fault_plan=parse_chaos_specs(args.chaos),
+    )
+    config = DistributedConfig(
+        host=args.host,
+        port=args.port,
+        lease_seconds=args.lease_seconds,
+        wait_for_workers_seconds=args.wait_for_workers,
+        idle_grace_seconds=args.idle_grace,
+        max_phase_seconds=args.max_phase_seconds,
+    )
+    stream = "distributed-validate"
+    spawned: List[subprocess.Popen] = []
+
+    def on_ready(port: int) -> None:
+        print(
+            f"repro coordinate: listening on {args.host}:{port}",
+            file=sys.stderr,
+        )
+        for index in range(smoke or 0):
+            spawned.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.cli",
+                        "work",
+                        "--connect",
+                        f"{args.host}:{port}",
+                        "--worker-id",
+                        f"smoke-{index}",
+                    ]
+                )
+            )
+
+    try:
+        estimate = estimate_winning_probability_distributed(
+            system,
+            args.trials,
+            SeedSequenceFactory(args.seed),
+            stream=stream,
+            shards=args.shards,
+            fault_tolerance=fault_tolerance,
+            config=config,
+            on_ready=on_ready,
+        )
+    finally:
+        for proc in spawned:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+    summary = estimate.summary
+    print(
+        f"n={args.n} delta={args.delta} beta={args.beta}: "
+        f"P(win) ~= {summary.estimate:.6f} in "
+        f"[{summary.lower:.6f}, {summary.upper:.6f}]  "
+        f"({summary.trials} trials, {estimate.shards} shards, "
+        f"{estimate.workers_used} worker(s), "
+        f"{estimate.salvaged_shards} salvaged)"
+    )
+    if smoke is not None:
+        # the self-test contract: a chaotic distributed run must be
+        # bit-identical to a clean run of the serial engine
+        reference = estimate_winning_probability_sharded(
+            system,
+            args.trials,
+            SeedSequenceFactory(args.seed),
+            stream=stream,
+            shards=args.shards,
+        )
+        if (
+            estimate.summary != reference.summary
+            or estimate.shard_outcomes != reference.shard_outcomes
+        ):
+            print(
+                "distributed-smoke: MISMATCH against the serial engine",
+                file=sys.stderr,
+            )
+            return 1
+        crashed = [p.returncode for p in spawned if p.returncode not in (0, 1)]
+        if crashed:
+            print(
+                f"distributed-smoke: worker exit codes {crashed}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"distributed-smoke: {smoke} worker(s), "
+            f"{estimate.shards} shards bit-identical to the serial engine"
+        )
+    return 0
+
+
+def _run_work(args: argparse.Namespace) -> int:
+    """``repro work``: serve one coordinator until it drains."""
+    from repro.distributed import WorkerConfig, run_worker
+    from repro.simulation.faulttolerance import InjectedCrashError
+
+    host, _, port_text = args.connect.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = 0
+    if not host or not 0 < port < 65536:
+        print(
+            f"repro work: --connect must be HOST:PORT, got "
+            f"{args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    config = WorkerConfig(
+        host=host,
+        port=port,
+        worker_id=args.worker_id or f"pid-{os.getpid()}",
+        connect_policy=RetryPolicy(
+            max_retries=args.connect_retries,
+            backoff_base=0.05,
+            backoff_factor=1.5,
+            backoff_max=1.0,
+            backoff_jitter=0.5,
+        ),
+        frame_timeout_seconds=args.frame_timeout,
+    )
+    try:
+        report = run_worker(
+            config, log=lambda line: print(line, file=sys.stderr)
+        )
+    except InjectedCrashError as exc:
+        # chaos mode: die the way a real worker crash would
+        print(f"repro work: injected crash: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"repro work: {report.worker_id} completed "
+        f"{report.shards_completed} shard(s), sent "
+        f"{report.summaries_sent} summar(ies), "
+        f"{report.reconnects} reconnect(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _emit_instrumentation(
     instr: Instrumentation,
     args: argparse.Namespace,
@@ -1050,6 +1372,9 @@ def _dispatch_mapped(args: argparse.Namespace) -> int:
     except ContractViolation as exc:
         print(f"repro: integrity: {exc}", file=sys.stderr)
         return EXIT_INTEGRITY_MISMATCH
+    except DistributedError as exc:
+        print(f"repro: distributed: {exc}", file=sys.stderr)
+        return EXIT_DISTRIBUTED
     except ValidationError as exc:
         print(f"repro: invalid request: {exc}", file=sys.stderr)
         return 2
@@ -1064,7 +1389,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     path, corrupt header); 5 a shard exhausted its ``--max-retries``
     budget; 6 the ``repro check`` integrity oracle found a
     disagreement (or a strict-mode contract violation); 7 the
-    ``repro bench compare`` perf-regression gate failed.
+    ``repro bench compare`` perf-regression gate failed; 8 an
+    unrecoverable distributed-transport failure (e.g. ``repro work``
+    never reached its coordinator).
     """
     args = _build_parser().parse_args(argv)
     if args.no_cache:

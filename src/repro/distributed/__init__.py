@@ -1,0 +1,59 @@
+"""Multi-node distributed execution of the sharded Monte Carlo engine.
+
+The coordinator hands out **shard leases** -- (shard index, named seed
+stream, trial count, lease deadline) -- from the same worker-count-
+invariant shard plan the in-process executor uses; workers execute
+shards with the identical worker entry point and stream sealed shard
+summaries (plus exact :class:`MetricsSnapshot` deltas) back over a
+length-prefixed, checksummed JSON frame protocol.  Because a shard's
+result is a pure function of ``(root seed, stream name)``, every
+recovery the protocol performs -- lease expiry and reassignment,
+worker crashes, reconnects after partitions, duplicate or late
+summaries, full degradation to local execution -- yields summaries
+bit-identical to the serial engine.
+
+Layout:
+
+* :mod:`repro.distributed.protocol` -- the frame codec, message
+  vocabulary and typed transport errors;
+* :mod:`repro.distributed.coordinator` -- the lease-granting asyncio
+  server and the synchronous
+  :func:`~repro.distributed.coordinator.estimate_winning_probability_distributed`
+  facade;
+* :mod:`repro.distributed.worker` -- the connect/lease/execute/report
+  loop (in-process task or ``repro work`` subprocess);
+* :mod:`repro.distributed.chaos` -- deterministic network-fault
+  injection at the frame layer, driven by the same
+  :class:`~repro.simulation.faulttolerance.FaultPlan` the compute
+  layer uses.
+"""
+
+from repro.distributed.coordinator import (
+    DistributedConfig,
+    estimate_winning_probability_distributed,
+)
+from repro.distributed.protocol import (
+    PROTOCOL_VERSION,
+    ConnectionClosedError,
+    CoordinatorUnreachableError,
+    FrameError,
+    HandshakeError,
+    PayloadDigestError,
+    ProtocolError,
+)
+from repro.distributed.worker import WorkerConfig, WorkerReport, run_worker
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ConnectionClosedError",
+    "CoordinatorUnreachableError",
+    "DistributedConfig",
+    "FrameError",
+    "HandshakeError",
+    "PayloadDigestError",
+    "ProtocolError",
+    "WorkerConfig",
+    "WorkerReport",
+    "estimate_winning_probability_distributed",
+    "run_worker",
+]

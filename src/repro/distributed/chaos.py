@@ -1,0 +1,173 @@
+"""Deterministic network-fault injection at the frame layer.
+
+The same :class:`~repro.simulation.faulttolerance.FaultPlan` that
+schedules compute faults (crash/hang/slow/corrupt) inside the shard
+worker also schedules the network kinds -- keyed by the identical
+``(stream, shard, attempt)`` triple, looked up through
+:meth:`~repro.simulation.faulttolerance.FaultPlan.network_fault` so
+each layer sees only its own kinds.  The injection point is the one
+place a lost message can change what the coordinator observes: the
+worker's delivery of a shard **summary** frame.
+
+========== ==============================================================
+``drop``   the summary frame is silently discarded; the lease expires
+           and the coordinator reassigns the shard
+``delay``  the worker sleeps ``seconds`` before sending (late summaries
+           race lease expiry; either arrival order yields the same
+           result because the stream, not the schedule, is the
+           randomness)
+``partition`` the connection is severed instead of sending; the worker
+           reconnects and the shard is reassigned
+``dup``    the summary frame is sent twice; the coordinator accepts the
+           first valid copy and counts the second as a duplicate
+========== ==============================================================
+
+Because faults are plan-driven and keyed deterministically, a chaos
+run is exactly reproducible: the same plan severs the same connection
+at the same shard's same attempt every time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional
+
+from repro.errors import ValidationError
+from repro.simulation.faulttolerance import (
+    ALL_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.distributed.protocol import write_frame
+
+__all__ = [
+    "DELIVERED",
+    "DROPPED",
+    "PARTITIONED",
+    "deliver_with_chaos",
+    "parse_chaos_spec",
+    "parse_chaos_specs",
+]
+
+#: Delivery outcomes reported by :func:`deliver_with_chaos`.
+DELIVERED = "delivered"
+DROPPED = "dropped"
+PARTITIONED = "partitioned"
+
+#: Kinds that take a duration operand in a CLI chaos spec.
+_TIMED_KINDS = ("hang", "slow", "delay")
+
+
+async def deliver_with_chaos(
+    writer: asyncio.StreamWriter,
+    payload: Dict,
+    spec: Optional[FaultSpec],
+    timeout: Optional[float] = None,
+) -> str:
+    """Deliver one summary frame, applying *spec* if present.
+
+    Returns :data:`DELIVERED`, :data:`DROPPED` (frame discarded;
+    the caller proceeds as if sent) or :data:`PARTITIONED` (transport
+    severed; the caller must reconnect).  A ``dup`` delivers twice --
+    still :data:`DELIVERED` from the worker's point of view.
+    """
+    if spec is None:
+        await write_frame(writer, payload, timeout=timeout)
+        return DELIVERED
+    if spec.kind == "drop":
+        return DROPPED
+    if spec.kind == "partition":
+        transport = writer.transport
+        if transport is not None:
+            transport.abort()
+        return PARTITIONED
+    if spec.kind == "delay":
+        await asyncio.sleep(spec.seconds)
+        await write_frame(writer, payload, timeout=timeout)
+        return DELIVERED
+    if spec.kind == "dup":
+        await write_frame(writer, payload, timeout=timeout)
+        await write_frame(writer, payload, timeout=timeout)
+        return DELIVERED
+    # compute kinds never reach this layer (network_fault filters
+    # them); a new kind added without a handler should fail loudly
+    raise ValidationError(
+        f"no frame-layer handler for fault kind {spec.kind!r}"
+    )
+
+
+def parse_chaos_spec(text: str) -> tuple:
+    """Parse one CLI chaos spec ``KIND:SHARD[:SECONDS]``.
+
+    ``KIND`` is any fault kind (compute or network); ``SHARD`` is the
+    target shard index; ``SECONDS`` is required for the timed kinds
+    (hang/slow/delay) and forbidden otherwise.  The fault always
+    targets attempt 0 -- chaos mode exercises first-attempt failures
+    and the recovery machinery they trigger.
+
+    Returns ``(kind, shard, seconds)``.
+    """
+    parts = text.split(":")
+    if len(parts) not in (2, 3):
+        raise ValidationError(
+            f"chaos spec {text!r} is not KIND:SHARD[:SECONDS]"
+        )
+    kind = parts[0]
+    if kind not in ALL_FAULT_KINDS:
+        raise ValidationError(
+            f"chaos spec {text!r}: unknown kind {kind!r} (expected one "
+            f"of {ALL_FAULT_KINDS})"
+        )
+    try:
+        shard = int(parts[1])
+    except ValueError:
+        raise ValidationError(
+            f"chaos spec {text!r}: shard must be an integer"
+        ) from None
+    if shard < 0:
+        raise ValidationError(
+            f"chaos spec {text!r}: shard must be >= 0"
+        )
+    seconds = 0.0
+    if len(parts) == 3:
+        if kind not in _TIMED_KINDS:
+            raise ValidationError(
+                f"chaos spec {text!r}: {kind!r} takes no duration"
+            )
+        try:
+            seconds = float(parts[2])
+        except ValueError:
+            raise ValidationError(
+                f"chaos spec {text!r}: seconds must be a number"
+            ) from None
+        if seconds < 0:
+            raise ValidationError(
+                f"chaos spec {text!r}: seconds must be >= 0"
+            )
+    elif kind in _TIMED_KINDS:
+        raise ValidationError(
+            f"chaos spec {text!r}: {kind!r} needs KIND:SHARD:SECONDS"
+        )
+    return kind, shard, seconds
+
+
+def parse_chaos_specs(specs) -> Optional[FaultPlan]:
+    """Build one :class:`FaultPlan` from CLI ``--chaos`` occurrences.
+
+    Specs use the ``None`` stream wildcard (matching the CLI's
+    existing ``--chaos-crash`` convention); duplicate ``(shard,
+    attempt)`` targets are rejected rather than silently last-wins.
+    """
+    if not specs:
+        return None
+    faults = {}
+    for text in specs:
+        kind, shard, seconds = parse_chaos_spec(text)
+        key = (None, shard, 0)
+        if key in faults:
+            raise ValidationError(
+                f"chaos spec {text!r} targets shard {shard} attempt 0 "
+                "twice"
+            )
+        faults[key] = FaultSpec(kind, seconds=seconds)
+    return FaultPlan(faults)

@@ -28,7 +28,14 @@ genuine bug surfacing as an arbitrary exception.  The hierarchy:
     zero-width or inverted pieces, non-contiguous intervals,
     out-of-order breakpoints -- or evaluated outside its domain.  Such
     layouts used to be accepted silently and then mis-dispatched at
-    shared breakpoints; they are now rejected at construction time.
+    shared breakpoints; they are now rejected at construction time;
+``DistributedError`` (also a :class:`RuntimeError`)
+    the coordinator/worker transport failed in a way the protocol
+    could not absorb -- an unreachable coordinator, an incompatible
+    protocol version, a payload whose digest did not verify.  Frame
+    corruption and connection loss are *handled* (retry, lease
+    reassignment, local degradation) and only surface as telemetry;
+    this error is for the cases with no recovery path left.
 
 ``ValidationError``, ``ResultsStoreError`` and ``PiecewiseDomainError``
 keep :class:`ValueError` as a base so code written against the old
@@ -40,6 +47,7 @@ from __future__ import annotations
 
 __all__ = [
     "ContractViolation",
+    "DistributedError",
     "NumericalInstabilityError",
     "PiecewiseDomainError",
     "ReproError",
@@ -89,6 +97,17 @@ class PiecewiseDomainError(ReproError, ValueError):
     on a shared breakpoint could dispatch into a zero-width piece.
     Subclasses :class:`ValueError` so callers written against the old
     bare-``ValueError`` behaviour keep working."""
+
+
+class DistributedError(ReproError, RuntimeError):
+    """The distributed transport failed beyond what the protocol's
+    recovery ladder (frame retries, lease reassignment, local
+    degradation) can absorb.
+
+    Subclassed in :mod:`repro.distributed.protocol` by the specific
+    failure modes (unreachable coordinator, protocol mismatch, payload
+    digest mismatch).  Subclasses :class:`RuntimeError` to match the
+    fault-tolerance layer's convention."""
 
 
 class ResultsStoreError(ReproError, ValueError):

@@ -1,0 +1,46 @@
+"""Filesystem durability helpers shared by every on-disk tier.
+
+The cache, results store, run store and checkpoint writer all follow
+the same discipline for atomic finalisation: write a temp file, flush,
+``fsync``, then ``os.replace`` onto the target.  That sequence makes
+the *contents* durable but not the *name*: POSIX only guarantees the
+rename itself survives a power cut once the containing directory's
+entry is flushed, which takes a second ``fsync`` -- on the directory.
+:func:`fsync_directory` is that second fsync, shared so every tier
+applies the identical fix.
+
+Durability is best-effort by design: a filesystem that cannot fsync a
+directory (some network mounts, some platforms) degrades to the old
+behaviour -- possible loss of the newest file on power failure -- and
+never turns a successful write into an error.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+__all__ = ["fsync_directory"]
+
+
+def fsync_directory(path: Union[str, Path]) -> bool:
+    """``fsync`` the directory *path* so a just-renamed entry survives
+    power loss; returns whether the sync actually happened.
+
+    ``False`` covers every expected degradation -- platforms that
+    cannot open a directory for reading (Windows), filesystems whose
+    directory handles reject ``fsync`` -- so callers can count the
+    misses without ever failing a write that already succeeded.
+    """
+    try:
+        descriptor = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return False
+    try:
+        os.fsync(descriptor)
+        return True
+    except OSError:
+        return False
+    finally:
+        os.close(descriptor)

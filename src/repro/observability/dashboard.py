@@ -64,6 +64,11 @@ class DashboardState:
     streams: Dict[str, _StreamProgress] = field(default_factory=dict)
     faults: int = 0
     last_fault: str = ""
+    workers: int = 0
+    peak_workers: int = 0
+    leases_granted: int = 0
+    lease_expiries: int = 0
+    duplicate_summaries: int = 0
     counters: Dict[str, int] = field(default_factory=dict)
     last_t_ns: int = 0
     finished: bool = False
@@ -100,6 +105,17 @@ class DashboardState:
                 f"{event.get('index', '?')} "
                 f"(attempt {event.get('attempt', '?')})"
             )
+        elif kind == "worker":
+            self.workers = int(event.get("workers", 0))
+            self.peak_workers = max(self.peak_workers, self.workers)
+        elif kind == "lease":
+            action = event.get("action")
+            if action == "grant":
+                self.leases_granted += 1
+            elif action == "expire":
+                self.lease_expiries += 1
+            elif action == "duplicate":
+                self.duplicate_summaries += 1
         elif kind == "metrics":
             snapshot = event.get("snapshot", {})
             counters = snapshot.get("counters", {})
@@ -208,6 +224,13 @@ def render_dashboard(
         f"batch fallback {_fmt_fraction(state.batch_fallback_rate)}   "
         f"retries {state.retries}   salvaged {state.salvaged}"
     )
+    if state.peak_workers or state.leases_granted:
+        lines.append(
+            f"  workers {state.workers} (peak {state.peak_workers})   "
+            f"leases {state.leases_granted}   "
+            f"expired {state.lease_expiries}   "
+            f"dup {state.duplicate_summaries}"
+        )
     if state.faults:
         lines.append(
             f"  faults {state.faults}  (last: {state.last_fault})"
@@ -293,6 +316,12 @@ class Dashboard:
                 f"/{total} {event.get('label', '')}  "
                 f"trials={state.trials:,}  "
                 f"throughput={format_rate(state.throughput)}"
+            )
+        if kind == "worker":
+            return (
+                f"[dashboard] worker {event.get('worker', '?')} "
+                f"{event.get('action', '?')}ed "
+                f"({state.workers} connected)"
             )
         if kind == "fault":
             return f"[dashboard] fault: {state.last_fault}"

@@ -34,6 +34,10 @@ shard      one completed shard: index/trials/wins/attempt/recovered,
 fault      one shard failure: kind/index/attempt/stream/message
 point      one sweep grid point completed: label, index, total
 batch      one batched evaluation: points/certified/fallbacks
+worker     a remote worker joined or left: action (``connect`` /
+           ``disconnect``), worker id, workers now connected
+lease      one shard-lease transition: action (``grant`` / ``expire``
+           / ``duplicate``), shard, attempt, worker
 metrics    a cumulative snapshot (kind ``periodic`` or ``final``)
 run_end    exit_code plus total elapsed_ns
 ========== ==========================================================

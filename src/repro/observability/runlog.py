@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.fsutil import fsync_directory
 from repro.observability.events import (
     read_events,
     reconstruct_metrics,
@@ -100,6 +101,19 @@ class RunSummary:
             return None
 
 
+def _finalize_in_progress(directory: Path) -> bool:
+    """Whether another process is mid-finalize in *directory* (a
+    ``.run.*.tmp`` from :meth:`RunStore.finalize`, or the legacy
+    ``run.json.tmp`` name, still exists)."""
+    try:
+        if any(directory.glob(".run.*.tmp")):
+            return True
+        return (directory / "run.json.tmp").exists()
+    except OSError:
+        # unreadable directory: err on the side of not deleting
+        return True
+
+
 class RunStore:
     """list/show/compare/prune over a directory of recorded runs."""
 
@@ -162,6 +176,10 @@ class RunStore:
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(temp_name, target)
+            # the rename itself is only durable once the directory
+            # entry is flushed; without this a crash after replace can
+            # still lose run.json entirely
+            fsync_directory(directory)
         except BaseException:
             try:
                 os.unlink(temp_name)
@@ -254,13 +272,23 @@ class RunStore:
         return matches[0]
 
     def prune(self, keep: int) -> int:
-        """Delete the oldest runs beyond *keep*; returns how many."""
+        """Delete the oldest runs beyond *keep*; returns how many.
+
+        A directory holding a live finalisation temp file (the
+        ``.run.*.tmp`` that :meth:`finalize` renames into place)
+        belongs to a run that is *finishing right now* in another
+        process; deleting it would race the rename, so such
+        directories are skipped -- they become prunable on the next
+        invocation, once their ``run.json`` has landed.
+        """
         if keep < 0:
             raise ValueError(f"keep must be >= 0, got {keep}")
         runs = self.list_runs()
         victims = runs[: max(0, len(runs) - keep)]
         removed = 0
         for run in victims:
+            if _finalize_in_progress(run.directory):
+                continue
             shutil.rmtree(run.directory, ignore_errors=True)
             removed += 1
         return removed

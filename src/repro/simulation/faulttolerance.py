@@ -15,11 +15,14 @@ the three ingredients the executor in
   randomness.
 * **Deterministic fault injection** -- :class:`FaultPlan` maps
   ``(stream, shard_index, attempt)`` keys to :class:`FaultSpec`
-  actions (crash, hang, slow, corrupt-result).  The plan is inert
-  data threaded through the worker entry point; it is only ever
-  populated by tests and the CLI chaos mode, so every recovery path
-  in the executor can be exercised reproducibly -- the same plan
-  always fails the same attempt of the same shard.
+  actions.  Compute faults (crash, hang, slow, corrupt-result) fire
+  inside the worker entry point before the trial loop; network faults
+  (drop, delay, partition, dup) fire at the frame layer of the
+  distributed transport (:mod:`repro.distributed`).  The plan is
+  inert data threaded through both layers; it is only ever populated
+  by tests and the CLI chaos mode, so every recovery path can be
+  exercised reproducibly -- the same plan always fails the same
+  attempt of the same shard.
 * **Checkpoint/resume** -- completed shard outcomes stream to a JSONL
   checkpoint (:class:`CheckpointWriter`: append-then-``fsync``, one
   self-checksummed record per shard, a header pinning the root seed).
@@ -41,9 +44,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.fsutil import fsync_directory
 from repro.observability.runmeta import run_header
 
 __all__ = [
+    "ALL_FAULT_KINDS",
     "CHECKPOINT_VERSION",
     "CheckpointError",
     "CheckpointFingerprintError",
@@ -51,6 +56,7 @@ __all__ = [
     "CheckpointWriter",
     "CorruptShardResultError",
     "FAULT_KINDS",
+    "NETWORK_FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "FaultToleranceConfig",
@@ -60,6 +66,7 @@ __all__ = [
     "ShardFailure",
     "ShardRetriesExhaustedError",
     "ShardTimeoutError",
+    "backoff_jitter_unit",
     "load_checkpoint",
     "run_fingerprint",
     "system_digest",
@@ -67,8 +74,20 @@ __all__ = [
 
 CHECKPOINT_VERSION = 1
 
-#: The fault kinds a :class:`FaultPlan` can inject.
+#: Compute-layer fault kinds: applied by the shard worker entry point
+#: before the trial loop starts (serial, pool and remote paths alike).
 FAULT_KINDS = ("crash", "hang", "slow", "corrupt")
+
+#: Network-layer fault kinds: applied at the frame layer of the
+#: distributed transport when a worker delivers a shard summary.
+#: ``drop`` discards the summary frame (the lease expires and the
+#: shard is reassigned), ``delay`` sleeps before sending, ``partition``
+#: severs the connection mid-send (the worker reconnects), ``dup``
+#: sends the summary twice (the coordinator must deduplicate).
+NETWORK_FAULT_KINDS = ("drop", "delay", "partition", "dup")
+
+#: Every fault kind a :class:`FaultPlan` accepts.
+ALL_FAULT_KINDS = FAULT_KINDS + NETWORK_FAULT_KINDS
 
 
 class FaultToleranceError(RuntimeError):
@@ -114,6 +133,20 @@ class CheckpointFingerprintError(CheckpointError):
     """A checkpoint belongs to a different run (root seed mismatch)."""
 
 
+def backoff_jitter_unit(jitter_key: Tuple[Any, ...]) -> float:
+    """A deterministic value in ``[0, 1)`` derived from *jitter_key*.
+
+    The key's parts (typically stream name, shard index, attempt) are
+    joined textually and hashed with SHA-256; the first 8 bytes become
+    a uniform-looking fraction.  Pure arithmetic on the key -- no RNG
+    object, no global state -- so retry scheduling stays exactly
+    reproducible across runs, processes and machines.
+    """
+    text = "\x1f".join(str(part) for part in jitter_key)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """How the executor responds to shard failures.
@@ -125,6 +158,14 @@ class RetryPolicy:
     retry ``k`` (0-based) is
     ``min(backoff_max, backoff_base * backoff_factor**k)`` seconds --
     the backoff only delays scheduling, it never touches a stream.
+
+    When a *jitter key* is supplied to :meth:`backoff_seconds`, the
+    delay is scaled down by a deterministic per-key fraction of up to
+    ``backoff_jitter`` (SHA-256 of the key, no RNG state), so shards
+    that fail simultaneously -- a killed worker drops every lease it
+    held at once -- retry staggered instead of stampeding, while the
+    same key always yields the same delay.  Jitter shapes *when* a
+    retry runs, never *what* it draws, so replay stays bit-identical.
     """
 
     max_retries: int = 0
@@ -132,6 +173,7 @@ class RetryPolicy:
     backoff_base: float = 0.05
     backoff_factor: float = 2.0
     backoff_max: float = 2.0
+    backoff_jitter: float = 0.5
 
     def __post_init__(self):
         if self.max_retries < 0:
@@ -154,49 +196,85 @@ class RetryPolicy:
             raise ValueError(
                 f"backoff_max must be >= 0, got {self.backoff_max}"
             )
+        if not 0 <= self.backoff_jitter <= 1:
+            raise ValueError(
+                f"backoff_jitter must be in [0, 1], got "
+                f"{self.backoff_jitter}"
+            )
 
     @property
     def max_attempts(self) -> int:
         """Total executions allowed per shard (first try + retries)."""
         return self.max_retries + 1
 
-    def backoff_seconds(self, retry_index: int) -> float:
-        """Delay before retry *retry_index* (0-based), in seconds."""
+    def backoff_seconds(
+        self,
+        retry_index: int,
+        jitter_key: Optional[Tuple[Any, ...]] = None,
+    ) -> float:
+        """Delay before retry *retry_index* (0-based), in seconds.
+
+        Without *jitter_key* the delay is the exact exponential
+        schedule (the historical behaviour).  With a key -- the
+        executor passes ``(stream, shard, attempt)`` -- the delay is
+        multiplied by a deterministic factor in
+        ``[1 - backoff_jitter, 1]`` derived from SHA-256 of the key:
+        distinct shards de-synchronise, while the same shard's same
+        attempt always waits the same time (the replay guarantee
+        extends to scheduling).
+        """
         if retry_index < 0:
             raise ValueError(
                 f"retry_index must be >= 0, got {retry_index}"
             )
-        return min(
+        delay = min(
             self.backoff_max,
             self.backoff_base * self.backoff_factor**retry_index,
         )
+        if jitter_key is not None and self.backoff_jitter > 0 and delay > 0:
+            delay *= 1.0 - self.backoff_jitter * backoff_jitter_unit(
+                jitter_key
+            )
+        return delay
 
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """One injected fault: what happens and (for hang/slow) how long.
+    """One injected fault: what happens and (for timed kinds) how long.
 
-    ``crash`` raises :class:`InjectedCrashError` before the shard
-    consumes any randomness; ``hang`` and ``slow`` sleep *seconds*
-    before running normally (a hang is just a sleep the caller's
-    timeout is expected to beat); ``corrupt`` returns an impossible
-    win count (``trials + 1``) without running, which the parent's
-    range check rejects.
+    Compute kinds fire in the shard worker: ``crash`` raises
+    :class:`InjectedCrashError` before the shard consumes any
+    randomness; ``hang`` and ``slow`` sleep *seconds* before running
+    normally (a hang is just a sleep the caller's timeout or lease is
+    expected to beat); ``corrupt`` returns an impossible win count
+    (``trials + 1``) without running, which the parent's range check
+    rejects.
+
+    Network kinds fire at the distributed frame layer when the worker
+    delivers its summary: ``drop`` discards the frame, ``delay``
+    sleeps *seconds* before sending, ``partition`` severs the
+    connection instead of sending, ``dup`` sends the frame twice.
     """
 
     kind: str
     seconds: float = 0.0
 
     def __post_init__(self):
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in ALL_FAULT_KINDS:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; expected one of "
-                f"{FAULT_KINDS}"
+                f"{ALL_FAULT_KINDS}"
             )
         if self.seconds < 0:
             raise ValueError(
                 f"seconds must be >= 0, got {self.seconds}"
             )
+
+    @property
+    def is_network(self) -> bool:
+        """Whether this fault fires at the frame layer rather than in
+        the shard worker."""
+        return self.kind in NETWORK_FAULT_KINDS
 
 
 @dataclass(frozen=True)
@@ -254,6 +332,27 @@ class FaultPlan:
             spec = self.faults.get((None, shard_index, attempt))
         return spec
 
+    def compute_fault(
+        self, stream: str, shard_index: int, attempt: int
+    ) -> Optional[FaultSpec]:
+        """The compute-layer fault for this attempt, if any.  Network
+        kinds are invisible here: they target the transport, and the
+        shard worker must run normally underneath them."""
+        spec = self.lookup(stream, shard_index, attempt)
+        if spec is not None and spec.is_network:
+            return None
+        return spec
+
+    def network_fault(
+        self, stream: str, shard_index: int, attempt: int
+    ) -> Optional[FaultSpec]:
+        """The frame-layer fault for this attempt, if any.  Compute
+        kinds are invisible here for the symmetric reason."""
+        spec = self.lookup(stream, shard_index, attempt)
+        if spec is not None and not spec.is_network:
+            return None
+        return spec
+
     def __len__(self) -> int:
         """Number of scheduled faults."""
         return len(self.faults)
@@ -285,8 +384,11 @@ class ShardFailure:
 
     ``kind`` is one of ``"error"`` (the worker raised), ``"timeout"``
     (the shard exceeded the policy's wall-clock limit), ``"corrupt"``
-    (the result failed the parent's range check), or ``"pool"`` (the
-    process pool died under the shard).
+    (the result failed the parent's range check), ``"pool"`` (the
+    process pool died under the shard), ``"lease"`` (a distributed
+    lease expired before the summary arrived), ``"disconnect"`` (the
+    leasing worker's connection dropped), or ``"rejected"`` (a remote
+    summary failed fingerprint validation).
     """
 
     index: int
@@ -431,6 +533,10 @@ class CheckpointWriter:
                         "meta": run_header(),
                     }
                 )
+                # per-record fsync makes the *contents* durable; the
+                # brand-new file's directory entry needs its own sync
+                # or the whole checkpoint can vanish on power loss
+                fsync_directory(self._path.parent)
         except OSError as exc:
             raise CheckpointError(
                 f"cannot open checkpoint {self._path}: {exc}"

@@ -252,12 +252,15 @@ def _run_shard(
     seed, stream name), run its trial loop, and time it.  Module-level
     so it is picklable by every multiprocessing start method.
 
-    Any injected fault for ``(base_stream, index, attempt)`` is applied
-    first: a ``crash`` raises before the stream is touched, ``hang``
-    and ``slow`` sleep before running normally, and ``corrupt``
-    returns an impossible win count the parent's range check rejects.
-    A retried attempt rebuilds the *same* named stream, so the win
-    count is identical no matter which attempt succeeds.
+    Any injected *compute* fault for ``(base_stream, index, attempt)``
+    is applied first: a ``crash`` raises before the stream is touched,
+    ``hang`` and ``slow`` sleep before running normally, and
+    ``corrupt`` returns an impossible win count the parent's range
+    check rejects.  Network fault kinds in the same plan are ignored
+    here -- they target the distributed frame layer, and the shard
+    must run normally underneath them.  A retried attempt rebuilds
+    the *same* named stream, so the win count is identical no matter
+    which attempt succeeds.
 
     Returns ``(wins, elapsed_seconds, metrics_snapshot)``; the snapshot
     is ``None`` unless metrics collection was requested, and crosses
@@ -265,7 +268,7 @@ def _run_shard(
     metrics exactly.  Nothing measured here touches the shard's random
     stream, so the win count is identical with metrics on or off."""
     if task.fault_plan is not None:
-        spec = task.fault_plan.lookup(
+        spec = task.fault_plan.compute_fault(
             task.base_stream, task.index, attempt
         )
         if spec is not None:
@@ -384,7 +387,12 @@ def _run_serial(
                         index, task.stream, attempts[index], str(exc)
                     ) from exc
                 stats["retries"] += 1
-                time.sleep(policy.backoff_seconds(attempts[index] - 1))
+                time.sleep(
+                    policy.backoff_seconds(
+                        attempts[index] - 1,
+                        jitter_key=(task.stream, index, attempts[index]),
+                    )
+                )
                 continue
             on_success(index, result, attempt)
             break
@@ -467,7 +475,8 @@ def _run_pool(
             )
         stats["retries"] += 1
         not_before = time.monotonic() + policy.backoff_seconds(
-            attempts[index] - 1
+            attempts[index] - 1,
+            jitter_key=(tasks[index].stream, index, attempts[index]),
         )
         delayed.append((not_before, index))
         delayed.sort()

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Dict, List, Sequence, Union
 
 from repro.errors import ResultsStoreError
+from repro.fsutil import fsync_directory
 from repro.simulation.runner import SweepPoint, SweepResult
 
 __all__ = [
@@ -188,6 +189,8 @@ def save_sweep(result: SweepResult, path: Union[str, Path]) -> Path:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp_name, target)
+        # the rename needs the directory entry flushed to be durable
+        fsync_directory(target.parent)
     except BaseException:
         try:
             os.unlink(temp_name)

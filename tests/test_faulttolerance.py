@@ -109,6 +109,80 @@ class TestRetryPolicy:
             RetryPolicy().backoff_seconds(-1)
 
 
+class TestBackoffJitter:
+    """Seeded jitter: deterministic, bounded, and opt-in per call."""
+
+    def test_no_key_keeps_exact_schedule(self):
+        # the historical contract: without a jitter key the schedule
+        # is the bare exponential, exactly
+        policy = RetryPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=10.0,
+            backoff_jitter=0.5,
+        )
+        assert policy.backoff_seconds(2) == pytest.approx(0.4)
+
+    def test_keyed_jitter_is_deterministic(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_jitter=0.5)
+        key = ("stream/shard-3", 3, 1)
+        values = {policy.backoff_seconds(0, jitter_key=key) for _ in range(5)}
+        assert len(values) == 1  # same key, same delay, every time
+
+    def test_keyed_jitter_stays_in_band(self):
+        policy = RetryPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=10.0,
+            backoff_jitter=0.5,
+        )
+        for index in range(6):
+            bare = policy.backoff_seconds(index)
+            jittered = policy.backoff_seconds(
+                index, jitter_key=("s", 0, index)
+            )
+            assert bare * 0.5 <= jittered <= bare
+
+    def test_different_keys_spread(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_jitter=0.5)
+        delays = {
+            policy.backoff_seconds(0, jitter_key=("s", shard, 1))
+            for shard in range(16)
+        }
+        assert len(delays) > 1  # a fleet does not stampede in lockstep
+
+    def test_zero_jitter_is_bare_schedule(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_jitter=0.0)
+        assert policy.backoff_seconds(
+            0, jitter_key=("s", 0, 1)
+        ) == pytest.approx(0.1)
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_jitter=-0.1)
+
+    def test_jittered_retries_stay_bit_identical(self, clean_estimate):
+        # the point of the feature: jittered backoff shifts *when*
+        # retries run, never what they draw
+        plan = FaultPlan(
+            {
+                (None, 1, 0): FaultSpec("crash"),
+                (None, 3, 0): FaultSpec("crash"),
+            }
+        )
+        recovered = run_sharded(
+            workers=1,
+            fault_tolerance=FaultToleranceConfig(
+                retry=RetryPolicy(
+                    max_retries=2,
+                    backoff_base=0.01,
+                    backoff_jitter=0.9,
+                ),
+                fault_plan=plan,
+            ),
+        )
+        assert recovered.summary == clean_estimate.summary
+        assert recovered.shard_outcomes == clean_estimate.shard_outcomes
+
+
 class TestFaultPlan:
     def test_single(self):
         plan = FaultPlan.single("crash", shard=3)

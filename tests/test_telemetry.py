@@ -196,6 +196,77 @@ class TestEventLogReplay:
         assert result.summary.successes == baseline.summary.successes
         assert result.summary.interval == baseline.summary.interval
 
+    def test_resumed_faulted_run_replays_bit_exact(self, tmp_path):
+        """Checkpoint/resume composed with the event log: a run that
+        crashed partway, then resumed under a live bus, must (a)
+        reproduce the fresh run's summary exactly and (b) leave an
+        event log whose replay equals its own final snapshot bit for
+        bit -- recovery changes scheduling, never results or
+        telemetry integrity."""
+        from repro.simulation.faulttolerance import (
+            FaultPlan,
+            FaultSpec,
+            FaultToleranceConfig,
+            RetryPolicy,
+            ShardRetriesExhaustedError,
+        )
+
+        checkpoint = tmp_path / "ckpt.jsonl"
+        fresh = estimate_winning_probability_sharded(
+            system(),
+            trials=8_000,
+            shards=8,
+            factory=SeedSequenceFactory(11),
+        )
+        # first attempt: shard 2 crashes with no retry budget; the
+        # completed prefix lands in the checkpoint
+        with pytest.raises(ShardRetriesExhaustedError):
+            estimate_winning_probability_sharded(
+                system(),
+                trials=8_000,
+                shards=8,
+                factory=SeedSequenceFactory(11),
+                fault_tolerance=FaultToleranceConfig(
+                    retry=RetryPolicy(max_retries=0),
+                    fault_plan=FaultPlan.single("crash", shard=2),
+                    checkpoint_path=checkpoint,
+                ),
+            )
+        # second attempt: resume under a live event bus
+        path = tmp_path / "events.jsonl"
+        with use_instrumentation() as instr:
+            bus = EventBus(
+                path=path,
+                context=new_run_context(command="t"),
+                metrics=instr.metrics,
+            )
+            instr.events = bus
+            resumed = estimate_winning_probability_sharded(
+                system(),
+                trials=8_000,
+                shards=8,
+                factory=SeedSequenceFactory(11),
+                fault_tolerance=FaultToleranceConfig(
+                    checkpoint_path=checkpoint,
+                    resume=True,
+                ),
+            )
+            bus.close(exit_code=0)
+            final = instr.metrics.snapshot()
+        assert resumed.summary == fresh.summary
+        assert resumed.shard_outcomes == fresh.shard_outcomes
+        assert resumed.resumed_shards == 2  # shards 0 and 1
+        assert reconstruct_metrics(path) == final
+        # the resumed shards surfaced through the log as recovered
+        log = read_events(path)
+        recovered = [
+            e
+            for e in log.events
+            if e.get("type") == "shard" and e.get("recovered")
+        ]
+        assert {e["index"] for e in recovered} >= {0, 1}
+        assert final.counters["engine.shards_resumed"] == 2
+
     def test_truncated_tail_recovers(self, tmp_path):
         path = tmp_path / "events.jsonl"
         registry = MetricsRegistry()
@@ -444,6 +515,22 @@ class TestRunStore:
         assert store.prune(keep=2) == 2
         kept = store.list_runs()
         assert [r.command for r in kept] == ["c2", "c3"]
+
+    def test_prune_skips_run_being_finalized(self, tmp_path):
+        # a live run has written run.json.tmp but not yet renamed it:
+        # prune must not delete the directory out from under it
+        store = RunStore(tmp_path)
+        for i in range(3):
+            _record_run(store, f"c{i}", i + 1)
+        oldest = store.list_runs()[0]
+        (oldest.directory / "run.json.tmp").write_text("{")
+        assert store.prune(keep=1) == 1  # c1 pruned, c0 skipped
+        kept = store.list_runs()
+        assert [r.command for r in kept] == ["c0", "c2"]
+        # once the finalize completes, the directory prunes normally
+        (oldest.directory / "run.json.tmp").unlink()
+        assert store.prune(keep=1) == 1
+        assert [r.command for r in store.list_runs()] == ["c2"]
 
 
 # ---------------------------------------------------------------------------
