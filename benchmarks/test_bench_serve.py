@@ -1,0 +1,234 @@
+"""Latency, throughput, and shed behaviour of ``repro serve``
+(BENCH_9.json).
+
+Two measured phases against a live in-process server:
+
+1. **Steady state** -- concurrent clients inside the admission
+   envelope.  The artifact records accepted p50/p99 latency; the
+   acceptance assertion is the Issue-9 deadline contract: every
+   accepted request reports ``elapsed_ms <= deadline_ms``, and the
+   observed p99 fits the configured deadline budget.
+2. **2x overload** -- twice as many in-flight clients as
+   ``max_inflight + queue_depth`` can hold, against a deliberately
+   slowed kernel.  The artifact records the shed rate; asserted:
+   the server sheds (shed_rate > 0) rather than queueing unboundedly,
+   and nothing ever returns a 5xx.
+
+Latency fields are ``*_ms`` on purpose: wall-clock latency on shared
+CI runners is too noisy for the ``*_seconds`` perf-gate family, while
+the shed-rate and status-code contracts are stable and asserted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+from fractions import Fraction
+from pathlib import Path
+
+from conftest import record
+
+from repro.serve import ReproServer, ServeConfig
+from repro.simulation.faulttolerance import FaultPlan, FaultSpec
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_9.json"
+
+STEADY_CLIENTS = 4
+STEADY_REQUESTS_EACH = 40
+OVERLOAD_CLIENTS = 16  # 2x the overload config's capacity of 8
+
+
+def run_server(config):
+    """Start a server thread; returns (server, stop callable)."""
+    holder: dict = {}
+    started = threading.Event()
+
+    async def main():
+        server = ReproServer(config)
+        await server.start()
+        holder["server"] = server
+        started.set()
+        holder["report"] = await server.serve_until_stopped()
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(main()), daemon=True
+    )
+    thread.start()
+    assert started.wait(timeout=30)
+    server = holder["server"]
+    while not server.ready:
+        time.sleep(0.005)
+
+    def stop():
+        server.stop_threadsafe("bench")
+        thread.join(timeout=30)
+        return holder["report"]
+
+    return server, stop
+
+
+def hit(port, path):
+    """One request; returns (status, latency_ms, parsed body|None)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        start = time.perf_counter()
+        conn.request("GET", path)
+        response = conn.getresponse()
+        raw = response.read()
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        body = (
+            json.loads(raw)
+            if "json" in (response.getheader("Content-Type") or "")
+            else None
+        )
+        return response.status, latency_ms, body
+    finally:
+        conn.close()
+
+
+def percentile(sorted_values, q):
+    if not sorted_values:
+        return float("nan")
+    index = min(
+        len(sorted_values) - 1, round(q * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def test_bench_serve_latency_and_shed():
+    # Phase 1: steady state, inside the admission envelope.
+    deadline_ms = 250.0
+    server, stop = run_server(
+        ServeConfig(
+            port=0,
+            max_inflight=8,
+            queue_depth=16,
+            deadline_ms=deadline_ms,
+            warm=((3, Fraction(1, 2)), (4, Fraction(1, 2))),
+            warm_optima=False,
+        )
+    )
+    results = []
+    lock = threading.Lock()
+
+    def steady_client(index):
+        for step in range(STEADY_REQUESTS_EACH):
+            beta = 0.05 + 0.9 * (
+                (index * STEADY_REQUESTS_EACH + step)
+                % 97
+            ) / 97.0
+            outcome = hit(
+                server.port,
+                f"/v1/winning-probability?n=3&delta=1/2&beta={beta}",
+            )
+            with lock:
+                results.append(outcome)
+
+    threads = [
+        threading.Thread(target=steady_client, args=(i,))
+        for i in range(STEADY_CLIENTS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    steady_wall = time.perf_counter() - start
+    steady_report = stop()
+
+    total = STEADY_CLIENTS * STEADY_REQUESTS_EACH
+    assert len(results) == total
+    assert all(status == 200 for status, _, _ in results)
+    for _, _, body in results:
+        # the deadline contract, request by request
+        assert body["elapsed_ms"] <= body["deadline_ms"]
+    latencies = sorted(ms for _, ms, _ in results)
+    p50_ms = percentile(latencies, 0.50)
+    p99_ms = percentile(latencies, 0.99)
+    assert p99_ms <= deadline_ms * 4  # generous: client-side, noisy CI
+    throughput_rps = total / steady_wall
+
+    # Phase 2: 2x overload against a slowed kernel.
+    overload_chaos = FaultPlan(
+        {
+            ("serve", seq, 0): FaultSpec("slow", seconds=0.1)
+            for seq in range(OVERLOAD_CLIENTS * 2)
+        }
+    )
+    server, stop = run_server(
+        ServeConfig(
+            port=0,
+            max_inflight=4,
+            queue_depth=4,
+            deadline_ms=5000.0,
+            warm=((3, Fraction(1, 2)),),
+            warm_optima=False,
+            chaos=overload_chaos,
+        )
+    )
+    overload_results = []
+
+    def overload_client():
+        outcome = hit(
+            server.port,
+            "/v1/winning-probability?n=3&delta=1/2&beta=0.6",
+        )
+        with lock:
+            overload_results.append(outcome)
+
+    threads = [
+        threading.Thread(target=overload_client)
+        for _ in range(OVERLOAD_CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    overload_report = stop()
+
+    statuses = [status for status, _, _ in overload_results]
+    assert len(statuses) == OVERLOAD_CLIENTS
+    assert set(statuses) <= {200, 429}  # never a 5xx under overload
+    shed = statuses.count(429)
+    served = statuses.count(200)
+    assert shed >= 1  # 2x overload must shed, not queue unboundedly
+    assert served >= 4  # while capacity is still served
+    shed_rate = shed / len(statuses)
+
+    record(
+        "serve.latency",
+        requests=total,
+        p50_ms=round(p50_ms, 2),
+        p99_ms=round(p99_ms, 2),
+        throughput_rps=round(throughput_rps, 1),
+        shed_rate=round(shed_rate, 3),
+    )
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "benchmark": "serve_latency",
+                "workload": {
+                    "steady_clients": STEADY_CLIENTS,
+                    "steady_requests": total,
+                    "deadline_ms": deadline_ms,
+                    "overload_clients": OVERLOAD_CLIENTS,
+                    "overload_capacity": 8,
+                },
+                "p50_ms": p50_ms,
+                "p99_ms": p99_ms,
+                "throughput_rps": throughput_rps,
+                "steady_statuses_200": total,
+                "steady_drained_clean": steady_report.drained_clean,
+                "overload_served": served,
+                "overload_shed": shed,
+                "shed_rate": shed_rate,
+                "overload_5xx": 0,
+                "overload_drained_clean": overload_report.drained_clean,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -48,6 +48,7 @@ from repro.cache.decorator import (
     clear_cache,
     configure_cache,
     memoized_kernel,
+    prune_disk_cache,
     registered_kernels,
 )
 from repro.cache.disk import DiskCache
@@ -78,5 +79,6 @@ __all__ = [
     "encode_value",
     "kernel_fingerprint",
     "memoized_kernel",
+    "prune_disk_cache",
     "registered_kernels",
 ]

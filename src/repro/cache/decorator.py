@@ -53,6 +53,7 @@ __all__ = [
     "clear_cache",
     "configure_cache",
     "memoized_kernel",
+    "prune_disk_cache",
     "registered_kernels",
 ]
 
@@ -75,8 +76,14 @@ class _CacheState:
         )
         self.memory = LRUCache(DEFAULT_MAXSIZE)
         env_dir = os.environ.get("REPRO_CACHE_DIR")
+        env_max = os.environ.get("REPRO_CACHE_MAX_BYTES")
+        self.disk_max_bytes: Optional[int] = (
+            int(env_max) if env_max else None
+        )
         self.disk: Optional[DiskCache] = (
-            DiskCache(env_dir) if env_dir else None
+            DiskCache(env_dir, max_bytes=self.disk_max_bytes)
+            if env_dir
+            else None
         )
 
 
@@ -102,21 +109,33 @@ def configure_cache(
     enabled: Optional[bool] = None,
     directory: Union[str, Path, None, object] = _UNSET,
     maxsize: Optional[int] = None,
+    max_bytes: Union[int, None, object] = _UNSET,
 ) -> None:
     """Reconfigure the process-wide cache.
 
     ``enabled=False`` turns every tier off (``repro --no-cache``);
     ``directory=PATH`` attaches the persistent tier
     (``repro --cache-dir``), ``directory=None`` detaches it; *maxsize*
-    replaces the memory tier (dropping its entries).  Omitted
-    parameters keep their current setting.
+    replaces the memory tier (dropping its entries); *max_bytes* caps
+    the persistent tier's on-disk size with oldest-first eviction
+    (``None`` lifts the cap; also honours REPRO_CACHE_MAX_BYTES).
+    Omitted parameters keep their current setting.
     """
     with _state_lock:
         if enabled is not None:
             _state.enabled = bool(enabled)
+        if max_bytes is not _UNSET:
+            _state.disk_max_bytes = max_bytes
+            if directory is _UNSET and _state.disk is not None:
+                # re-cap the already-attached tier in place
+                directory = _state.disk.directory
         if directory is not _UNSET:
             _state.disk = (
-                None if directory is None else DiskCache(directory)
+                None
+                if directory is None
+                else DiskCache(
+                    directory, max_bytes=_state.disk_max_bytes
+                )
             )
         if maxsize is not None:
             _state.memory = LRUCache(maxsize)
@@ -150,6 +169,19 @@ def clear_cache(include_disk: bool = True) -> Dict[str, int]:
     if include_disk and disk is not None:
         removed["disk"] = disk.clear()
     return removed
+
+
+def prune_disk_cache(max_bytes: int) -> int:
+    """Evict oldest-first until the persistent tier fits *max_bytes*.
+
+    Returns how many entries were evicted; raises :class:`ValueError`
+    when no persistent tier is attached (``repro cache prune`` turns
+    that into a usage error).
+    """
+    disk = _state.disk
+    if disk is None:
+        raise ValueError("no persistent cache tier is configured")
+    return disk.prune(max_bytes)
 
 
 def cache_stats() -> Dict[str, Any]:

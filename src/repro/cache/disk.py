@@ -20,6 +20,14 @@ Storage discipline reuses the hardening of
   read, so even a hand-renamed or key-colliding file cannot smuggle a
   stale value in (counted as ``cache.disk_stale``).
 
+* **Bounded growth.**  An optional ``max_bytes`` cap prunes the
+  directory **oldest-first** (by modification time -- a hit does not
+  refresh it, so this is insertion order in practice) after every
+  write that pushes the total over the cap.  Eviction is counted as
+  ``cache.disk_evictions``; an evicted entry is recomputed on next
+  use, so the cap trades time, never correctness.  ``repro cache
+  prune --max-bytes`` applies the same policy on demand.
+
 Entries are small (a key, a rational, a checksum), and the directory
 is flat: ``<cache_dir>/<key>.json``.
 """
@@ -63,14 +71,24 @@ def _entry_checksum(
 class DiskCache:
     """The persistent tier: ``get``/``put``/``clear`` over a directory."""
 
-    def __init__(self, directory: Union[str, Path]):
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        max_bytes: Optional[int] = None,
+    ):
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(
+                f"max_bytes must be >= 0, got {max_bytes}"
+            )
         self._directory = Path(directory)
+        self._max_bytes = max_bytes
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._writes = 0
         self._corrupt = 0
         self._stale = 0
+        self._evictions = 0
 
     @property
     def directory(self) -> Path:
@@ -178,6 +196,61 @@ class DiskCache:
         except OSError:
             return
         self._count("_writes", "cache.disk_writes")
+        if self._max_bytes is not None:
+            self.prune(self._max_bytes)
+
+    @property
+    def max_bytes(self) -> Optional[int]:
+        """The size cap, or ``None`` when the tier is unbounded."""
+        return self._max_bytes
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by entry files."""
+        total = 0
+        try:
+            for path in self._directory.iterdir():
+                if path.suffix == _ENTRY_SUFFIX:
+                    try:
+                        total += path.stat().st_size
+                    except OSError:
+                        pass
+        except OSError:
+            return 0
+        return total
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict oldest-first until the tier fits *max_bytes*.
+
+        Returns how many entries were evicted.  Age is modification
+        time (ties broken by name for determinism); a concurrently
+        vanished file simply does not need evicting.  Counted per
+        entry as ``cache.disk_evictions``.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        try:
+            entries = []
+            for path in self._directory.iterdir():
+                if path.suffix != _ENTRY_SUFFIX:
+                    continue
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime_ns, path.name, path,
+                                stat.st_size))
+        except OSError:
+            return 0
+        total = sum(size for _, _, _, size in entries)
+        evicted = 0
+        for _, _, path, size in sorted(entries):
+            if total <= max_bytes:
+                break
+            self._discard(path)
+            total -= size
+            evicted += 1
+            self._count("_evictions", "cache.disk_evictions")
+        return evicted
 
     def entry_count(self) -> int:
         """How many entries currently sit in the directory."""
@@ -211,11 +284,14 @@ class DiskCache:
             return {
                 "directory": str(self._directory),
                 "entries": self.entry_count(),
+                "total_bytes": self.total_bytes(),
+                "max_bytes": self._max_bytes,
                 "hits": self._hits,
                 "misses": self._misses,
                 "writes": self._writes,
                 "corrupt": self._corrupt,
                 "stale": self._stale,
+                "evictions": self._evictions,
             }
 
     def __repr__(self) -> str:

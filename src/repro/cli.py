@@ -62,6 +62,8 @@ from repro.cache import bypass_cache, configure_cache
 from repro.errors import (
     ContractViolation,
     DistributedError,
+    RunInterruptedError,
+    ServeError,
     ValidationError,
 )
 from repro.experiments.figures import figure1, figure2, render_figure
@@ -111,6 +113,7 @@ EXIT_RETRIES_EXHAUSTED = 5
 EXIT_INTEGRITY_MISMATCH = 6
 EXIT_PERF_REGRESSION = 7
 EXIT_DISTRIBUTED = 8
+EXIT_SERVE = 9
 
 
 def _parse_fraction(text: str) -> Fraction:
@@ -494,11 +497,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cache.add_argument(
         "action",
-        choices=["stats", "clear", "warm"],
+        choices=["stats", "clear", "warm", "prune"],
         help=(
             "stats: print tier statistics as JSON; clear: drop every "
             "entry; warm: precompute the standard sweep grids into the "
-            "persistent tier (requires --cache-dir or REPRO_CACHE_DIR)"
+            "persistent tier (requires --cache-dir or REPRO_CACHE_DIR); "
+            "prune: evict oldest entries until the tier fits "
+            "--max-bytes"
+        ),
+    )
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "size bound for the persistent tier: prune evicts "
+            "oldest-first down to this total (required for prune; with "
+            "other actions, installs the bound for this run so every "
+            "write prunes automatically)"
         ),
     )
     cache.add_argument(
@@ -641,6 +658,111 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "answer winning-probability / optimal-strategy queries over "
+            "HTTP with admission control, deadline budgets and graceful "
+            "degradation"
+        ),
+        parents=[obs],
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port to listen on (0: pick a free port; default 8080)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        metavar="K",
+        help="requests executing concurrently (default 8)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        metavar="K",
+        help=(
+            "requests allowed to wait for a slot; arrivals beyond it "
+            "are shed with 429 (default 16)"
+        ),
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=250.0,
+        metavar="MS",
+        help=(
+            "per-request budget propagated into the kernel tiers; the "
+            "exact fallback only runs while budget remains (default 250)"
+        ),
+    )
+    serve.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help=(
+            "on SIGTERM/SIGINT, how long in-flight requests may finish "
+            "before stragglers are aborted (default 5)"
+        ),
+    )
+    serve.add_argument(
+        "--warm",
+        action="append",
+        default=[],
+        metavar="N:DELTA",
+        help=(
+            "warm this (n, delta) pair's tables and optimum before "
+            "/readyz flips (repeatable; default 2:1/2 3:1/2 4:1/2)"
+        ),
+    )
+    serve.add_argument(
+        "--no-warm-optima",
+        action="store_true",
+        help="warm compiled curves only, skip pre-solving exact optima",
+    )
+    serve.add_argument(
+        "--max-n",
+        type=int,
+        default=32,
+        help="largest n this server will answer for (default 32)",
+    )
+    serve.add_argument(
+        "--breaker-failures",
+        type=int,
+        default=3,
+        metavar="K",
+        help=(
+            "consecutive slow/failed exact fallbacks that trip the "
+            "circuit breaker open (default 3)"
+        ),
+    )
+    serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="open-state cooldown before a half-open probe (default 5)",
+    )
+    serve.add_argument(
+        "--chaos",
+        action="append",
+        default=[],
+        metavar="KIND:REQUEST[:SECONDS]",
+        help=(
+            "inject one deterministic fault on that request sequence "
+            "number: slow/hang burn kernel budget (degraded-but-bounded "
+            "answer), corrupt forces a cache-bypassing recompute, delay "
+            "stalls the response, drop/partition sever the connection; "
+            "repeatable; never produces a 500"
+        ),
+    )
+
     coord = sub.add_parser(
         "coordinate",
         help=(
@@ -725,6 +847,26 @@ def _build_parser() -> argparse.ArgumentParser:
             "KIND is crash/hang/slow/corrupt (compute layer) or "
             "drop/delay/partition/dup (frame layer); repeatable; the "
             "output must be identical to a clean run"
+        ),
+    )
+    coord.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "stream completed shards to a JSONL checkpoint file; "
+            "finalized even when the run is interrupted by "
+            "SIGTERM/SIGINT, so --resume continues where the signal "
+            "landed"
+        ),
+    )
+    coord.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "load matching shards from --checkpoint before serving "
+            "leases; only missing shards are granted"
         ),
     )
     coord.add_argument(
@@ -920,6 +1062,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_report(args)
     elif args.command == "bench":
         return _run_bench(args)
+    elif args.command == "serve":
+        return _run_serve(args)
     elif args.command == "coordinate":
         return _run_coordinate(args)
     elif args.command == "work":
@@ -959,11 +1103,38 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
 
 def _run_cache(args: argparse.Namespace) -> int:
-    """``repro cache stats|clear|warm``."""
+    """``repro cache stats|clear|warm|prune``."""
     import json
 
-    from repro.cache import cache_stats, clear_cache
+    from repro.cache import cache_stats, clear_cache, configure_cache
 
+    if args.max_bytes is not None:
+        configure_cache(max_bytes=args.max_bytes)
+    if args.action == "prune":
+        if args.max_bytes is None:
+            print(
+                "repro cache prune: --max-bytes BYTES is required",
+                file=sys.stderr,
+            )
+            return 2
+        stats = cache_stats()
+        if stats["disk"] is None:
+            print(
+                "repro cache prune: no persistent tier configured "
+                "(pass --cache-dir DIR or set REPRO_CACHE_DIR)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.cache import prune_disk_cache
+
+        evicted = prune_disk_cache(args.max_bytes)
+        after = cache_stats()["disk"]
+        print(
+            f"evicted {evicted} entr(ies); persistent tier now holds "
+            f"{after['entries']} entries / {after['total_bytes']} bytes "
+            f"in {after['directory']}"
+        )
+        return 0
     if args.action == "stats":
         print(json.dumps(cache_stats(), indent=2, sort_keys=True))
         return 0
@@ -1149,6 +1320,58 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0 if comparison.passed else EXIT_PERF_REGRESSION
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the resilient HTTP query service."""
+    from repro.distributed.chaos import parse_chaos_specs
+    from repro.serve import ServeConfig, run_server
+
+    warm = []
+    for spec in args.warm:
+        n_text, _, delta_text = spec.partition(":")
+        try:
+            pair = (int(n_text), Fraction(delta_text))
+        except (ValueError, ZeroDivisionError):
+            print(
+                f"repro serve: --warm must be N:DELTA, got {spec!r}",
+                file=sys.stderr,
+            )
+            return 2
+        warm.append(pair)
+    config_kwargs = dict(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        deadline_ms=args.deadline_ms,
+        drain_seconds=args.drain_seconds,
+        warm_optima=not args.no_warm_optima,
+        chaos=parse_chaos_specs(args.chaos),
+        max_n=args.max_n,
+        breaker_failures=args.breaker_failures,
+        breaker_cooldown_seconds=args.breaker_cooldown,
+    )
+    if warm:
+        config_kwargs["warm"] = tuple(warm)
+    report = run_server(
+        ServeConfig(**config_kwargs),
+        log=lambda line: print(line, file=sys.stderr),
+    )
+    print(
+        f"served {report.completed} request(s), shed {report.shed}, "
+        f"{report.degraded} degraded; drain "
+        f"{'clean' if report.drained_clean else 'forced'} "
+        f"({report.stop_reason or 'stopped'})"
+    )
+    if not report.drained_clean:
+        print(
+            f"repro serve: {report.aborted_connections} connection(s) "
+            "aborted at the drain deadline",
+            file=sys.stderr,
+        )
+        return EXIT_SERVE
+    return 0
+
+
 def _run_coordinate(args: argparse.Namespace) -> int:
     """``repro coordinate``: one estimate served over shard leases."""
     import subprocess
@@ -1172,12 +1395,20 @@ def _run_coordinate(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.resume and args.checkpoint is None:
+        print(
+            "repro coordinate: --resume requires --checkpoint PATH",
+            file=sys.stderr,
+        )
+        return 2
     system = DistributedSystem(
         [SingleThresholdRule(args.beta)] * args.n, args.delta
     )
     fault_tolerance = FaultToleranceConfig(
         retry=RetryPolicy(max_retries=args.max_retries),
         fault_plan=parse_chaos_specs(args.chaos),
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
     )
     config = DistributedConfig(
         host=args.host,
@@ -1221,7 +1452,14 @@ def _run_coordinate(args: argparse.Namespace) -> int:
             fault_tolerance=fault_tolerance,
             config=config,
             on_ready=on_ready,
+            handle_signals=True,
         )
+    except RunInterruptedError as exc:
+        # graceful: workers were drained, leases returned, and the
+        # checkpoint (when one was configured) finalized before the
+        # error surfaced; exit with the shell's 128 + signum code
+        print(f"repro coordinate: {exc}", file=sys.stderr)
+        return 128 + exc.signum
     finally:
         for proc in spawned:
             try:
@@ -1303,7 +1541,9 @@ def _run_work(args: argparse.Namespace) -> int:
     )
     try:
         report = run_worker(
-            config, log=lambda line: print(line, file=sys.stderr)
+            config,
+            log=lambda line: print(line, file=sys.stderr),
+            handle_signals=True,
         )
     except InjectedCrashError as exc:
         # chaos mode: die the way a real worker crash would
@@ -1316,6 +1556,15 @@ def _run_work(args: argparse.Namespace) -> int:
         f"{report.reconnects} reconnect(s)",
         file=sys.stderr,
     )
+    if report.interrupted_signal is not None:
+        # the signal was absorbed gracefully (lease finished, summary
+        # delivered, goodbye sent) but the exit code still reports it
+        print(
+            f"repro work: interrupted by signal "
+            f"{report.interrupted_signal} after graceful drain",
+            file=sys.stderr,
+        )
+        return 128 + report.interrupted_signal
     return 0
 
 
@@ -1375,6 +1624,9 @@ def _dispatch_mapped(args: argparse.Namespace) -> int:
     except DistributedError as exc:
         print(f"repro: distributed: {exc}", file=sys.stderr)
         return EXIT_DISTRIBUTED
+    except ServeError as exc:
+        print(f"repro: serve: {exc}", file=sys.stderr)
+        return EXIT_SERVE
     except ValidationError as exc:
         print(f"repro: invalid request: {exc}", file=sys.stderr)
         return 2
@@ -1391,7 +1643,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     disagreement (or a strict-mode contract violation); 7 the
     ``repro bench compare`` perf-regression gate failed; 8 an
     unrecoverable distributed-transport failure (e.g. ``repro work``
-    never reached its coordinator).
+    never reached its coordinator); 9 a serving-layer failure
+    (``repro serve`` could not bind, or its drain deadline expired
+    with requests still in flight); 130/143 a ``coordinate``/``work``
+    process interrupted by SIGINT/SIGTERM after a graceful drain
+    (128 + signal number, the shell convention).
     """
     args = _build_parser().parse_args(argv)
     if args.no_cache:

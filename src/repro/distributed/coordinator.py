@@ -37,6 +37,7 @@ callbacks (contiguous-prefix, exactly once per shard), event-bus shard
 from __future__ import annotations
 
 import asyncio
+import signal
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -60,6 +61,7 @@ from repro.distributed.worker import (
     WorkerConfig,
     worker_session,
 )
+from repro.errors import RunInterruptedError
 from repro.model.system import DistributedSystem
 from repro.observability import Instrumentation, get_instrumentation
 from repro.observability.events import snapshot_from_payload
@@ -198,6 +200,7 @@ class _Coordinator:
         )
         self.leases: Dict[int, _Lease] = {}
         self.local_only: set = set()
+        self.interrupted: Optional[int] = None
         self.workers: Dict[str, asyncio.StreamWriter] = {}
         self.peak_workers = 0
         self.ever_connected = False
@@ -600,8 +603,35 @@ async def _serve_phase(
     config: DistributedConfig,
     local_workers: int,
     on_ready: Optional[Callable[[int], Any]],
+    handle_signals: bool = False,
 ) -> None:
     await coordinator.start()
+    installed: List[int] = []
+    if handle_signals:
+        # SIGTERM/SIGINT end the phase but not the cleanup: the drain
+        # in coordinator.shutdown() still tells every connected worker
+        # to stop leasing, and the facade finalizes the checkpoint
+        # before surfacing RunInterruptedError -> exit 128 + signum.
+        loop = asyncio.get_running_loop()
+
+        def _on_signal(signum: int) -> None:
+            if coordinator.interrupted is None:
+                coordinator.interrupted = signum
+                coordinator.instr.emit(
+                    "fault",
+                    kind="interrupt",
+                    index=-1,
+                    attempt=0,
+                    message=f"signal {signum}: draining coordinator",
+                )
+            coordinator._finish()
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, _on_signal, signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                continue  # non-main thread or exotic loop: skip
+            installed.append(signum)
     if on_ready is not None:
         on_ready(coordinator.port)
     helpers = [
@@ -618,6 +648,13 @@ async def _serve_phase(
             task.cancel()
         if helpers:
             await asyncio.gather(*helpers, return_exceptions=True)
+        if installed:
+            loop = asyncio.get_running_loop()
+            for signum in installed:
+                try:
+                    loop.remove_signal_handler(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass
 
 
 def estimate_winning_probability_distributed(
@@ -635,6 +672,7 @@ def estimate_winning_probability_distributed(
     config: Optional[DistributedConfig] = None,
     local_workers: int = 0,
     on_ready: Optional[Callable[[int], Any]] = None,
+    handle_signals: bool = False,
 ) -> ShardedEstimate:
     """Estimate the winning probability with shards leased to remote
     workers; bit-identical to the serial and pooled executors.
@@ -655,6 +693,14 @@ def estimate_winning_probability_distributed(
     *config* tunes lease duration and the degradation ladder;
     *fault_tolerance* carries the retry policy, chaos plan and
     checkpoint/resume settings shared with the local executors.
+
+    *handle_signals* (the ``repro coordinate`` CLI turns it on)
+    installs SIGTERM/SIGINT handlers for the duration of the serve
+    phase: a signal drains connected workers, returns outstanding
+    leases, finalizes the checkpoint, and raises
+    :class:`~repro.errors.RunInterruptedError` instead of salvaging
+    locally -- a re-run with ``resume`` continues from the shards that
+    completed before the signal.
 
     Returns a :class:`~repro.simulation.parallel.ShardedEstimate`
     whose ``workers_used`` is the peak number of simultaneously
@@ -829,9 +875,21 @@ def estimate_winning_probability_distributed(
             flush_progress()  # resumed prefix, if any
             asyncio.run(
                 _serve_phase(
-                    coordinator, net_config, local_workers, on_ready
+                    coordinator,
+                    net_config,
+                    local_workers,
+                    on_ready,
+                    handle_signals=handle_signals,
                 )
             )
+            if coordinator.interrupted is not None:
+                # graceful interrupt: workers drained, leases returned;
+                # skip local salvage and surface the signal.  The
+                # finally below closes the checkpoint writer, so every
+                # completed shard is durable for a --resume re-run.
+                raise RunInterruptedError(
+                    coordinator.interrupted, len(completed), len(plan)
+                )
             missing = [
                 i for i in range(len(plan)) if i not in completed
             ]

@@ -104,6 +104,11 @@ class WorkerReport:
     partitions: int = 0
     reconnects: int = 0
     drained: bool = False
+    #: signal number that ended the session early (SIGTERM/SIGINT),
+    #: or ``None`` for a normal coordinator-driven drain.  Set only
+    #: when signal handling is enabled (``repro work``); the CLI exits
+    #: ``128 + interrupted_signal``.
+    interrupted_signal: Optional[int] = None
 
 
 @dataclass
@@ -250,7 +255,7 @@ async def _execute_lease(
 
 
 async def worker_session(
-    config: WorkerConfig, log=None
+    config: WorkerConfig, log=None, stop: Optional[asyncio.Event] = None
 ) -> WorkerReport:
     """Serve one coordinator until it drains (or disappears for good).
 
@@ -259,6 +264,13 @@ async def worker_session(
     cannot be made, and :class:`InjectedCrashError` when a chaos plan
     kills this worker (callers decide whether that ends a process or
     just a task).
+
+    *stop* (an :class:`asyncio.Event`, used by ``repro work``'s signal
+    handlers) requests a graceful exit: the worker **finishes the
+    lease it is executing and delivers its summary** -- never dying
+    mid-lease, so the coordinator does not have to wait out a lease
+    expiry -- then sends ``goodbye`` and returns instead of
+    requesting more work.
     """
     worker_id = config.worker_id or f"worker-{id(config) & 0xFFFF:04x}"
     report = WorkerReport(worker_id=worker_id)
@@ -267,7 +279,14 @@ async def worker_session(
         if log is not None:
             log(f"[{worker_id}] {message}")
 
+    def stopping() -> bool:
+        return stop is not None and stop.is_set()
+
     while True:
+        if stopping():
+            report.drained = True
+            say("stop requested while disconnected; exiting")
+            return report
         try:
             reader, writer = await _connect(
                 config,
@@ -289,6 +308,19 @@ async def worker_session(
             session = await _handshake(reader, writer, config, worker_id)
             say(f"connected to {config.host}:{config.port}")
             while True:
+                if stopping():
+                    # the graceful-signal contract: the lease that was
+                    # running when the signal arrived has already been
+                    # executed and its summary delivered above; tell
+                    # the coordinator we are leaving instead of
+                    # vanishing and exit clean.
+                    report.drained = True
+                    try:
+                        await write_frame(writer, {"type": "goodbye"})
+                    except DistributedError:
+                        pass
+                    say("stop requested; sent final frame")
+                    return report
                 await write_frame(
                     writer,
                     {"type": "lease_request", "worker_id": worker_id},
@@ -365,6 +397,48 @@ async def worker_session(
                 pass
 
 
-def run_worker(config: WorkerConfig, log=None) -> WorkerReport:
-    """Synchronous entry point: serve one coordinator to completion."""
-    return asyncio.run(worker_session(config, log=log))
+def run_worker(
+    config: WorkerConfig, log=None, handle_signals: bool = False
+) -> WorkerReport:
+    """Synchronous entry point: serve one coordinator to completion.
+
+    *handle_signals* (on for ``repro work``) turns SIGTERM/SIGINT into
+    a graceful drain: the in-flight lease finishes and its summary is
+    delivered, a final ``goodbye`` frame is sent, and the returned
+    report carries ``interrupted_signal`` so the CLI can exit
+    ``128 + signum`` (130 for SIGINT, 143 for SIGTERM).
+    """
+
+    async def main() -> WorkerReport:
+        stop: Optional[asyncio.Event] = None
+        installed = []
+        caught: dict = {}
+        if handle_signals:
+            import signal as _signal
+
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+
+            def on_signal(signum: int) -> None:
+                caught.setdefault("signum", signum)
+                stop.set()
+
+            for signum in (_signal.SIGTERM, _signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, on_signal, signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    continue  # non-main thread or exotic loop: skip
+                installed.append((loop, signum))
+        try:
+            report = await worker_session(config, log=log, stop=stop)
+        finally:
+            for loop, signum in installed:
+                try:
+                    loop.remove_signal_handler(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass
+        if handle_signals and caught:
+            report.interrupted_signal = caught["signum"]
+        return report
+
+    return asyncio.run(main())

@@ -29,13 +29,26 @@ genuine bug surfacing as an arbitrary exception.  The hierarchy:
     out-of-order breakpoints -- or evaluated outside its domain.  Such
     layouts used to be accepted silently and then mis-dispatched at
     shared breakpoints; they are now rejected at construction time;
+``ServeError`` (also a :class:`RuntimeError`)
+    the serving layer could not start or keep serving -- an unbindable
+    address, an invalid serve configuration.  Per-request trouble is
+    *handled* (shed with 429, degraded with an explicit bound, drained
+    on shutdown) and never raises; this error is for the failures that
+    end the process.  The CLI maps it to exit code 9;
 ``DistributedError`` (also a :class:`RuntimeError`)
     the coordinator/worker transport failed in a way the protocol
     could not absorb -- an unreachable coordinator, an incompatible
     protocol version, a payload whose digest did not verify.  Frame
     corruption and connection loss are *handled* (retry, lease
     reassignment, local degradation) and only surface as telemetry;
-    this error is for the cases with no recovery path left.
+    this error is for the cases with no recovery path left;
+``RunInterruptedError`` (also a :class:`RuntimeError`)
+    a coordinator run was cut short by SIGTERM/SIGINT *after* a
+    graceful drain -- outstanding leases returned, connected workers
+    told to drain, the checkpoint finalized -- so a re-run with
+    ``--resume`` picks up exactly where the signal landed.  Carries
+    the signal number; the CLI exits with ``128 + signum`` (the shell
+    convention: 130 for SIGINT, 143 for SIGTERM).
 
 ``ValidationError``, ``ResultsStoreError`` and ``PiecewiseDomainError``
 keep :class:`ValueError` as a base so code written against the old
@@ -52,6 +65,8 @@ __all__ = [
     "PiecewiseDomainError",
     "ReproError",
     "ResultsStoreError",
+    "RunInterruptedError",
+    "ServeError",
     "ValidationError",
 ]
 
@@ -108,6 +123,49 @@ class DistributedError(ReproError, RuntimeError):
     failure modes (unreachable coordinator, protocol mismatch, payload
     digest mismatch).  Subclasses :class:`RuntimeError` to match the
     fault-tolerance layer's convention."""
+
+
+class RunInterruptedError(ReproError, RuntimeError):
+    """A coordinator run was stopped by a signal after a graceful drain.
+
+    Raised by
+    :func:`repro.distributed.estimate_winning_probability_distributed`
+    when SIGTERM or SIGINT arrives mid-phase: the coordinator stops
+    granting, tells connected workers to drain, returns outstanding
+    leases, and finalizes the run checkpoint before this error
+    surfaces -- every shard completed before the signal is durable and
+    a re-run with ``--resume`` continues from it.  ``signum`` carries
+    the signal; the CLI exits ``128 + signum`` (130 for SIGINT, 143
+    for SIGTERM, the shell convention)."""
+
+    def __init__(
+        self, signum: int, completed_shards: int, total_shards: int
+    ):
+        import signal as _signal
+
+        try:
+            name = _signal.Signals(signum).name
+        except ValueError:
+            name = f"signal {signum}"
+        super().__init__(
+            f"run interrupted by {name} after graceful drain "
+            f"({completed_shards}/{total_shards} shard(s) completed "
+            f"and checkpointed)"
+        )
+        self.signum = signum
+        self.completed_shards = completed_shards
+        self.total_shards = total_shards
+
+
+class ServeError(ReproError, RuntimeError):
+    """The serving layer could not start or keep serving.
+
+    Raised by :mod:`repro.serve` for process-ending failures only --
+    an address that cannot be bound, an invalid configuration.
+    Per-request failure modes (overload, exhausted deadline budgets,
+    injected faults) are absorbed by admission control and the
+    degradation ladder and never surface as exceptions.  The CLI maps
+    this to exit code 9."""
 
 
 class ResultsStoreError(ReproError, ValueError):

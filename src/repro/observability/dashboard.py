@@ -70,6 +70,12 @@ class DashboardState:
     lease_expiries: int = 0
     duplicate_summaries: int = 0
     counters: Dict[str, int] = field(default_factory=dict)
+    requests: int = 0
+    requests_shed: int = 0
+    requests_degraded: int = 0
+    serve_listening: str = ""
+    serve_ready: bool = False
+    serve_draining: bool = False
     last_t_ns: int = 0
     finished: bool = False
     exit_code: Optional[int] = None
@@ -116,6 +122,24 @@ class DashboardState:
                 self.lease_expiries += 1
             elif action == "duplicate":
                 self.duplicate_summaries += 1
+        elif kind == "request":
+            self.requests += 1
+            if event.get("tier") == "shed":
+                self.requests_shed += 1
+            elif event.get("tier") == "degraded":
+                self.requests_degraded += 1
+        elif kind == "serve":
+            action = event.get("action")
+            if action == "listening":
+                self.serve_listening = (
+                    f"{event.get('host', '')}:{event.get('port', '')}"
+                )
+            elif action == "ready":
+                self.serve_ready = True
+            elif action == "draining":
+                self.serve_draining = True
+            elif action == "stopped":
+                self.serve_ready = False
         elif kind == "metrics":
             snapshot = event.get("snapshot", {})
             counters = snapshot.get("counters", {})
@@ -231,6 +255,18 @@ def render_dashboard(
             f"expired {state.lease_expiries}   "
             f"dup {state.duplicate_summaries}"
         )
+    if state.requests or state.serve_listening:
+        status = (
+            "draining"
+            if state.serve_draining
+            else ("ready" if state.serve_ready else "warming")
+        )
+        lines.append(
+            f"  serve {state.serve_listening or '-'} [{status}]   "
+            f"requests {state.requests}   "
+            f"shed {state.requests_shed}   "
+            f"degraded {state.requests_degraded}"
+        )
     if state.faults:
         lines.append(
             f"  faults {state.faults}  (last: {state.last_fault})"
@@ -323,6 +359,30 @@ class Dashboard:
                 f"{event.get('action', '?')}ed "
                 f"({state.workers} connected)"
             )
+        if kind == "serve":
+            # one line per lifecycle edge; per-request events stay
+            # silent so a long-lived server cannot flood a CI log
+            action = event.get("action", "?")
+            if action == "listening":
+                return f"[dashboard] serve listening on {state.serve_listening}"
+            if action == "ready":
+                return (
+                    f"[dashboard] serve ready "
+                    f"({event.get('warmed', 0)} kernel(s) warmed)"
+                )
+            if action == "draining":
+                return (
+                    f"[dashboard] serve draining "
+                    f"({event.get('inflight', 0)} in flight)"
+                )
+            if action == "stopped":
+                return (
+                    f"[dashboard] serve stopped  "
+                    f"requests={state.requests}  "
+                    f"shed={state.requests_shed}  "
+                    f"degraded={state.requests_degraded}"
+                )
+            return None
         if kind == "fault":
             return f"[dashboard] fault: {state.last_fault}"
         if kind == "run_end":

@@ -1,0 +1,226 @@
+"""Admission control: the bounded front door and the circuit breaker.
+
+The serving layer's robustness claim is *bounded work in progress*:
+
+* :class:`AdmissionController` -- a concurrency limiter
+  (``max_inflight`` requests execute at once) in front of a **bounded**
+  wait queue (``queue_depth``).  A request arriving when the limiter is
+  saturated *and* the queue is full is shed immediately with
+  ``429 Too Many Requests`` + ``Retry-After`` -- the service never
+  queues unboundedly, so accepted requests keep meeting their
+  deadlines no matter how hard the overload.
+* :class:`CircuitBreaker` -- wraps the exact-``Fraction`` fallback
+  tier.  Sustained slow or failed fallbacks trip it **open**; while
+  open the exact tier is skipped entirely and requests that would have
+  used it get the degraded (bound-carrying float) answer instead.
+  After a cooldown the breaker goes **half-open** and admits one probe;
+  a fast probe closes it, a slow one re-opens it.
+
+Both are event-loop-local (the server is single-loop by design), so
+neither takes a lock; the clock is injectable so tests drive state
+transitions without sleeping.
+
+Counters: ``serve.accepted`` / ``serve.shed`` / ``serve.completed``,
+``serve.breaker_opened`` / ``serve.breaker_closed``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable
+
+from repro.observability import get_instrumentation
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+class AdmissionController:
+    """Bounded concurrency plus a bounded wait queue.
+
+    ``await acquire()`` returns ``True`` (admitted -- the caller must
+    ``release()`` when done) or ``False`` (shed -- respond 429 and do
+    no work).  The queue bound is enforced *before* waiting: a request
+    that would be the ``queue_depth + 1``-th waiter is shed
+    immediately rather than parked, so shed latency is O(1) even at
+    10x overload.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int,
+        queue_depth: int,
+        instrumentation=None,
+    ):
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if queue_depth < 0:
+            raise ValueError(
+                f"queue_depth must be >= 0, got {queue_depth}"
+            )
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        self._instr = instrumentation
+        self._semaphore = asyncio.Semaphore(max_inflight)
+        self._waiting = 0
+        self.inflight = 0
+        self.accepted = 0
+        self.shed = 0
+        self.completed = 0
+
+    @property
+    def waiting(self) -> int:
+        """Requests currently parked in the bounded queue."""
+        return self._waiting
+
+    def _instrumentation(self):
+        return (
+            self._instr
+            if self._instr is not None
+            else get_instrumentation()
+        )
+
+    async def acquire(self) -> bool:
+        """Admit or shed; never blocks longer than the queue allows."""
+        if self._semaphore.locked() and self._waiting >= self.queue_depth:
+            self.shed += 1
+            self._instrumentation().increment("serve.shed")
+            return False
+        self._waiting += 1
+        try:
+            await self._semaphore.acquire()
+        finally:
+            self._waiting -= 1
+        self.inflight += 1
+        self.accepted += 1
+        self._instrumentation().increment("serve.accepted")
+        return True
+
+    def release(self) -> None:
+        """Return one admitted request's slot."""
+        self.inflight -= 1
+        self.completed += 1
+        self._semaphore.release()
+        self._instrumentation().increment("serve.completed")
+
+    def idle(self) -> bool:
+        """No admitted request is executing and none is queued."""
+        return self.inflight == 0 and self._waiting == 0
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController(inflight={self.inflight}/"
+            f"{self.max_inflight}, waiting={self._waiting}/"
+            f"{self.queue_depth}, shed={self.shed})"
+        )
+
+
+class CircuitBreaker:
+    """Trip the exact-fallback tier open under sustained slowness.
+
+    State machine::
+
+        closed --[failure_threshold consecutive slow/failed]--> open
+        open --[cooldown elapsed]--> half-open (one probe allowed)
+        half-open --[probe fast]--> closed
+        half-open --[probe slow/failed]--> open (cooldown restarts)
+
+    "Slow" means the exact fallback took longer than *slow_seconds* or
+    did not finish inside the request's budget at all.  While open,
+    :meth:`allow` is ``False`` and callers serve the degraded tier --
+    the breaker converts a pathological exact-tier regime into an
+    explicit accuracy downgrade instead of a latency collapse.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 5.0,
+        slow_seconds: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+        instrumentation=None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.slow_seconds = slow_seconds
+        self._clock = clock
+        self._instr = instrumentation
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_out = False
+        self.times_opened = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open -> half-open on read."""
+        if (
+            self._state == BREAKER_OPEN
+            and self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._state = BREAKER_HALF_OPEN
+            self._probe_out = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May the exact tier run right now?
+
+        Closed: yes.  Open: no.  Half-open: yes for exactly one probe
+        at a time."""
+        state = self.state
+        if state == BREAKER_CLOSED:
+            return True
+        if state == BREAKER_HALF_OPEN and not self._probe_out:
+            self._probe_out = True
+            return True
+        return False
+
+    def record(self, elapsed_seconds: float, completed: bool) -> None:
+        """Report one exact-tier attempt's outcome."""
+        instr = (
+            self._instr
+            if self._instr is not None
+            else get_instrumentation()
+        )
+        ok = completed and elapsed_seconds <= self.slow_seconds
+        if ok:
+            if self._state != BREAKER_CLOSED:
+                instr.increment("serve.breaker_closed")
+            self._state = BREAKER_CLOSED
+            self._consecutive_failures = 0
+            self._probe_out = False
+            return
+        self._consecutive_failures += 1
+        if (
+            self._state == BREAKER_HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            if self._state != BREAKER_OPEN:
+                self.times_opened += 1
+                instr.increment("serve.breaker_opened")
+            self._state = BREAKER_OPEN
+            self._opened_at = self._clock()
+            self._probe_out = False
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.state}, "
+            f"failures={self._consecutive_failures}/"
+            f"{self.failure_threshold})"
+        )

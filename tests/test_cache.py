@@ -524,3 +524,172 @@ class TestCacheCli:
         assert main(["case", "--n", "3", "--delta", "1", "--no-cache"]) == 0
         uncached = capsys.readouterr().out
         assert uncached == cold
+
+
+# ----------------------------------------------------------------------
+# Bounded persistent tier (max_bytes, oldest-first eviction)
+# ----------------------------------------------------------------------
+class TestBoundedDiskTier:
+    def fill(self, tmp_path, count=6, **kwargs):
+        """A DiskCache holding *count* same-shaped entries, oldest
+        first by mtime (nudged so ordering is deterministic)."""
+        cache = DiskCache(tmp_path, **kwargs)
+        fingerprint = "f" * 16
+        paths = []
+        for index in range(count):
+            key = f"entry-{index}"
+            cache.put(
+                key, fingerprint, "kernel", encode_value(Fraction(index, 7))
+            )
+            path = cache._path_for(key)
+            import os as _os
+
+            _os.utime(path, ns=(10**9 * (index + 1),) * 2)
+            paths.append(path)
+        return cache, fingerprint, paths
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        cache, fingerprint, paths = self.fill(tmp_path)
+        sizes = [p.stat().st_size for p in paths]
+        keep = sum(sizes[-2:])  # room for exactly the two newest
+        evicted = cache.prune(keep)
+        assert evicted == 4
+        survivors = sorted(p.name for p in tmp_path.iterdir())
+        assert survivors == sorted(p.name for p in paths[-2:])
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 4
+        assert stats["total_bytes"] <= keep
+
+    def test_prune_to_zero_empties_the_tier(self, tmp_path):
+        cache, _, _ = self.fill(tmp_path, count=3)
+        assert cache.prune(0) == 3
+        assert cache.stats()["entries"] == 0
+
+    def test_capped_cache_prunes_on_every_put(self, tmp_path):
+        cache, fingerprint, paths = self.fill(tmp_path, count=1)
+        entry_size = paths[0].stat().st_size
+        capped = DiskCache(tmp_path, max_bytes=entry_size * 2)
+        for index in range(5):
+            capped.put(
+                f"late-{index}", fingerprint, "kernel",
+                encode_value(Fraction(1, 3)),
+            )
+        stats = capped.stats()
+        assert stats["total_bytes"] <= entry_size * 2
+        assert stats["evictions"] >= 3
+        assert stats["max_bytes"] == entry_size * 2
+
+    def test_evicted_entry_recomputes_instead_of_serving(self, tmp_path):
+        calls = []
+
+        @memoized_kernel
+        def kernel(a):
+            calls.append(a)
+            return Fraction(a, 9)
+
+        configure_cache(directory=tmp_path, max_bytes=0)
+        try:
+            assert kernel(4) == Fraction(4, 9)
+            clear_cache(include_disk=False)  # drop the memory tier
+            assert kernel(4) == Fraction(4, 9)  # disk held nothing
+            assert calls == [4, 4]
+        finally:
+            configure_cache(directory=None, max_bytes=None)
+
+    def test_negative_max_bytes_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskCache(tmp_path, max_bytes=-1)
+        with pytest.raises(ValueError):
+            DiskCache(tmp_path).prune(-1)
+
+    def test_prune_disk_cache_requires_persistent_tier(self):
+        from repro.cache import prune_disk_cache
+
+        with pytest.raises(ValueError):
+            prune_disk_cache(1024)
+
+    def test_evictions_flow_into_metrics_registry(self, tmp_path):
+        from repro.observability import use_instrumentation
+
+        with use_instrumentation() as instr:
+            cache, _, _ = self.fill(tmp_path, count=2)
+            cache.prune(0)
+        counters = instr.metrics.snapshot().counters
+        assert counters["cache.disk_evictions"] == 2
+
+
+class TestCachePruneCli:
+    def warm(self, cache_dir):
+        from repro.cli import main
+
+        assert main(
+            [
+                "cache", "warm",
+                "--cache-dir", cache_dir,
+                "--ns", "2", "3",
+                "--grid-size", "5",
+            ]
+        ) == 0
+
+    def test_prune_requires_max_bytes(self, capsys):
+        from repro.cli import main
+
+        assert main(["cache", "prune"]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_prune_requires_persistent_tier(self, capsys):
+        from repro.cli import main
+
+        assert main(["cache", "prune", "--max-bytes", "1024"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_prune_shrinks_the_tier(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = str(tmp_path / "kc")
+        self.warm(cache_dir)
+        capsys.readouterr()
+        assert main(
+            ["cache", "stats", "--cache-dir", cache_dir]
+        ) == 0
+        before = json.loads(capsys.readouterr().out)["disk"]
+        assert before["entries"] > 1
+        keep = before["total_bytes"] // 2
+        assert main(
+            [
+                "cache", "prune",
+                "--cache-dir", cache_dir,
+                "--max-bytes", str(keep),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "evicted" in out
+        assert main(
+            ["cache", "stats", "--cache-dir", cache_dir]
+        ) == 0
+        after = json.loads(capsys.readouterr().out)["disk"]
+        assert after["total_bytes"] <= keep
+        assert after["entries"] < before["entries"]
+
+    def test_max_bytes_with_warm_caps_during_the_run(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        cache_dir = str(tmp_path / "kc")
+        assert main(
+            [
+                "cache", "warm",
+                "--cache-dir", cache_dir,
+                "--ns", "2", "3",
+                "--grid-size", "5",
+                "--max-bytes", "0",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["cache", "stats", "--cache-dir", cache_dir]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)["disk"]
+        assert stats["entries"] == 0  # every write was pruned away

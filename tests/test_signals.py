@@ -1,0 +1,212 @@
+"""Graceful-shutdown regression tests for the distributed CLI.
+
+The contract under test (see ``repro coordinate --help`` and the
+``handle_signals`` docstrings):
+
+* SIGTERM/SIGINT to ``repro coordinate`` drains the run -- leases are
+  not silently lost, the checkpoint (when configured) is finalized --
+  and the process exits ``128 + signum`` (143 for SIGTERM) with a
+  message saying how much work was saved.
+* SIGTERM to ``repro work`` never kills a lease mid-flight: the worker
+  finishes the shard it is executing, delivers the summary, sends a
+  final ``goodbye`` frame, and only then exits 143.  The coordinator
+  keeps going and completes the run.
+
+Both are exercised as real subprocesses because the whole point is
+OS-signal behaviour; a fast in-process test covers the pre-set stop
+event path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import RunInterruptedError
+from repro.distributed.worker import WorkerConfig, worker_session
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def subprocess_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def read_until(stream, fragment, timeout=30.0):
+    """Read lines until one contains *fragment*; returns that line."""
+    deadline = time.monotonic() + timeout
+    lines = []
+    while time.monotonic() < deadline:
+        line = stream.readline()
+        if not line:
+            break
+        lines.append(line)
+        if fragment in line:
+            return line
+    raise AssertionError(
+        f"never saw {fragment!r} in: {''.join(lines)!r}"
+    )
+
+
+class TestRunInterruptedError:
+    def test_message_and_exit_code_arithmetic(self):
+        exc = RunInterruptedError(signal.SIGTERM, 3, 8)
+        assert "SIGTERM" in str(exc)
+        assert "3/8" in str(exc)
+        assert exc.signum == signal.SIGTERM
+        assert 128 + exc.signum == 143
+
+    def test_unknown_signal_number_still_formats(self):
+        exc = RunInterruptedError(250, 0, 1)
+        assert "signal 250" in str(exc)
+
+
+class TestWorkerStopEvent:
+    def test_preset_stop_drains_without_connecting(self):
+        async def scenario():
+            stop = asyncio.Event()
+            stop.set()
+            report = await worker_session(
+                WorkerConfig(host="127.0.0.1", port=65533),
+                log=None,
+                stop=stop,
+            )
+            return report
+
+        report = asyncio.run(scenario())
+        assert report.drained
+        assert report.shards_completed == 0
+        assert report.interrupted_signal is None  # set by run_worker
+
+
+class TestCoordinateSigterm:
+    def test_sigterm_finalizes_checkpoint_and_exits_143(self, tmp_path):
+        checkpoint = tmp_path / "interrupted.jsonl"
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "coordinate",
+                "--trials",
+                "4000",
+                "--shards",
+                "8",
+                "--port",
+                "0",
+                "--wait-for-workers",
+                "60",
+                "--checkpoint",
+                str(checkpoint),
+            ],
+            env=subprocess_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            read_until(proc.stderr, "listening on")
+            proc.send_signal(signal.SIGTERM)
+            _, stderr = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert proc.returncode == 143, stderr
+        assert "run interrupted by SIGTERM" in stderr
+        assert "checkpointed" in stderr
+        # the checkpoint file was created and finalized (parseable
+        # JSONL, possibly empty: no worker ever completed a shard)
+        assert checkpoint.exists()
+        for line in checkpoint.read_text().splitlines():
+            json.loads(line)
+
+
+class TestWorkerSigterm:
+    def test_sigterm_mid_lease_finishes_shard_then_exits_143(self):
+        """The worker absorbs SIGTERM mid-lease; the run still completes.
+
+        The coordinator's chaos plan makes shard 0 take ~1.5s, so a
+        SIGTERM sent shortly after the worker connects lands while the
+        shard is executing.  The drained worker must deliver that
+        summary before exiting, and the coordinator must finish the
+        run (salvaging the rest locally) with exit 0.
+        """
+        coordinator = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "coordinate",
+                "--trials",
+                "4000",
+                "--shards",
+                "4",
+                "--port",
+                "0",
+                "--wait-for-workers",
+                "60",
+                "--idle-grace",
+                "1",
+                "--chaos",
+                "slow:0:1.5",
+            ],
+            env=subprocess_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        worker = None
+        try:
+            line = read_until(coordinator.stderr, "listening on")
+            port = int(line.rstrip().rpartition(":")[2])
+            worker = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "work",
+                    "--connect",
+                    f"127.0.0.1:{port}",
+                    "--worker-id",
+                    "sigterm-target",
+                ],
+                env=subprocess_env(),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            read_until(worker.stderr, "connected to")
+            time.sleep(0.7)  # now ~0.7s into the 1.5s slow shard
+            worker.send_signal(signal.SIGTERM)
+            _, worker_err = worker.communicate(timeout=60)
+            assert worker.returncode == 143, worker_err
+            assert "stop requested; sent final frame" in worker_err
+            assert (
+                "interrupted by signal 15 after graceful drain"
+                in worker_err
+            )
+            # the lease in flight when the signal landed was finished
+            # and its summary delivered -- never dropped mid-shard
+            assert "completed 1 shard(s), sent 1 summar(ies)" in worker_err
+
+            stdout, coord_err = coordinator.communicate(timeout=120)
+            assert coordinator.returncode == 0, coord_err
+            assert "P(win)" in stdout
+        finally:
+            for proc in (worker, coordinator):
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                    proc.wait()
