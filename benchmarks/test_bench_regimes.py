@@ -1,0 +1,148 @@
+"""B10 -- the asymptotic regime engine (BENCH_10.json).
+
+Two headline measurements:
+
+* **throughput** -- one certified winning-probability evaluation AND a
+  full near-optimal-threshold search at ``n = 10**6`` must together
+  finish inside the 1-second budget the large-n engine promises.  The
+  committed ``speedup`` is that budget divided by the measured wall
+  time (so ``floor = 1.0`` *is* the acceptance criterion, gated by
+  ``repro bench compare`` exactly like the other artifacts' floors).
+* **agreement at the crossover** -- the forced-asymptotic stack vs the
+  exact formulas on the ``n = 10..20`` band, for both symmetric
+  families: the worst absolute error and the worst certified bound,
+  with the invariant ``error <= bound`` asserted per case.
+"""
+
+import json
+import time
+from fractions import Fraction
+from pathlib import Path
+
+from conftest import record
+
+from repro.core.asymptotic import (
+    symmetric_oblivious_winning_regime,
+    symmetric_threshold_winning_regime,
+)
+from repro.core.nonoblivious import symmetric_threshold_winning_probability
+from repro.core.oblivious import symmetric_oblivious_winning_probability
+from repro.observability import use_instrumentation
+from repro.optimize.asymptotic_opt import near_optimal_symmetric_threshold
+from repro.probability.regimes import RegimePolicy
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_10.json"
+
+BIG_N = 10**6
+BUDGET_SECONDS = 1.0
+CROSSOVER_NS = (10, 12, 14, 16, 18, 20)
+
+FORCED = RegimePolicy(exact_max_n=0, exact_max_m=0, certified_max_m=0)
+
+
+def test_bench_asymptotic_regimes(benchmark):
+    delta = Fraction(3 * BIG_N, 8)
+
+    def large_n_workload():
+        point = symmetric_threshold_winning_regime(
+            Fraction(1, 2), BIG_N, delta
+        )
+        optimum = near_optimal_symmetric_threshold(BIG_N, delta)
+        return point, optimum
+
+    with use_instrumentation() as instr:
+        start = time.perf_counter()
+        point, optimum = benchmark.pedantic(
+            large_n_workload, rounds=1, iterations=1
+        )
+        elapsed = time.perf_counter() - start
+        counters = instr.metrics.snapshot().counters
+
+    assert point.regime == "asymptotic"
+    assert 0.0 <= point.value <= 1.0
+    assert point.error_bound < 0.01
+    assert 0.0 < optimum.beta < 1.0
+    assert optimum.gap_bound < 0.01
+    # the acceptance criterion: both answers inside the 1 s budget
+    assert elapsed < BUDGET_SECONDS
+    speedup = BUDGET_SECONDS / elapsed
+
+    fallbacks = counters.get("fastpath.fallbacks", 0)
+    calls = counters.get("asymptotics.dispatch.calls", 0)
+    fallback_rate = fallbacks / calls if calls else 0.0
+
+    # exact-vs-asymptotic agreement across the crossover band
+    max_error = 0.0
+    max_bound = 0.0
+    cases = 0
+    for n in CROSSOVER_NS:
+        cross_delta = Fraction(3 * n, 8)
+        for family, exact, forced in (
+            (
+                "threshold",
+                symmetric_threshold_winning_probability(
+                    Fraction(1, 2), n, cross_delta
+                ),
+                symmetric_threshold_winning_regime(
+                    Fraction(1, 2), n, cross_delta, FORCED
+                ),
+            ),
+            (
+                "oblivious",
+                symmetric_oblivious_winning_probability(
+                    cross_delta, n, Fraction(1, 2)
+                ),
+                symmetric_oblivious_winning_regime(
+                    Fraction(1, 2), n, cross_delta, FORCED
+                ),
+            ),
+        ):
+            error = abs(forced.value - float(exact))
+            assert error <= forced.error_bound, (family, n)
+            max_error = max(max_error, error)
+            max_bound = max(max_bound, forced.error_bound)
+            cases += 1
+
+    record(
+        "regimes.large_n",
+        n=BIG_N,
+        value=f"{point.value:.6f}",
+        value_bound=f"{point.error_bound:.2e}",
+        beta=f"{optimum.beta:.6f}",
+        gap_bound=f"{optimum.gap_bound:.2e}",
+        elapsed_ms=round(elapsed * 1000.0, 1),
+        speedup=round(speedup, 2),
+    )
+    record(
+        "regimes.crossover",
+        cases=cases,
+        max_abs_error=f"{max_error:.3e}",
+        max_error_bound=f"{max_bound:.3e}",
+    )
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "benchmark": "asymptotic_regimes",
+                "workload": {
+                    "n": BIG_N,
+                    "delta": str(delta),
+                    "budget_seconds": BUDGET_SECONDS,
+                    "crossover_ns": list(CROSSOVER_NS),
+                },
+                "elapsed_ms": round(elapsed * 1000.0, 3),
+                "point_value": point.value,
+                "point_error_bound": point.error_bound,
+                "optimum_beta": optimum.beta,
+                "optimum_gap_bound": optimum.gap_bound,
+                "optimizer_evaluations": optimum.evaluations,
+                "speedup": speedup,
+                "floor": 1.0,
+                "fallback_rate": fallback_rate,
+                "crossover_cases": cases,
+                "crossover_max_abs_error": max_error,
+                "crossover_max_error_bound": max_bound,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

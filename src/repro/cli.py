@@ -489,6 +489,72 @@ def _build_parser() -> argparse.ArgumentParser:
             "-- a deliberate bug injection proving the oracle can fail"
         ),
     )
+    check.add_argument(
+        "--asymptotic-grid",
+        action="store_true",
+        help=(
+            "also force the asymptotic tier through the exact-vs-"
+            "asymptotic crossover grid (n ~ 10-20): estimates must "
+            "stay within their certified bounds of the exact values "
+            "and within the MC z-gate; failure exits with code 6"
+        ),
+    )
+    check.add_argument(
+        "--asymptotic-ns",
+        type=int,
+        nargs="+",
+        default=[10, 12, 14, 16, 18, 20],
+        metavar="N",
+        help="crossover sizes for --asymptotic-grid",
+    )
+    check.add_argument(
+        "--inject-asymptotic-error",
+        type=float,
+        default=0.0,
+        metavar="EPS",
+        help=(
+            "add EPS to every asymptotic estimate in the "
+            "--asymptotic-grid comparison -- the deliberate bug "
+            "injection proving that gate can fail"
+        ),
+    )
+
+    asym = sub.add_parser(
+        "asymptotic",
+        help=(
+            "large-n winning probability and near-optimal threshold "
+            "via the certified asymptotic tier"
+        ),
+        parents=[obs],
+    )
+    asym.add_argument("--n", type=int, required=True)
+    asym.add_argument("--delta", type=_parse_fraction, required=True)
+    asym.add_argument(
+        "--beta",
+        type=_parse_fraction,
+        default=None,
+        help=(
+            "evaluate this common threshold (omit to search for a "
+            "near-optimal one)"
+        ),
+    )
+    asym.add_argument(
+        "--alpha",
+        type=_parse_fraction,
+        default=None,
+        help="evaluate the symmetric oblivious coin with this alpha",
+    )
+    asym.add_argument(
+        "--method",
+        choices=["normal", "edgeworth"],
+        default="edgeworth",
+        help="asymptotic estimator (default edgeworth)",
+    )
+    asym.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result as one JSON object",
+    )
 
     cache = sub.add_parser(
         "cache",
@@ -1054,6 +1120,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_sweep(args)
     elif args.command == "check":
         return _run_check(args)
+    elif args.command == "asymptotic":
+        return _run_asymptotic(args)
     elif args.command == "cache":
         return _run_cache(args)
     elif args.command == "runs":
@@ -1178,6 +1246,92 @@ def _run_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_asymptotic(args: argparse.Namespace) -> int:
+    """``repro asymptotic``: certified large-n values in milliseconds."""
+    import json as _json
+    import time
+
+    from repro.core.asymptotic import (
+        symmetric_oblivious_winning_regime,
+        symmetric_threshold_winning_regime,
+    )
+    from repro.optimize.asymptotic_opt import (
+        near_optimal_symmetric_threshold,
+    )
+    from repro.probability.regimes import DEFAULT_POLICY, RegimePolicy
+
+    if args.alpha is not None and args.beta is not None:
+        print("choose --alpha or --beta, not both", file=sys.stderr)
+        return 2
+    policy = (
+        DEFAULT_POLICY
+        if args.method == DEFAULT_POLICY.method
+        else RegimePolicy(method=args.method)
+    )
+    start = time.perf_counter()
+    payload: dict
+    if args.alpha is not None:
+        result = symmetric_oblivious_winning_regime(
+            args.alpha, args.n, args.delta, policy
+        )
+        lo, hi = result.bracket
+        payload = {
+            "family": "oblivious",
+            "n": args.n,
+            "delta": str(args.delta),
+            "alpha": str(args.alpha),
+            "value": result.value,
+            "error_bound": result.error_bound,
+            "floor": lo,
+            "ceiling": hi,
+            "regime": result.regime,
+            "method": result.method,
+        }
+    elif args.beta is not None:
+        result = symmetric_threshold_winning_regime(
+            args.beta, args.n, args.delta, policy
+        )
+        lo, hi = result.bracket
+        payload = {
+            "family": "threshold",
+            "n": args.n,
+            "delta": str(args.delta),
+            "beta": str(args.beta),
+            "value": result.value,
+            "error_bound": result.error_bound,
+            "floor": lo,
+            "ceiling": hi,
+            "regime": result.regime,
+            "method": result.method,
+        }
+    else:
+        optimum = near_optimal_symmetric_threshold(
+            args.n, args.delta, policy
+        )
+        lo, hi = optimum.bracket
+        payload = {
+            "family": "threshold-optimum",
+            "n": args.n,
+            "delta": str(args.delta),
+            "beta": optimum.beta,
+            "value": optimum.value,
+            "error_bound": optimum.error_bound,
+            "floor": lo,
+            "ceiling": hi,
+            "gap_bound": optimum.gap_bound,
+            "evaluations": optimum.evaluations,
+            "regime": optimum.probability.regime,
+            "method": optimum.probability.method,
+        }
+    payload["elapsed_seconds"] = time.perf_counter() - start
+    if args.json:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for key, value in payload.items():
+            print(f"{key}: {value}")
+    return 0
+
+
 def _run_check(args: argparse.Namespace) -> int:
     """``repro check``: run the cross-validation oracle and report."""
     from repro.validation import default_case_grid, run_cross_validation
@@ -1225,6 +1379,21 @@ def _run_check(args: argparse.Namespace) -> int:
         print(agreement.render())
         if not agreement.passed:
             print("BATCH AGREEMENT FAILED", file=sys.stderr)
+            return EXIT_INTEGRITY_MISMATCH
+    if args.asymptotic_grid:
+        from repro.validation import run_asymptotic_agreement
+
+        asymptotic = run_asymptotic_agreement(
+            ns=args.asymptotic_ns,
+            trials=args.trials,
+            seed=args.seed,
+            workers=args.workers,
+            z_threshold=args.z_threshold,
+            perturbation=args.inject_asymptotic_error,
+        )
+        print(asymptotic.render())
+        if not asymptotic.passed:
+            print("ASYMPTOTIC AGREEMENT FAILED", file=sys.stderr)
             return EXIT_INTEGRITY_MISMATCH
     return 0
 

@@ -13,7 +13,16 @@
 * :mod:`repro.core.winning` -- a uniform front-end that dispatches any
   supported algorithm object to its exact formula, with Monte Carlo as
   the universal fallback.
+* :mod:`repro.core.asymptotic` -- the large-``n`` tier: certified
+  binomial-mixture evaluation of the two symmetric families, scaling
+  Theorems 4.1 / 5.1 to millions of players with rigorous error bounds.
 """
+
+from repro.core.asymptotic import (
+    binomial_window,
+    symmetric_oblivious_winning_regime,
+    symmetric_threshold_winning_regime,
+)
 
 from repro.core.nonoblivious import (
     symmetric_threshold_breakpoints,
@@ -45,13 +54,17 @@ from repro.core.randomized import (
     symmetric_mixture_polynomial,
     symmetric_mixture_winning_probability,
 )
-from repro.core.winning import exact_winning_probability
+from repro.core.winning import exact_winning_probability, winning_probability
 
 __all__ = [
     "RandomizedThresholdRule",
     "best_symmetric_mixture",
     "best_symmetric_mixture_exact",
+    "binomial_window",
     "exact_winning_probability",
+    "symmetric_oblivious_winning_regime",
+    "symmetric_threshold_winning_regime",
+    "winning_probability",
     "interval_rule_winning_probability",
     "oblivious_gradient",
     "randomized_threshold_winning_probability",

@@ -45,7 +45,7 @@ from repro.model.algorithms import (
 from repro.symbolic.rational import RationalLike, as_fraction
 from repro.validation.contracts import check_probability
 
-__all__ = ["exact_winning_probability"]
+__all__ = ["exact_winning_probability", "winning_probability"]
 
 
 def exact_winning_probability(
@@ -195,3 +195,70 @@ def _mixed_profile(
             continue
         total += weight * threshold_winning_probability(delta, thresholds)
     return check_probability("exact_winning_probability.mixed", total)
+
+
+def winning_probability(
+    algorithms: Sequence[DecisionAlgorithm],
+    capacity: RationalLike,
+    policy=None,
+):
+    """Regime-dispatched winning probability: exact when affordable,
+    certified-asymptotic when not.
+
+    Returns a :class:`~repro.probability.regimes.RegimeValue`.  For
+    ``n <= policy.exact_max_n`` this is :func:`exact_winning_probability`
+    wrapped with its (float-conversion-only) error bound and the exact
+    ``Fraction`` attached.  Beyond that, the two symmetric families --
+    every player the same :class:`SingleThresholdRule`, or every player
+    the same :class:`ObliviousCoin` -- dispatch to the large-``n``
+    binomial-mixture engine of :mod:`repro.core.asymptotic`, which
+    scales to ``n = 10**6`` and past it.  Asymmetric large-``n``
+    profiles have no asymptotic evaluator and raise
+    :class:`NotImplementedError` (use Monte Carlo).
+    """
+    from repro.core.asymptotic import (
+        symmetric_oblivious_winning_regime,
+        symmetric_threshold_winning_regime,
+    )
+    from repro.probability.regimes import (
+        DEFAULT_POLICY,
+        REGIME_EXACT,
+        RegimeValue,
+    )
+    from repro.validation.fastpath import EPS
+
+    if policy is None:
+        policy = DEFAULT_POLICY
+    algs = list(algorithms)
+    if not algs:
+        raise ValidationError("need at least one player")
+    n = len(algs)
+    delta = as_fraction(capacity)
+    if n <= policy.exact_max_n:
+        exact = exact_winning_probability(algs, delta)
+        value = float(exact)
+        return RegimeValue(
+            value=value,
+            error_bound=EPS * abs(value),
+            regime=REGIME_EXACT,
+            method="inclusion-exclusion",
+            exact=exact,
+        )
+    if all(isinstance(a, SingleThresholdRule) for a in algs):
+        thresholds = {as_fraction(a.threshold) for a in algs}
+        if len(thresholds) == 1:
+            return symmetric_threshold_winning_regime(
+                thresholds.pop(), n, delta, policy
+            )
+    elif all(isinstance(a, ObliviousCoin) for a in algs):
+        alphas = {as_fraction(a.alpha) for a in algs}
+        if len(alphas) == 1:
+            return symmetric_oblivious_winning_regime(
+                alphas.pop(), n, delta, policy
+            )
+    raise NotImplementedError(
+        f"n={n} exceeds the exact tier (policy.exact_max_n="
+        f"{policy.exact_max_n}) and the asymptotic tier only covers "
+        "symmetric threshold/oblivious profiles; use "
+        "repro.simulation.MonteCarloEngine"
+    )

@@ -19,6 +19,10 @@ from repro.optimize.oblivious_opt import (
     solve_oblivious_optimum,
     verify_fair_coin_stationary,
 )
+from repro.optimize.asymptotic_opt import (
+    AsymptoticOptimum,
+    near_optimal_symmetric_threshold,
+)
 from repro.optimize.threshold_opt import (
     ThresholdOptimum,
     optimal_symmetric_threshold,
@@ -38,9 +42,11 @@ from repro.optimize.numeric import (
 )
 
 __all__ = [
+    "AsymptoticOptimum",
     "ObliviousOptimum",
     "OptimalityCertificate",
     "ThresholdOptimum",
+    "near_optimal_symmetric_threshold",
     "certify_threshold_optimum",
     "best_two_group_profile",
     "boundary_split_value",

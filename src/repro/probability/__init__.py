@@ -12,9 +12,28 @@ variables, derived from the geometric volume formula of Proposition 2.2:
   threshold interval" probabilities consumed by Theorem 5.1.
 * :mod:`repro.probability.distributions` -- object wrappers for uniform
   random variables and their sums, with sampling for validation.
+* :mod:`repro.probability.asymptotics` -- normal / Edgeworth
+  approximations with rigorous Berry-Esseen-style error bounds, for
+  the large-``m`` regime the exact kernels cannot reach.
+* :mod:`repro.probability.regimes` -- per-query dispatch among the
+  exact, certified-float and asymptotic tiers, returning values
+  tagged with their regime and guaranteed error.
 """
 
+from repro.probability.asymptotics import (
+    AsymptoticCDF,
+    AsymptoticQuantile,
+    irwin_hall_cdf_asymptotic,
+    irwin_hall_quantile_asymptotic,
+    sum_uniform_cdf_asymptotic,
+)
 from repro.probability.distributions import SumOfUniforms, Uniform
+from repro.probability.regimes import (
+    DEFAULT_POLICY,
+    RegimePolicy,
+    RegimeValue,
+    irwin_hall_cdf_regime,
+)
 from repro.probability.moments import (
     chebyshev_overflow_bound,
     expected_overflow_single_bin,
@@ -40,9 +59,18 @@ from repro.probability.uniform_sums import (
 )
 
 __all__ = [
+    "AsymptoticCDF",
+    "AsymptoticQuantile",
+    "DEFAULT_POLICY",
+    "RegimePolicy",
+    "RegimeValue",
     "SumOfUniforms",
     "Uniform",
     "alternating_subset_sum",
+    "irwin_hall_cdf_asymptotic",
+    "irwin_hall_cdf_regime",
+    "irwin_hall_quantile_asymptotic",
+    "sum_uniform_cdf_asymptotic",
     "chebyshev_overflow_bound",
     "expected_overflow_single_bin",
     "hoeffding_overflow_bound",

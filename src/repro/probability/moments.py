@@ -67,7 +67,17 @@ def sum_uniform_moment(
     moments: List[Fraction] = [Fraction(1)] + [Fraction(0)] * k
     first = True
     for lo, hi in intervals:
-        x_moments = [uniform_moment(j, lo, hi) for j in range(k + 1)]
+        lo = as_fraction(lo)
+        hi = as_fraction(hi)
+        if lo == hi:
+            # Zero-width interval: the constant lo, with moments lo^j.
+            # uniform_moment would reject the 0/0 normalisation, but
+            # for moment accumulation the degenerate case is perfectly
+            # well-defined (and needed so the tail bounds can report
+            # their documented vacuous values instead of raising).
+            x_moments = [lo**j for j in range(k + 1)]
+        else:
+            x_moments = [uniform_moment(j, lo, hi) for j in range(k + 1)]
         if first:
             moments = x_moments[: k + 1]
             first = False
@@ -139,8 +149,9 @@ def expected_overflow_single_bin(
     # Knots of the piecewise-polynomial CDF: shifted subset sums.  For
     # the small m of this package, interpolate each inter-knot piece
     # from samples instead of re-deriving the symbolic form: the CDF
-    # restricted to a knot interval is a degree-m polynomial, so m+1
-    # exact samples determine it exactly (Lagrange).
+    # restricted to a knot interval is a degree-m polynomial, so the
+    # m+2 equally-spaced exact samples taken below (one more than the
+    # m+1 minimum) determine it exactly (Lagrange).
     from itertools import combinations
 
     widths = [hi - lo for lo, hi in pairs]
@@ -222,6 +233,14 @@ def hoeffding_overflow_bound(
         return 1.0
     denom = sum(((hi - lo) ** 2 for lo, hi in pairs), Fraction(0))
     if denom == 0:
+        # Zero total squared width: S is a constant equal to its mean,
+        # and d > mean, so the tail is empty.
         return 0.0
-    exponent = -2 * float((d - mean) ** 2 / denom)
+    try:
+        exponent = -2 * float((d - mean) ** 2 / denom)
+    except OverflowError:
+        # (d - mean)^2 / denom past float range: exp(-huge) is exactly
+        # the regime where the bound is 0 -- float(Fraction) raising
+        # instead of saturating must not leak out of a tail *bound*.
+        return 0.0
     return min(exp(exponent), 1.0)

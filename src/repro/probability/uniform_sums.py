@@ -64,8 +64,16 @@ from repro.symbolic.rational import (
 from repro.validation.contracts import check_probability
 from repro.validation.fastpath import (
     EPS,
+    CertifiedFloat,
     certified_alternating_sum,
     resolve_guarded,
+)
+
+#: Sentinel for inputs the float tier cannot even represent: routed
+#: through :func:`resolve_guarded` so the fallback policy and the
+#: ``fastpath.fallbacks`` metrics apply uniformly.
+_UNCERTIFIABLE = CertifiedFloat(
+    value=math.nan, error_bound=math.inf, certified=False, terms=0
 )
 
 __all__ = [
@@ -162,7 +170,15 @@ class SumUniformFastContext:
     bit-identical certified values (pinned by a regression test).
     """
 
-    __slots__ = ("_pi", "_m", "_normaliser", "_t_span", "_shifts")
+    __slots__ = (
+        "_pi",
+        "_m",
+        "_normaliser",
+        "_normaliser_f",
+        "_t_span",
+        "_shifts",
+        "_float_ready",
+    )
 
     def __init__(self, uppers: Sequence[RationalLike]):
         self._pi = _validated_widths(uppers, "uppers")
@@ -172,15 +188,36 @@ class SumUniformFastContext:
             normaliser *= v
         self._normaliser = normaliser
         self._t_span = sum(self._pi, Fraction(0))
-        pi_f = [float(v) for v in self._pi]
+        # The float mirror of the exact inputs.  ``float(Fraction)``
+        # RAISES OverflowError past ~1e308 (m! times wide intervals
+        # gets there quickly), and extreme widths can also round the
+        # normaliser to inf or to 0.0 -- in every such case the fast
+        # path cannot even be attempted, so the context is marked
+        # float-unready and :meth:`cdf` goes straight to the fallback
+        # policy instead of blowing up.
+        try:
+            pi_f = [float(v) for v in self._pi]
+            normaliser_f = float(normaliser)
+            float_ready = (
+                math.isfinite(normaliser_f)
+                and normaliser_f != 0.0
+                and all(map(math.isfinite, pi_f))
+            )
+        except OverflowError:
+            pi_f = []
+            normaliser_f = math.inf
+            float_ready = False
+        self._normaliser_f = normaliser_f
+        self._float_ready = float_ready
         # (sign, shift) per subset, in the exact enumeration order of
         # the un-hoisted implementation: sizes ascending, and within a
         # size the itertools.combinations order.
         shifts = []
-        for size in range(self._m + 1):
-            sign = 1 if size % 2 == 0 else -1
-            for subset in combinations(pi_f, size):
-                shifts.append((sign, math.fsum(subset)))
+        if float_ready:
+            for size in range(self._m + 1):
+                sign = 1 if size % 2 == 0 else -1
+                for subset in combinations(pi_f, size):
+                    shifts.append((sign, math.fsum(subset)))
         self._shifts = tuple(shifts)
 
     @property
@@ -204,22 +241,36 @@ class SumUniformFastContext:
             return 0.0
         if tt >= self._t_span:
             return 1.0
-        t_f = float(tt)
+        t_f = math.inf
+        if self._float_ready:
+            try:
+                t_f = float(tt)
+            except OverflowError:
+                t_f = math.inf
+        if not math.isfinite(t_f):
+            # Inputs outside float range: the fast path cannot run, but
+            # the fallback contract still must -- hand resolve_guarded
+            # an uncertified sentinel so the event is counted as
+            # ``fastpath.fallbacks`` and the fallback="raise" policy
+            # raises NumericalInstabilityError instead of OverflowError.
+            guarded = _UNCERTIFIABLE
+        else:
 
-        def bases():
-            for sign, shift in self._shifts:
-                # t and the shift are correctly-rounded conversions and
-                # an exact fsum; the subtraction adds one more rounding.
-                error = 3.0 * EPS * (t_f + shift)
-                yield (sign, t_f - shift, error)
+            def bases():
+                for sign, shift in self._shifts:
+                    # t and the shift are correctly-rounded conversions
+                    # and an exact fsum; the subtraction adds one more
+                    # rounding.
+                    error = 3.0 * EPS * (t_f + shift)
+                    yield (sign, t_f - shift, error)
 
-        guarded = certified_alternating_sum(
-            bases(),
-            self._m,
-            float(self._normaliser),
-            rel_tol=rel_tol,
-            abs_tol=abs_tol,
-        )
+            guarded = certified_alternating_sum(
+                bases(),
+                self._m,
+                self._normaliser_f,
+                rel_tol=rel_tol,
+                abs_tol=abs_tol,
+            )
         value = resolve_guarded(
             "sum_uniform_cdf",
             guarded,

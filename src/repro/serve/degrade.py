@@ -40,6 +40,7 @@ from typing import Callable, Optional
 __all__ = [
     "Deadline",
     "GridOptimum",
+    "TIER_ASYMPTOTIC",
     "TIER_CERTIFIED",
     "TIER_DEGRADED",
     "TIER_EXACT",
@@ -50,6 +51,7 @@ __all__ = [
 #: Answer tiers, in descending order of preference.
 TIER_CERTIFIED = "certified"  # float value, bound clears tolerance
 TIER_EXACT = "exact"  # Fraction fallback ran within budget
+TIER_ASYMPTOTIC = "asymptotic"  # large-n tier: certified analytic bound
 TIER_DEGRADED = "degraded"  # float value served with its bound only
 
 #: Default certification tolerances -- the same defaults as

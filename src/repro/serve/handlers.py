@@ -42,6 +42,7 @@ from repro.cache import bypass_cache
 from repro.errors import ValidationError
 from repro.observability import get_instrumentation
 from repro.serve.degrade import (
+    TIER_ASYMPTOTIC,
     TIER_CERTIFIED,
     TIER_DEGRADED,
     TIER_EXACT,
@@ -185,9 +186,10 @@ def _parse_common(
         raise ValidationError("n must be an integer") from None
     if n < 1:
         raise ValidationError(f"n must be >= 1, got {n}")
-    if n > server.config.max_n:
+    if n > server.config.asymptotic_max_n:
         raise ValidationError(
-            f"n must be <= {server.config.max_n} on this server, got {n}"
+            f"n must be <= {server.config.asymptotic_max_n} on this "
+            f"server, got {n}"
         )
     delta = _parse_fraction(_require(query, "delta"), "delta")
     if delta <= 0:
@@ -280,6 +282,10 @@ async def _winning_probability(server, query, deadline, chaos) -> Response:
         raise ValidationError(f"{point_name} must be a number") from None
 
     await _apply_kernel_chaos(server, chaos)
+    if n > server.config.max_n:
+        return await _winning_probability_asymptotic(
+            server, deadline, algorithm, n, delta, point_name, x
+        )
     compiled = await _compiled_curve_with_budget(
         server, deadline, algorithm, n, delta, chaos
     )
@@ -331,9 +337,103 @@ async def _winning_probability(server, query, deadline, chaos) -> Response:
     return _finish(server, "winning-probability", tier, payload, deadline)
 
 
+async def _winning_probability_asymptotic(
+    server, deadline, algorithm, n, delta, point_name, x
+) -> Response:
+    """Large-n tier: answer from the asymptotic regime engine.
+
+    Beyond ``max_n`` the compiled exact/certified curves are out of
+    reach, but the regime dispatcher's asymptotic kernels
+    (normal/Edgeworth with a rigorous error bound) answer in
+    milliseconds for ``n`` up to ``asymptotic_max_n``.  The response
+    carries the guaranteed ``[floor, ceiling]`` bracket, so it is
+    *certified* -- just to a wider, explicitly stated tolerance.
+    """
+    from repro.core.asymptotic import (
+        symmetric_oblivious_winning_regime,
+        symmetric_threshold_winning_regime,
+    )
+
+    if not 0.0 <= x <= 1.0:
+        raise ValidationError(
+            f"{point_name}={x} outside domain [0.0, 1.0]"
+        )
+    parameter = Fraction(x).limit_denominator(10**9)
+    if algorithm == "oblivious":
+        def kernel():
+            return symmetric_oblivious_winning_regime(parameter, n, delta)
+    else:
+        def kernel():
+            return symmetric_threshold_winning_regime(parameter, n, delta)
+    result = await exact_fallback_with_budget(kernel, deadline)
+    if result is None:
+        return _budget_exhausted_response()
+    floor, ceiling = result.bracket
+    payload: Dict[str, Any] = {
+        "n": n,
+        "delta": str(delta),
+        "algorithm": algorithm,
+        point_name: x,
+        "value": result.value,
+        "error_bound": result.error_bound,
+        "floor": floor,
+        "ceiling": ceiling,
+        "regime": result.regime,
+        "method": result.method,
+        "tier": TIER_ASYMPTOTIC,
+        "certified": True,
+        "deadline_ms": deadline.budget_seconds * 1000.0,
+        "elapsed_ms": deadline.elapsed() * 1000.0,
+    }
+    return _finish(
+        server, "winning-probability", TIER_ASYMPTOTIC, payload, deadline
+    )
+
+
+async def _optimal_strategy_asymptotic(server, deadline, n, delta) -> Response:
+    """Large-n tier for the optimiser: near-optimal threshold with a
+    bracketed winning probability and an explicit optimality gap."""
+    from repro.optimize.asymptotic_opt import near_optimal_symmetric_threshold
+
+    # A trimmed evaluation budget keeps the search inside the default
+    # 250 ms request deadline at n = 10^6; the optimality gap widens
+    # but is still computed soundly and reported in ``gap_bound``.
+    optimum = await exact_fallback_with_budget(
+        lambda: near_optimal_symmetric_threshold(
+            n, delta, grid_points=5, refine_iterations=8
+        ),
+        deadline,
+    )
+    if optimum is None:
+        return _budget_exhausted_response()
+    floor, ceiling = optimum.bracket
+    payload: Dict[str, Any] = {
+        "n": n,
+        "delta": str(delta),
+        "beta": optimum.beta,
+        "probability": optimum.value,
+        "probability_floor": floor,
+        "probability_ceiling": ceiling,
+        "error_bound": optimum.error_bound,
+        "gap_bound": optimum.gap_bound,
+        "evaluations": optimum.evaluations,
+        "regime": optimum.probability.regime,
+        "method": optimum.probability.method,
+        "tier": TIER_ASYMPTOTIC,
+        "certified": True,
+        "deadline_ms": deadline.budget_seconds * 1000.0,
+        "elapsed_ms": deadline.elapsed() * 1000.0,
+    }
+    return _finish(
+        server, "optimal-strategy", TIER_ASYMPTOTIC, payload, deadline
+    )
+
+
 async def _optimal_strategy(server, query, deadline, chaos) -> Response:
     n, delta = _parse_common(server, query)
     await _apply_kernel_chaos(server, chaos)
+    if n > server.config.max_n:
+        return await _optimal_strategy_asymptotic(server, deadline, n, delta)
 
     tier = TIER_DEGRADED
     payload: Dict[str, Any]

@@ -85,6 +85,7 @@ class ServeConfig:
     rel_tol: float = DEFAULT_REL_TOL
     abs_tol: float = DEFAULT_ABS_TOL
     max_n: int = 32
+    asymptotic_max_n: int = 10_000_000
     breaker_failures: int = 3
     breaker_cooldown_seconds: float = 5.0
     breaker_slow_seconds: float = 0.5
@@ -111,6 +112,11 @@ class ServeConfig:
         if self.queue_depth < 0:
             raise ServeError(
                 f"queue_depth must be >= 0, got {self.queue_depth}"
+            )
+        if self.asymptotic_max_n < self.max_n:
+            raise ServeError(
+                "asymptotic_max_n must be >= max_n, got "
+                f"{self.asymptotic_max_n} < {self.max_n}"
             )
 
 

@@ -51,9 +51,13 @@ from repro.validation.fastpath import (
 
 __all__ = [
     "AgreementReport",
+    "AsymptoticAgreementReport",
+    "AsymptoticCaseReport",
     "CaseReport",
     "CertifiedFloat",
     "OracleCase",
+    "default_asymptotic_grid",
+    "run_asymptotic_agreement",
     "certified_alternating_sum",
     "check_cdf_profile",
     "check_probability",
@@ -78,15 +82,27 @@ _ORACLE_EXPORTS = {
     "run_cross_validation",
 }
 
+_ASYMPTOTIC_EXPORTS = {
+    "AsymptoticAgreementReport",
+    "AsymptoticCaseReport",
+    "default_asymptotic_grid",
+    "run_asymptotic_agreement",
+}
+
 
 def __getattr__(name: str):
-    # Lazy: repro.validation.oracle imports core/simulation, which
-    # import probability, which imports repro.validation.contracts --
-    # an eager import here would close that cycle.
+    # Lazy: repro.validation.oracle and .asymptotic_grid import
+    # core/simulation, which import probability, which imports
+    # repro.validation.contracts -- an eager import here would close
+    # that cycle.
     if name in _ORACLE_EXPORTS:
         from repro.validation import oracle
 
         return getattr(oracle, name)
+    if name in _ASYMPTOTIC_EXPORTS:
+        from repro.validation import asymptotic_grid
+
+        return getattr(asymptotic_grid, name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"
     )

@@ -1,0 +1,280 @@
+"""Exact-vs-asymptotic agreement across the crossover region.
+
+The asymptotic tier's whole value proposition is "the same number,
+with a *certified* bound, at any ``n``" -- so its integrity check is
+to force the asymptotic stack to answer in the one region where the
+exact formulas still can (``n ~ 10-20``) and verify three properties
+per case:
+
+1. **bound honesty** -- the asymptotic estimate differs from the
+   exact ``Fraction`` value by at most its reported ``error_bound``;
+2. **range sanity** -- the estimate is a probability (a deliberately
+   injected perturbation of the estimate must trip this or the bound
+   check -- the ``--inject-asymptotic-error`` proof that the gate can
+   fail);
+3. **Monte Carlo consistency** -- the sharded simulation engine's
+   estimate sits within ``z_threshold`` standard errors of the
+   asymptotic value *after* widening by the certified bound (the
+   same z-gate the cross-validation oracle applies, adapted to an
+   estimate that is allowed to be ``error_bound`` away from truth).
+
+Cases cover both symmetric families (threshold ``beta = 1/2``,
+oblivious ``alpha = 1/2``) at capacity ``delta = 3n/8`` -- inside the
+non-trivial band where neither bin wins or loses with certainty.
+``repro check --asymptotic-grid`` runs this and maps failure to the
+integrity exit code (6); CI runs it on every push.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.probability.regimes import RegimePolicy
+
+__all__ = [
+    "AsymptoticAgreementReport",
+    "AsymptoticCaseReport",
+    "default_asymptotic_grid",
+    "run_asymptotic_agreement",
+]
+
+#: Policy with every exact/certified ceiling at zero: forces the full
+#: asymptotic stack (binomial mixture over Berry-Esseen/Edgeworth
+#: factors) even at the small n where exact answers exist to compare.
+FORCED_ASYMPTOTIC = RegimePolicy(
+    exact_max_n=0, exact_max_m=0, certified_max_m=0
+)
+
+
+@dataclass
+class AsymptoticCaseReport:
+    """Everything measured for one crossover case."""
+
+    algorithm: str  # "threshold" | "oblivious"
+    n: int
+    delta: Fraction
+    parameter: Fraction
+    exact: float = 0.0
+    estimate: float = 0.0
+    error_bound: float = 0.0
+    abs_error: float = 0.0
+    regime: str = ""
+    mc_estimate: float = 0.0
+    mc_interval: Tuple[float, float] = (0.0, 0.0)
+    mc_trials: int = 0
+    z_score: float = 0.0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return (
+            f"{self.algorithm}(n={self.n}, delta={self.delta}, "
+            f"param={self.parameter})"
+        )
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict:
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "delta": str(self.delta),
+            "parameter": str(self.parameter),
+            "exact": self.exact,
+            "estimate": self.estimate,
+            "error_bound": self.error_bound,
+            "abs_error": self.abs_error,
+            "regime": self.regime,
+            "mc_estimate": self.mc_estimate,
+            "mc_interval": list(self.mc_interval),
+            "mc_trials": self.mc_trials,
+            "z_score": self.z_score,
+            "passed": self.passed,
+            "failures": list(self.failures),
+        }
+
+
+@dataclass
+class AsymptoticAgreementReport:
+    """Verdict over the whole crossover grid."""
+
+    cases: List[AsymptoticCaseReport] = field(default_factory=list)
+    trials: int = 0
+    perturbation: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.cases) and all(c.passed for c in self.cases)
+
+    @property
+    def max_abs_error(self) -> float:
+        return max((c.abs_error for c in self.cases), default=0.0)
+
+    @property
+    def max_error_bound(self) -> float:
+        return max((c.error_bound for c in self.cases), default=0.0)
+
+    def to_dict(self) -> Dict:
+        return {
+            "passed": self.passed,
+            "trials": self.trials,
+            "perturbation": self.perturbation,
+            "max_abs_error": self.max_abs_error,
+            "max_error_bound": self.max_error_bound,
+            "cases": [c.to_dict() for c in self.cases],
+        }
+
+    def render(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"asymptotic agreement: {verdict} "
+            f"({len(self.cases)} cases, {self.trials} MC trials each, "
+            f"max |exact - asymptotic| = {self.max_abs_error:.3e})"
+        ]
+        for c in self.cases:
+            mark = "ok " if c.passed else "XXX"
+            lines.append(
+                f"  [{mark}] {c.name}: exact={c.exact:.6f} "
+                f"asym={c.estimate:.6f} |err|={c.abs_error:.2e} "
+                f"bound={c.error_bound:.2e} z={c.z_score:+.2f}"
+            )
+            for failure in c.failures:
+                lines.append(f"        - {failure}")
+        return "\n".join(lines)
+
+
+def default_asymptotic_grid(
+    ns: Sequence[int] = (10, 12, 14, 16, 18, 20),
+) -> List[Tuple[str, int, Fraction, Fraction]]:
+    """The crossover cases: both families, ``delta = 3n/8``, fair
+    parameter 1/2 -- the band where the winning probability is
+    interior and every mixture term matters."""
+    grid: List[Tuple[str, int, Fraction, Fraction]] = []
+    for n in ns:
+        delta = Fraction(3 * n, 8)
+        grid.append(("threshold", n, delta, Fraction(1, 2)))
+        grid.append(("oblivious", n, delta, Fraction(1, 2)))
+    return grid
+
+
+def run_asymptotic_agreement(
+    ns: Sequence[int] = (10, 12, 14, 16, 18, 20),
+    trials: int = 20_000,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    z_threshold: float = 3.89,
+    perturbation: float = 0.0,
+) -> AsymptoticAgreementReport:
+    """Force-asymptotic evaluation vs exact values vs Monte Carlo.
+
+    *perturbation* is added to every asymptotic estimate before the
+    checks -- the deliberate-bug injection proving the gate can fail
+    (any value comfortably above the largest certified bound on the
+    grid, e.g. 0.75, fails deterministically).
+    """
+    from repro.core.asymptotic import (
+        symmetric_oblivious_winning_regime,
+        symmetric_threshold_winning_regime,
+    )
+    from repro.core.nonoblivious import (
+        symmetric_threshold_winning_probability,
+    )
+    from repro.core.oblivious import (
+        symmetric_oblivious_winning_probability,
+    )
+    from repro.model.algorithms import ObliviousCoin, SingleThresholdRule
+    from repro.model.system import DistributedSystem
+    from repro.simulation.engine import MonteCarloEngine
+
+    if trials < 1:
+        raise ValidationError(f"trials must be >= 1, got {trials}")
+    if not ns:
+        raise ValidationError("need at least one crossover n")
+    for n in ns:
+        if n < 1:
+            raise ValidationError(f"crossover n must be >= 1, got {n}")
+
+    engine = MonteCarloEngine(seed=seed)
+    report = AsymptoticAgreementReport(
+        trials=trials, perturbation=perturbation
+    )
+    for index, (algorithm, n, delta, parameter) in enumerate(
+        default_asymptotic_grid(ns)
+    ):
+        case = AsymptoticCaseReport(
+            algorithm=algorithm, n=n, delta=delta, parameter=parameter
+        )
+        if algorithm == "threshold":
+            exact = symmetric_threshold_winning_probability(
+                parameter, n, delta
+            )
+            regime_value = symmetric_threshold_winning_regime(
+                parameter, n, delta, FORCED_ASYMPTOTIC
+            )
+            algs = [SingleThresholdRule(parameter) for _ in range(n)]
+        else:
+            exact = symmetric_oblivious_winning_probability(
+                delta, n, parameter
+            )
+            regime_value = symmetric_oblivious_winning_regime(
+                parameter, n, delta, FORCED_ASYMPTOTIC
+            )
+            algs = [ObliviousCoin(parameter) for _ in range(n)]
+
+        case.exact = float(exact)
+        case.estimate = regime_value.value + perturbation
+        case.error_bound = regime_value.error_bound
+        case.regime = regime_value.regime
+        case.abs_error = abs(case.estimate - case.exact)
+
+        if regime_value.regime != "asymptotic":
+            case.failures.append(
+                f"expected the forced-asymptotic policy to dispatch "
+                f"asymptotically, got {regime_value.regime!r}"
+            )
+        if case.abs_error > case.error_bound:
+            case.failures.append(
+                f"|exact - asymptotic| = {case.abs_error:.3e} exceeds "
+                f"the certified bound {case.error_bound:.3e}"
+            )
+        if not -1e-12 <= case.estimate <= 1.0 + 1e-12:
+            case.failures.append(
+                f"asymptotic estimate {case.estimate:.6f} is not a "
+                "probability"
+            )
+
+        summary = engine.estimate_winning_probability(
+            DistributedSystem(algs, delta),
+            trials=trials,
+            stream=f"asymptotic-grid-{index}",
+            z_score=z_threshold,
+            workers=workers,
+        )
+        case.mc_estimate = summary.estimate
+        case.mc_interval = summary.interval
+        case.mc_trials = trials
+        # The asymptotic estimate may legitimately sit error_bound away
+        # from the truth the MC samples, so gate on the deviation net
+        # of the certified bound.
+        deviation = abs(summary.estimate - case.estimate)
+        excess = max(0.0, deviation - case.error_bound)
+        variance = case.exact * (1.0 - case.exact) / trials
+        if variance <= 0.0:
+            case.z_score = 0.0 if excess == 0.0 else math.inf
+        else:
+            case.z_score = excess / math.sqrt(variance)
+        if case.z_score > z_threshold:
+            case.failures.append(
+                f"Monte Carlo estimate {summary.estimate:.6f} is "
+                f"{case.z_score:.2f} standard errors beyond the "
+                f"certified bound around the asymptotic value "
+                f"(threshold {z_threshold})"
+            )
+        report.cases.append(case)
+    return report

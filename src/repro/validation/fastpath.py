@@ -36,6 +36,7 @@ exact fallbacks.
 
 from __future__ import annotations
 
+import math
 import sys
 from dataclasses import dataclass
 from typing import Iterable, Tuple
@@ -134,26 +135,38 @@ def certified_alternating_sum(
     abs_sum = 0.0
     term_error = 0.0
     count = 0
-    for sign, base, base_error in signed_bases:
-        if abs(base) <= base_error:
-            # The exact base may sit on the other side of the strict
-            # condition; whichever way, the term is at most this big.
-            term_error += (2.0 * base_error) ** power
-        if base <= 0.0:
-            continue
-        term = base**power
-        term_error += term * (power + 1) * EPS
-        if base_error > 0.0:
-            term_error += power * base ** (power - 1) * base_error
-        addend = term if sign > 0 else -term
-        partial = total + addend
-        if abs(total) >= abs(addend):
-            compensation += (total - partial) + addend
-        else:
-            compensation += (addend - partial) + total
-        total = partial
-        abs_sum += term
-        count += 1
+    try:
+        for sign, base, base_error in signed_bases:
+            if abs(base) <= base_error:
+                # The exact base may sit on the other side of the strict
+                # condition; whichever way, the term is at most this big.
+                term_error += (2.0 * base_error) ** power
+            if base <= 0.0:
+                continue
+            term = base**power
+            term_error += term * (power + 1) * EPS
+            if base_error > 0.0:
+                term_error += power * base ** (power - 1) * base_error
+            addend = term if sign > 0 else -term
+            partial = total + addend
+            if abs(total) >= abs(addend):
+                compensation += (total - partial) + addend
+            else:
+                compensation += (addend - partial) + total
+            total = partial
+            abs_sum += term
+            count += 1
+    except OverflowError:
+        # A term escaped float range (float ** int raises instead of
+        # returning inf).  The series is unsalvageable in floats; hand
+        # the caller an uncertified result so the normal fallback
+        # policy -- not an exception -- decides what happens next.
+        return CertifiedFloat(
+            value=math.nan,
+            error_bound=math.inf,
+            certified=False,
+            terms=count,
+        )
     raw = total + compensation
     # Compensated summation leaves ~2 eps per unit of magnitude summed,
     # plus one rounding for folding the compensation back in.

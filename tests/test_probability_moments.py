@@ -172,3 +172,113 @@ class TestTailBounds:
         cheb = chebyshev_overflow_bound(1, [(0, 1)] * 3)
         assert cheb == 1  # vacuous: capacity below the mean 3/2
         assert exact_tail == Fraction(5, 6)
+
+
+class TestTailBoundOverflowGuards:
+    """Regression: astronomically large capacities must yield the
+    correct limit 0.0, not OverflowError from float(Fraction)."""
+
+    def test_hoeffding_huge_delta_is_zero(self):
+        assert hoeffding_overflow_bound(Fraction(10) ** 200, [(0, 1)]) == 0.0
+
+    def test_hoeffding_huge_ratio_from_tiny_widths(self):
+        # Small (d - mean) but microscopic widths: the exponent ratio
+        # itself overflows float range.
+        tiny = [(0, Fraction(1, 10 ** 200))]
+        assert hoeffding_overflow_bound(Fraction(2), tiny) == 0.0
+
+    def test_hoeffding_large_but_floatable_still_underflows_cleanly(self):
+        # Just inside float range: exp(-huge) underflows silently to 0.
+        assert hoeffding_overflow_bound(Fraction(10 ** 150), [(0, 1)]) == 0.0
+
+    def test_chebyshev_huge_delta_stays_exact(self):
+        bound = chebyshev_overflow_bound(Fraction(10) ** 200, [(0, 1)])
+        assert 0 < bound < Fraction(1, 10 ** 390)
+
+
+class TestDegenerateIntervals:
+    """Empty and zero-width interval sets take their documented
+    vacuous/degenerate values instead of raising."""
+
+    def test_empty_intervals(self):
+        # S is the constant 0: tail above positive d is empty, bounds
+        # above or at the mean are vacuous (1).
+        assert chebyshev_overflow_bound(1, []) < 1
+        assert hoeffding_overflow_bound(1, []) == 0.0
+        assert chebyshev_overflow_bound(0, []) == 1
+        assert hoeffding_overflow_bound(0, []) == 1.0
+
+    def test_zero_width_intervals_are_constants(self):
+        # S == 3 surely; any d > 3 has empty tail.
+        intervals = [(1, 1), (2, 2)]
+        assert sum_uniform_moment(1, intervals) == 3
+        assert sum_uniform_central_moment(2, intervals) == 0
+        assert chebyshev_overflow_bound(4, intervals) == 0
+        assert hoeffding_overflow_bound(4, intervals) == 0.0
+        assert chebyshev_overflow_bound(3, intervals) == 1
+        assert hoeffding_overflow_bound(3, intervals) == 1.0
+
+    def test_mixed_zero_width_shifts_moments(self):
+        # A zero-width (constant) interval only shifts the sum.
+        shifted = sum_uniform_moment(1, [(0, 1), (5, 5)])
+        plain = sum_uniform_moment(1, [(0, 1)])
+        assert shifted == plain + 5
+
+    def test_zero_width_central_moments_match_shifted(self):
+        for k in range(5):
+            assert sum_uniform_central_moment(
+                k, [(0, 1), (5, 5)]
+            ) == sum_uniform_central_moment(k, [(0, 1)])
+
+
+class TestTailBoundPropertyTrio:
+    """Property tests over random interval sets: both generic bounds
+    dominate the exact tail, and both are monotone in the capacity."""
+
+    @staticmethod
+    def _cases():
+        import random
+
+        rng = random.Random(20260809)
+        cases = []
+        for _ in range(6):
+            m = rng.randint(1, 4)
+            intervals = []
+            for _ in range(m):
+                lo = Fraction(rng.randint(0, 4), 4)
+                width = Fraction(rng.randint(0, 8), 4)  # may be zero
+                intervals.append((lo, lo + width))
+            cases.append(intervals)
+        return cases
+
+    @staticmethod
+    def _exact_tail(d, intervals):
+        from repro.probability.uniform_sums import sum_uniform_cdf
+
+        offset = sum((lo for lo, _ in intervals), Fraction(0))
+        widths = [hi - lo for lo, hi in intervals]
+        return 1 - sum_uniform_cdf(d - offset, widths)
+
+    def test_bounds_dominate_exact_tail(self):
+        for intervals in self._cases():
+            span = sum((hi for _, hi in intervals), Fraction(0))
+            for num in range(1, 9):
+                d = num * (span + 1) / 8
+                tail = self._exact_tail(d, intervals)
+                assert chebyshev_overflow_bound(d, intervals) >= tail, (
+                    intervals,
+                    d,
+                )
+                assert (
+                    hoeffding_overflow_bound(d, intervals)
+                    >= float(tail) - 1e-12
+                ), (intervals, d)
+
+    def test_bounds_monotone_in_delta(self):
+        for intervals in self._cases():
+            span = sum((hi for _, hi in intervals), Fraction(0))
+            deltas = [num * (span + 1) / 8 for num in range(1, 9)]
+            cheb = [chebyshev_overflow_bound(d, intervals) for d in deltas]
+            hoeff = [hoeffding_overflow_bound(d, intervals) for d in deltas]
+            assert cheb == sorted(cheb, reverse=True), intervals
+            assert hoeff == sorted(hoeff, reverse=True), intervals

@@ -760,3 +760,85 @@ class TestServeCli:
 
         assert main(["serve", "--warm", "bogus"]) == 2
         assert "warm" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# the asymptotic tier: large-n queries answered instead of rejected
+# ---------------------------------------------------------------------------
+
+
+class TestAsymptoticTier:
+    def test_large_n_point_query_served(self):
+        with running_server(deadline_ms=2000.0) as (server, _):
+            status, _, body = get(
+                server,
+                "/v1/winning-probability?n=100000&delta=37500&beta=0.5",
+            )
+            assert status == 200
+            assert body["tier"] == "asymptotic"
+            assert body["certified"] is True
+            assert body["regime"] == "asymptotic"
+            assert 0.0 <= body["floor"] <= body["value"] <= body["ceiling"] <= 1.0
+            assert body["error_bound"] < 0.01
+
+    def test_large_n_oblivious_query_served(self):
+        with running_server(deadline_ms=2000.0) as (server, _):
+            status, _, body = get(
+                server,
+                "/v1/winning-probability?n=100000&delta=37500"
+                "&algorithm=oblivious&alpha=0.5",
+            )
+            assert status == 200
+            assert body["tier"] == "asymptotic"
+            assert body["algorithm"] == "oblivious"
+
+    def test_large_n_optimal_strategy_served(self):
+        with running_server(deadline_ms=5000.0) as (server, _):
+            status, _, body = get(
+                server, "/v1/optimal-strategy?n=100000&delta=37500"
+            )
+            assert status == 200
+            assert body["tier"] == "asymptotic"
+            assert 0.0 < body["beta"] < 1.0
+            assert body["gap_bound"] >= 0.0
+            assert (
+                body["probability_floor"]
+                <= body["probability"]
+                <= body["probability_ceiling"]
+            )
+
+    def test_small_n_still_uses_exact_tiers(self):
+        with running_server() as (server, _):
+            status, _, body = get(
+                server, "/v1/winning-probability?n=3&delta=1/2&beta=0.5"
+            )
+            assert status == 200
+            assert body["tier"] in ("certified", "exact")
+
+    def test_n_above_asymptotic_cap_rejected(self):
+        with running_server(asymptotic_max_n=10**6) as (server, _):
+            status, _, body = get(
+                server, "/v1/winning-probability?n=2000000&delta=1&beta=0.5"
+            )
+            assert status == 400
+            assert "error" in body
+
+    def test_large_n_domain_check(self):
+        with running_server() as (server, _):
+            status, _, body = get(
+                server, "/v1/winning-probability?n=100000&delta=1&beta=1.5"
+            )
+            assert status == 400
+
+    def test_asymptotic_tier_counted_in_metrics(self):
+        with running_server(deadline_ms=2000.0) as (server, _):
+            get(
+                server,
+                "/v1/winning-probability?n=100000&delta=37500&beta=0.5",
+            )
+            _, _, metrics = get(server, "/metrics")
+            assert "serve.tier_asymptotic 1" in metrics
+
+    def test_config_rejects_cap_below_max_n(self):
+        with pytest.raises(ServeError):
+            ServeConfig(port=0, max_n=32, asymptotic_max_n=16)

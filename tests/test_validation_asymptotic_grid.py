@@ -1,0 +1,189 @@
+"""Tests for the exact-vs-asymptotic agreement gate and its CLI/serve
+integration (the --asymptotic-grid check and the large-n serve tier)."""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.cli import EXIT_INTEGRITY_MISMATCH, main
+from repro.errors import ValidationError
+from repro.validation import (
+    AsymptoticAgreementReport,
+    default_asymptotic_grid,
+    run_asymptotic_agreement,
+)
+
+TRIALS = 2000  # small but enough for the z-gate at these probabilities
+
+
+class TestAsymptoticGrid:
+    def test_default_grid_shape(self):
+        grid = default_asymptotic_grid((10, 12))
+        assert len(grid) == 4
+        algorithms = {entry[0] for entry in grid}
+        assert algorithms == {"threshold", "oblivious"}
+        for _, n, delta, parameter in grid:
+            assert delta == Fraction(3 * n, 8)
+            assert parameter == Fraction(1, 2)
+
+    def test_clean_run_passes(self):
+        report = run_asymptotic_agreement(
+            ns=(10, 14), trials=TRIALS, seed=0
+        )
+        assert isinstance(report, AsymptoticAgreementReport)
+        assert report.passed
+        assert len(report.cases) == 4
+        for case in report.cases:
+            assert case.regime == "asymptotic"
+            assert case.abs_error <= case.error_bound
+            assert case.mc_trials == TRIALS
+        assert report.max_abs_error <= report.max_error_bound
+        assert "PASS" in report.render()
+
+    def test_injected_error_fails_deterministically(self):
+        # 0.75 exceeds every certified bound on the grid, so the bound
+        # and/or range checks must trip without any MC luck involved.
+        report = run_asymptotic_agreement(
+            ns=(10,), trials=TRIALS, seed=0, perturbation=0.75
+        )
+        assert not report.passed
+        for case in report.cases:
+            assert case.failures
+        assert "FAIL" in report.render()
+
+    def test_report_round_trips_to_json(self):
+        report = run_asymptotic_agreement(ns=(10,), trials=TRIALS)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["passed"] is True
+        assert len(payload["cases"]) == 2
+        assert payload["cases"][0]["regime"] == "asymptotic"
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            run_asymptotic_agreement(ns=(), trials=TRIALS)
+        with pytest.raises(ValidationError):
+            run_asymptotic_agreement(ns=(10,), trials=0)
+        with pytest.raises(ValidationError):
+            run_asymptotic_agreement(ns=(0,), trials=TRIALS)
+
+
+class TestCheckCliIntegration:
+    def test_asymptotic_grid_exits_zero(self, capsys):
+        assert (
+            main(
+                [
+                    "check",
+                    "--asymptotic-grid",
+                    "--asymptotic-ns",
+                    "10",
+                    "--trials",
+                    str(TRIALS),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "asymptotic agreement: PASS" in out
+
+    def test_injected_error_exits_integrity(self, capsys):
+        assert (
+            main(
+                [
+                    "check",
+                    "--asymptotic-grid",
+                    "--asymptotic-ns",
+                    "10",
+                    "--trials",
+                    str(TRIALS),
+                    "--inject-asymptotic-error",
+                    "0.75",
+                ]
+            )
+            == EXIT_INTEGRITY_MISMATCH
+        )
+        captured = capsys.readouterr()
+        assert "asymptotic agreement: FAIL" in captured.out
+        assert "ASYMPTOTIC AGREEMENT FAILED" in captured.err
+
+
+class TestAsymptoticCliCommand:
+    def test_point_evaluation_json(self, capsys):
+        assert (
+            main(
+                [
+                    "asymptotic",
+                    "--n",
+                    "100000",
+                    "--delta",
+                    "37500",
+                    "--beta",
+                    "0.5",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["family"] == "threshold"
+        assert payload["regime"] == "asymptotic"
+        assert 0.0 <= payload["value"] <= 1.0
+        assert payload["floor"] <= payload["value"] <= payload["ceiling"]
+
+    def test_oblivious_evaluation(self, capsys):
+        assert (
+            main(
+                [
+                    "asymptotic",
+                    "--n",
+                    "100000",
+                    "--delta",
+                    "37500",
+                    "--alpha",
+                    "1/2",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["family"] == "oblivious"
+        assert payload["error_bound"] < 1e-3
+
+    def test_optimize_mode(self, capsys):
+        assert (
+            main(
+                [
+                    "asymptotic",
+                    "--n",
+                    "10000",
+                    "--delta",
+                    "4000",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["family"] == "threshold-optimum"
+        assert 0.0 < payload["beta"] < 1.0
+        assert payload["gap_bound"] >= 0.0
+        assert payload["evaluations"] > 1
+
+    def test_both_parameters_rejected(self):
+        assert (
+            main(
+                [
+                    "asymptotic",
+                    "--n",
+                    "1000",
+                    "--delta",
+                    "400",
+                    "--beta",
+                    "0.5",
+                    "--alpha",
+                    "0.5",
+                ]
+            )
+            == 2
+        )
